@@ -1,0 +1,109 @@
+// Package ats is the public facade of the APART Test Suite reproduction.
+//
+// It ties the pieces together for downstream users: run a synthetic
+// parallel program on the MPI-like or OpenMP-like substrate, collect its
+// event trace, analyze it with the EXPERT-style automatic analyzer, and
+// render Vampir-style timelines — everything needed to reproduce the
+// paper's workflow of constructing positive/negative test programs and
+// checking that an analysis tool detects, localizes and ranks the seeded
+// performance properties.
+//
+// Quick start:
+//
+//	tr, err := ats.RunMPI(ats.MPIOptions{Procs: 8}, func(c *mpi.Comm) {
+//		core.LateSender(c, 0.01, 0.05, 10)
+//	})
+//	rep := ats.Analyze(tr)
+//	fmt.Print(rep.Render())
+package ats
+
+import (
+	"fmt"
+
+	"repro/internal/analyzer"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/omp"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+	"repro/internal/xctx"
+)
+
+// Re-exported option and result types, so typical users import only ats
+// plus the substrate package(s) their program is written against.
+type (
+	// MPIOptions configures an MPI-style run (see mpi.Options).
+	MPIOptions = mpi.Options
+	// OMPOptions configures a standalone OpenMP-style run.
+	OMPOptions = omp.RunOptions
+	// TeamOptions configures individual parallel regions.
+	TeamOptions = omp.Options
+	// Report is an analysis result.
+	Report = analyzer.Report
+	// Trace is a merged event trace.
+	Trace = trace.Trace
+)
+
+// Clock modes.
+const (
+	// Virtual selects deterministic logical time (the default).
+	Virtual = vtime.Virtual
+	// Real selects wall-clock time with calibrated busy-wait work.
+	Real = vtime.Real
+)
+
+// RunMPI executes body on every rank of a fresh world and returns the
+// merged trace.
+func RunMPI(opt MPIOptions, body func(c *mpi.Comm)) (*Trace, error) {
+	return mpi.Run(opt, body)
+}
+
+// RunOMP executes body as a standalone OpenMP-style program.
+func RunOMP(opt OMPOptions, body func(ctx *xctx.Ctx, team TeamOptions)) (*Trace, error) {
+	return omp.Run(opt, body)
+}
+
+// Analyze runs the automatic analyzer with default options.
+func Analyze(tr *Trace) *Report {
+	return analyzer.Analyze(tr, analyzer.Options{})
+}
+
+// AnalyzeWithThreshold runs the analyzer with a custom severity threshold.
+func AnalyzeWithThreshold(tr *Trace, threshold float64) *Report {
+	return analyzer.Analyze(tr, analyzer.Options{Threshold: threshold})
+}
+
+// Timeline renders a Vampir-style ASCII timeline of the trace.
+func Timeline(tr *Trace, width int) string {
+	return trace.Timeline(tr, trace.TimelineOptions{Width: width})
+}
+
+// RunProperty runs one registered property function as a single-property
+// test program (paper §3.2) in a fresh environment and returns the trace.
+// Pure-OpenMP properties run on a standalone team of `threads` threads;
+// MPI and hybrid properties run on `procs` ranks (hybrid ones fork teams
+// of `threads` threads per rank).
+func RunProperty(name string, procs, threads int, a core.Args) (*Trace, error) {
+	spec, ok := core.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("ats: unknown property %q (have %v)", name, core.Names())
+	}
+	team := omp.Options{Threads: threads}
+	if spec.Paradigm == core.ParadigmOMP {
+		return RunOMP(OMPOptions{Threads: threads}, func(ctx *xctx.Ctx, _ TeamOptions) {
+			spec.Run(core.Env{Ctx: ctx, OMP: team}, a)
+		})
+	}
+	return RunMPI(MPIOptions{Procs: procs}, func(c *mpi.Comm) {
+		spec.Run(core.Env{Comm: c, Ctx: c.Ctx(), OMP: team}, a)
+	})
+}
+
+// RunPropertyDefaults is RunProperty with the spec's default arguments.
+func RunPropertyDefaults(name string, procs, threads int) (*Trace, error) {
+	spec, ok := core.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("ats: unknown property %q", name)
+	}
+	return RunProperty(name, procs, threads, spec.Defaults())
+}

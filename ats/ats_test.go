@@ -1,0 +1,107 @@
+package ats_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/ats"
+	"repro/internal/analyzer"
+	"repro/internal/core"
+	"repro/internal/distr"
+	"repro/internal/mpi"
+	"repro/internal/xctx"
+)
+
+func TestRunMPIFacade(t *testing.T) {
+	tr, err := ats.RunMPI(ats.MPIOptions{Procs: 4}, func(c *mpi.Comm) {
+		c.Work(0.01)
+		c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Locations) != 4 {
+		t.Errorf("locations = %v", tr.Locations)
+	}
+	rep := ats.Analyze(tr)
+	if rep.TotalTime <= 0 {
+		t.Error("no total time")
+	}
+}
+
+func TestRunOMPFacade(t *testing.T) {
+	tr, err := ats.RunOMP(ats.OMPOptions{Threads: 3}, func(ctx *xctx.Ctx, team ats.TeamOptions) {
+		core.ImbalanceAtOMPBarrier(ctx, team, mustDistr(t), mustDesc(), 2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Locations) != 3 {
+		t.Errorf("locations = %v", tr.Locations)
+	}
+}
+
+func TestRunPropertyAllParadigms(t *testing.T) {
+	for _, name := range []string{"late_sender", "imbalance_at_omp_barrier", "hybrid_barrier_after_omp_regions"} {
+		tr, err := ats.RunPropertyDefaults(name, 4, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(tr.Events) == 0 {
+			t.Errorf("%s: empty trace", name)
+		}
+	}
+}
+
+func TestRunPropertyUnknown(t *testing.T) {
+	if _, err := ats.RunPropertyDefaults("nope", 2, 2); err == nil {
+		t.Error("unknown property accepted")
+	}
+	if _, err := ats.RunProperty("nope", 2, 2, core.NewArgs()); err == nil {
+		t.Error("unknown property accepted")
+	}
+}
+
+func TestTimelineFacade(t *testing.T) {
+	tr, err := ats.RunPropertyDefaults("late_sender", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ats.Timeline(tr, 50)
+	if !strings.Contains(out, "legend") {
+		t.Errorf("timeline output missing legend:\n%s", out)
+	}
+}
+
+func TestAnalyzeWithThreshold(t *testing.T) {
+	tr, err := ats.RunPropertyDefaults("late_sender", 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict := ats.AnalyzeWithThreshold(tr, 0.99)
+	if strict.Top() != nil {
+		t.Error("99% threshold still produced findings")
+	}
+	loose := ats.AnalyzeWithThreshold(tr, 0.0001)
+	if loose.Top() == nil || loose.Top().Property != analyzer.PropLateSender {
+		t.Error("loose threshold missed the late sender")
+	}
+}
+
+// mustDistr resolves a block2 distribution through the registry path the
+// CLI drivers use.
+func mustDistr(t *testing.T) distr.Func {
+	t.Helper()
+	ds := core.DistrSpec{Name: "block2", Low: 0.01, High: 0.05}
+	df, _, err := ds.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return df
+}
+
+func mustDesc() distr.Desc {
+	ds := core.DistrSpec{Name: "block2", Low: 0.01, High: 0.05}
+	_, dd, _ := ds.Resolve()
+	return dd
+}

@@ -1,0 +1,129 @@
+// Command atsbench regenerates every evaluation artifact of the paper in
+// one run: the Fig 3.2 single-property sweeps and timelines, the Fig 3.3
+// composite, the Fig 3.4/3.5 two-communicator program with its
+// EXPERT-style analysis, the positive/negative correctness tables, the
+// Chapter-2 semantics-preservation and intrusiveness procedures, the
+// Chapter-4 application runs, the microbenchmark tables, and the
+// reproduction's design ablations.  Its output is the source material for
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	atsbench                 # everything, virtual clock only
+//	atsbench -real           # include real-clock (wall time) experiments
+//	atsbench -only fig35     # one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/analyzer"
+	"repro/internal/experiments"
+	"repro/internal/grindstone"
+	"repro/internal/microbench"
+	"repro/internal/mpi"
+	"repro/internal/vtime"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("atsbench: ")
+	var (
+		procs   = flag.Int("procs", 16, "MPI processes for the figure experiments")
+		threads = flag.Int("threads", 4, "OpenMP threads")
+		real    = flag.Bool("real", false, "include real-clock experiments")
+		only    = flag.String("only", "", "run a single experiment (fig32, fig33, fig35, positive, negative, ch2, ch4, micro, grind, work, ablation)")
+	)
+	flag.Parse()
+	w := os.Stdout
+
+	run := func(name string, f func() error) {
+		if *only != "" && *only != name {
+			return
+		}
+		fmt.Fprintf(w, "\n######## %s ########\n", name)
+		if err := f(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+	}
+
+	run("fig32", func() error {
+		_, err := experiments.Fig32(w, *procs)
+		return err
+	})
+	run("fig33", func() error {
+		_, err := experiments.Fig33(w, *procs)
+		return err
+	})
+	run("fig35", func() error {
+		_, err := experiments.Fig34And35(w, *procs)
+		return err
+	})
+	run("positive", func() error {
+		_, err := experiments.PositiveCorrectness(w, 8, *threads)
+		return err
+	})
+	run("negative", func() error {
+		_, err := experiments.NegativeCorrectness(w, 8, *threads)
+		return err
+	})
+	run("ch2", func() error {
+		_, err := experiments.Ch2(w, 4)
+		return err
+	})
+	run("ch4", func() error {
+		_, err := experiments.Ch4Applications(w, 4)
+		return err
+	})
+	run("micro", func() error {
+		pp, err := microbench.PingPong([]int{8, 64, 1024, 16384, 262144}, 10, vtime.Virtual)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "== microbenchmarks: ping-pong (SKaMPI-style, virtual cost model) ==")
+		fmt.Fprint(w, microbench.FormatPingPong(pp))
+		cs, err := microbench.Collectives([]int{2, 4, 8, 16}, 1024, 10, vtime.Virtual)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "\n== microbenchmarks: collectives ==")
+		fmt.Fprint(w, microbench.FormatCollectives(cs))
+		oo, err := microbench.OMPOverheads(*threads, 20, vtime.Virtual)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "\n== microbenchmarks: OpenMP construct overheads (EPCC-style) ==")
+		fmt.Fprint(w, microbench.FormatOMP(oo))
+		return nil
+	})
+	run("grind", func() error {
+		fmt.Fprintln(w, "== Grindstone-style diagnostic programs (Ch. 2) ==")
+		for _, p := range grindstone.Programs() {
+			tr, err := mpi.Run(mpi.Options{Procs: 4}, func(c *mpi.Comm) {
+				p.Run(c, grindstone.Config{})
+			})
+			if err != nil {
+				return fmt.Errorf("%s: %w", p.Name, err)
+			}
+			rep := analyzer.Analyze(tr, analyzer.Options{})
+			top := "(clean)"
+			if t := rep.Top(); t != nil {
+				top = fmt.Sprintf("%s %.1f%%", t.Property, t.Severity*100)
+			}
+			fmt.Fprintf(w, "%-20s msgs=%6d avg=%9.0fB top=%-28s expected: %s\n",
+				p.Name, rep.Messages.Count, rep.Messages.AvgBytes, top, p.Diagnosis)
+		}
+		return nil
+	})
+	run("work", func() error {
+		_, err := experiments.WorkAccuracy(w, *real)
+		return err
+	})
+	run("ablation", func() error {
+		_, err := experiments.Ablations(w, *real)
+		return err
+	})
+}

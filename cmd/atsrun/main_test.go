@@ -1,0 +1,100 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestSetFlagsParsing(t *testing.T) {
+	s := setFlags{}
+	if err := s.Set("extrawork=0.1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set("r=10"); err != nil {
+		t.Fatal(err)
+	}
+	if s["extrawork"] != "0.1" || s["r"] != "10" {
+		t.Errorf("parsed %v", s)
+	}
+	if err := s.Set("novalue"); err == nil {
+		t.Error("missing '=' accepted")
+	}
+	if !strings.Contains(s.String(), "extrawork") {
+		t.Errorf("String() = %q", s.String())
+	}
+}
+
+func TestBuildArgsDefaultsAndOverrides(t *testing.T) {
+	spec, _ := core.Get("late_sender")
+	args, err := buildArgs(spec, setFlags{"extrawork": "0.25", "r": "7"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if args.Float["extrawork"] != 0.25 {
+		t.Errorf("extrawork = %v", args.Float["extrawork"])
+	}
+	if args.Int["r"] != 7 {
+		t.Errorf("r = %d", args.Int["r"])
+	}
+	// Untouched parameter keeps its default.
+	if args.Float["basework"] != core.DefaultBasework {
+		t.Errorf("basework = %v", args.Float["basework"])
+	}
+}
+
+func TestBuildArgsDistribution(t *testing.T) {
+	spec, _ := core.Get("imbalance_at_mpi_barrier")
+	args, err := buildArgs(spec, setFlags{
+		"distr":      "linear",
+		"distr_low":  "0.02",
+		"distr_high": "0.3",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := args.Distr["distr"]
+	if ds.Name != "linear" || ds.Low != 0.02 || ds.High != 0.3 {
+		t.Errorf("distr spec = %+v", ds)
+	}
+	if _, _, err := ds.Resolve(); err != nil {
+		t.Errorf("resolved: %v", err)
+	}
+}
+
+func TestBuildArgsRejectsUnknownParam(t *testing.T) {
+	spec, _ := core.Get("late_sender")
+	if _, err := buildArgs(spec, setFlags{"bogus": "1"}); err == nil {
+		t.Error("unknown parameter accepted")
+	}
+}
+
+func TestBuildArgsRejectsBadValues(t *testing.T) {
+	spec, _ := core.Get("late_sender")
+	if _, err := buildArgs(spec, setFlags{"extrawork": "abc"}); err == nil {
+		t.Error("non-numeric float accepted")
+	}
+	if _, err := buildArgs(spec, setFlags{"r": "1.5"}); err == nil {
+		t.Error("non-integer int accepted")
+	}
+}
+
+func TestParamUsage(t *testing.T) {
+	spec, _ := core.Get("imbalance_at_mpi_barrier")
+	var distrParam, intParam core.Param
+	for _, p := range spec.Params {
+		switch p.Kind {
+		case core.ParamDistr:
+			distrParam = p
+		case core.ParamInt:
+			intParam = p
+		}
+	}
+	if u := paramUsage(distrParam); !strings.Contains(u, "_low") {
+		t.Errorf("distr usage %q lacks descriptor flags", u)
+	}
+	if u := paramUsage(intParam); !strings.Contains(u, "=") {
+		t.Errorf("int usage %q", u)
+	}
+}

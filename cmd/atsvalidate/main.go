@@ -1,0 +1,58 @@
+// Command atsvalidate runs the substrate validation suite twice — without
+// and with instrumentation — and compares the results, executing the
+// semantics-preservation procedure of the paper's Chapter 2 end to end.
+//
+// Usage:
+//
+//	atsvalidate        # run both, compare, report
+//	atsvalidate -v     # also list every check
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/validate"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("atsvalidate: ")
+	verbose := flag.Bool("v", false, "list every check outcome")
+	flag.Parse()
+
+	fmt.Println("running validation suite (uninstrumented)...")
+	plain := validate.RunSuite(false)
+	fmt.Println("running validation suite (instrumented)...")
+	instrumented := validate.RunSuite(true)
+
+	failed := 0
+	for i := range plain {
+		status := "ok"
+		if !plain[i].Passed || !instrumented[i].Passed {
+			status = "FAIL"
+			failed++
+		}
+		if *verbose || status == "FAIL" {
+			fmt.Printf("  %-28s %-4s digest=%016x/%016x\n",
+				plain[i].Name, status, plain[i].Digest, instrumented[i].Digest)
+			if plain[i].Err != nil {
+				fmt.Printf("      uninstrumented: %v\n", plain[i].Err)
+			}
+			if instrumented[i].Err != nil {
+				fmt.Printf("      instrumented:   %v\n", instrumented[i].Err)
+			}
+		}
+	}
+	if err := validate.Compare(plain, instrumented); err != nil {
+		fmt.Printf("semantics-preservation: FAILED: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("semantics-preservation: OK (%d checks, identical digests with and without instrumentation)\n",
+		len(plain))
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

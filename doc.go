@@ -1,0 +1,16 @@
+// Package repro is a from-scratch Go reproduction of the APART Test Suite
+// (ATS) described in "Initial Design of a Test Suite for Automatic
+// Performance Analysis Tools" (Mohr & Träff, FZJ-ZAM-IB-2002-13 / IPPS
+// 2003): a framework for constructing synthetic parallel test programs
+// with controllable performance pathologies, together with everything it
+// needs that Go does not have — an MPI-like message-passing runtime, an
+// OpenMP-like thread-team runtime, event tracing, and an EXPERT-style
+// automatic analyzer to validate the suite against.
+//
+// Start with package repro/ats (the public facade), DESIGN.md (system
+// inventory and per-experiment index), and EXPERIMENTS.md (paper-vs-
+// measured results).  The benchmarks in this directory regenerate every
+// figure of the paper; run them with:
+//
+//	go test -bench=. -benchmem
+package repro

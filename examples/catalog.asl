@@ -1,0 +1,33 @@
+# Example ASL property catalog for atsanalyze -asl.
+#
+# Evaluate against any serialized trace:
+#
+#   go run ./cmd/atsrun -property late_sender -procs 8 -trace /tmp/t.ats
+#   go run ./cmd/atsanalyze -asl examples/catalog.asl /tmp/t.ats
+
+property dominant_p2p_waiting {
+    condition wait("late_sender") + wait("late_receiver") > 0.05 * total_time();
+    severity  (wait("late_sender") + wait("late_receiver")) / total_time();
+}
+
+property collective_waiting {
+    condition wait("late_broadcast") + wait("early_reduce") + wait("wait_at_nxn") > 0;
+    severity  (wait("late_broadcast") + wait("early_reduce") + wait("wait_at_nxn")) / total_time();
+}
+
+property latency_bound_messaging {
+    condition msg_count() > 100 && msg_avg_bytes() < 256;
+    severity  region_time("MPI_Recv") / total_time();
+}
+
+property startup_dominates {
+    condition (region_time("MPI_Init") + region_time("MPI_Finalize")) / total_time() > 0.5;
+    severity  (region_time("MPI_Init") + region_time("MPI_Finalize")) / total_time();
+}
+
+property omp_thread_waiting {
+    condition wait("imbalance_at_omp_barrier") + wait("imbalance_in_omp_loop")
+            + wait("imbalance_in_omp_region") > 0.02 * total_time();
+    severity  (wait("imbalance_at_omp_barrier") + wait("imbalance_in_omp_loop")
+            + wait("imbalance_in_omp_region")) / total_time();
+}

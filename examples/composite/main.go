@@ -1,0 +1,34 @@
+// Composite test program (paper Fig 3.3): one run invoking every MPI
+// property function back to back with different severities — the quick
+// way to count how many property classes an analysis tool can detect.
+//
+//	go run ./examples/composite [-procs 16]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/ats"
+	"repro/internal/core"
+	"repro/internal/mpi"
+)
+
+func main() {
+	procs := flag.Int("procs", 16, "number of MPI processes")
+	flag.Parse()
+
+	tr, err := ats.RunMPI(ats.MPIOptions{Procs: *procs}, func(c *mpi.Comm) {
+		core.CompositeAllMPI(c, core.DefaultComposite())
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("composite program: %d property functions, %d trace events\n\n",
+		len(core.CompositeMPIProperties), len(tr.Events))
+	fmt.Print(ats.Timeline(tr, 120))
+	fmt.Println()
+	rep := ats.AnalyzeWithThreshold(tr, 0.001)
+	fmt.Print(rep.Render())
+}

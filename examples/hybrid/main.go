@@ -1,0 +1,36 @@
+// Hybrid MPI+OpenMP composite (paper §3.3, closing scenario): property
+// functions from both paradigms in one program — per-rank OpenMP barrier
+// imbalance, MPI-level late senders, and the cause-and-effect property
+// where thread imbalance inside the sending ranks delays their MPI sends.
+//
+//	go run ./examples/hybrid [-procs 4] [-threads 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/ats"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/omp"
+)
+
+func main() {
+	procs := flag.Int("procs", 4, "number of MPI processes")
+	threads := flag.Int("threads", 4, "OpenMP threads per process")
+	flag.Parse()
+
+	tr, err := ats.RunMPI(ats.MPIOptions{Procs: *procs}, func(c *mpi.Comm) {
+		core.CompositeHybrid(c, omp.Options{Threads: *threads}, core.DefaultComposite())
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hybrid run: %d ranks × %d threads, %d locations in the trace\n\n",
+		*procs, *threads, len(tr.Locations))
+	fmt.Print(ats.Timeline(tr, 120))
+	fmt.Println()
+	fmt.Print(ats.AnalyzeWithThreshold(tr, 0.001).Render())
+}

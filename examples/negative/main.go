@@ -1,0 +1,48 @@
+// Negative correctness (paper §1): well-tuned synthetic programs with no
+// seeded performance problem.  A correct automatic analysis tool must
+// report nothing above its threshold for these — spurious diagnoses are
+// as much a tool bug as missed ones.
+//
+//	go run ./examples/negative
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/ats"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/omp"
+	"repro/internal/xctx"
+)
+
+func main() {
+	check := func(name string, tr *ats.Trace, err error) {
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		rep := ats.Analyze(tr)
+		if top := rep.Top(); top != nil {
+			fmt.Printf("%-28s SPURIOUS finding %s (%.2f%%)\n",
+				name, top.Property, top.Severity*100)
+		} else {
+			fmt.Printf("%-28s clean (no significant findings)\n", name)
+		}
+	}
+
+	tr, err := ats.RunMPI(ats.MPIOptions{Procs: 8}, func(c *mpi.Comm) {
+		core.NegativeBalancedMPI(c, 0.02, 10)
+	})
+	check("balanced MPI program", tr, err)
+
+	tr, err = ats.RunOMP(ats.OMPOptions{Threads: 4}, func(ctx *xctx.Ctx, team ats.TeamOptions) {
+		core.NegativeBalancedOMP(ctx, team, 0.02, 10)
+	})
+	check("balanced OpenMP program", tr, err)
+
+	tr, err = ats.RunMPI(ats.MPIOptions{Procs: 4}, func(c *mpi.Comm) {
+		core.NegativeBalancedHybrid(c, omp.Options{Threads: 4}, 0.02, 5)
+	})
+	check("balanced hybrid program", tr, err)
+}

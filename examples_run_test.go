@@ -1,0 +1,71 @@
+package repro_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example program end to end with `go run`
+// and checks for the key line each must print.  Skipped with -short: the
+// repeated compiles are slow on small machines.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example execution is slow")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go binary not available")
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		dir  string
+		args []string
+		want []string
+	}{
+		{"quickstart", nil, []string{"late_sender", "analyzer measured 2.000s"}},
+		{"composite", []string{"-procs", "8"}, []string{"late_broadcast", "early_reduce", "wait_at_nxn"}},
+		{"multicommunicator", []string{"-procs", "8"}, []string{"late_broadcast", "MPI_Bcast"}},
+		{"hybrid", []string{"-procs", "2", "-threads", "2"}, []string{"late_sender", "imbalance_at_omp_barrier"}},
+		{"negative", nil, []string{"clean (no significant findings)"}},
+		{"apps", nil, []string{"jacobi residual", "imbalance_in_omp_loop"}},
+		{"customproperty", nil, []string{"sawtooth_detected", "HOLDS"}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.dir, func(t *testing.T) {
+			args := append([]string{"run", "./examples/" + tc.dir}, tc.args...)
+			cmd := exec.Command(goBin, args...)
+			cmd.Dir = wd
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example failed: %v\n%s", err, out)
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("output missing %q:\n%s", want, out)
+				}
+			}
+		})
+	}
+	// Sanity: the example list above covers every directory under
+	// examples/ that holds a main package.
+	entries, err := os.ReadDir(filepath.Join(wd, "examples"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := map[string]bool{}
+	for _, tc := range cases {
+		covered[tc.dir] = true
+	}
+	for _, e := range entries {
+		if e.IsDir() && !covered[e.Name()] {
+			t.Errorf("example %q not exercised by this test", e.Name())
+		}
+	}
+}

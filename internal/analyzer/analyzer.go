@@ -1,0 +1,464 @@
+// Package analyzer implements the automatic performance analysis tool of
+// the reproduction — the consumer the APART Test Suite is validated
+// against, playing the role EXPERT plays in the paper (Fig 3.5).
+//
+// The analyzer searches an event trace for the APART performance
+// properties (compound events describing wait states) and quantifies each
+// with a severity: the accumulated waiting time divided by the total
+// resource consumption of the run (sum of all locations' time spans), the
+// ASL convention.  Results are localized along the two remaining EXPERT
+// dimensions: the dynamic call path and the process/thread location.
+package analyzer
+
+import (
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Property identifiers reported by the analyzer.  These follow the
+// EXPERT/ASL catalog names rather than the ATS function names: several ATS
+// functions map onto one analysis property (e.g. late_scatter manifests as
+// the Late Broadcast 1-to-N pattern).
+const (
+	PropLateSender      = "late_sender"
+	PropLateReceiver    = "late_receiver"
+	PropWaitAtBarrier   = "wait_at_mpi_barrier"
+	PropLateBroadcast   = "late_broadcast" // 1-to-N rooted collectives
+	PropEarlyReduce     = "early_reduce"   // N-to-1 rooted collectives
+	PropWaitAtNxN       = "wait_at_nxn"    // N-to-N collectives
+	PropOMPRegion       = "imbalance_in_omp_region"
+	PropOMPBarrier      = "imbalance_at_omp_barrier"
+	PropOMPLoop         = "imbalance_in_omp_loop"
+	PropOMPSections     = "imbalance_at_omp_sections"
+	PropOMPSingle       = "idle_threads_at_omp_single"
+	PropOMPCritical     = "serialization_at_omp_critical"
+	PropInitFinalize    = "mpi_init_finalize_overhead"
+	PropMPITimeFraction = "mpi_time_fraction"
+	PropTotalWaiting    = "total_waiting"
+)
+
+// ExpectedDetection maps each ATS property-function name (package core) to
+// the analyzer property a correct tool must report as the dominant finding
+// for that function's single-property test program.  This table is the
+// positive-correctness oracle of the test suite.
+var ExpectedDetection = map[string]string{
+	"late_sender":                             PropLateSender,
+	"late_sender_nonblocking":                 PropLateSender,
+	"late_receiver":                           PropLateReceiver,
+	"imbalance_at_mpi_barrier":                PropWaitAtBarrier,
+	"growing_imbalance_at_mpi_barrier":        PropWaitAtBarrier,
+	"unparallelized_mpi_code":                 PropWaitAtBarrier,
+	"imbalance_at_mpi_alltoall":               PropWaitAtNxN,
+	"imbalance_at_mpi_allreduce":              PropWaitAtNxN,
+	"imbalance_at_mpi_allgather":              PropWaitAtNxN,
+	"late_broadcast":                          PropLateBroadcast,
+	"late_scatter":                            PropLateBroadcast,
+	"late_scatterv":                           PropLateBroadcast,
+	"early_reduce":                            PropEarlyReduce,
+	"early_gather":                            PropEarlyReduce,
+	"early_gatherv":                           PropEarlyReduce,
+	"dominated_by_communication":              PropMPITimeFraction,
+	"imbalance_in_omp_pregion":                PropOMPRegion,
+	"imbalance_at_omp_barrier":                PropOMPBarrier,
+	"imbalance_in_omp_loop":                   PropOMPLoop,
+	"imbalance_at_omp_sections":               PropOMPSections,
+	"serialization_at_omp_critical":           PropOMPCritical,
+	"unparallelized_in_single":                PropOMPSingle,
+	"hybrid_omp_imbalance_causes_late_sender": PropLateSender,
+	"hybrid_barrier_after_omp_regions":        PropWaitAtBarrier,
+}
+
+// Hierarchy maps each property to its parent in the EXPERT-style property
+// tree; PropTotalWaiting is the root.
+var Hierarchy = map[string]string{
+	PropLateSender:        "mpi_p2p",
+	PropLateReceiver:      "mpi_p2p",
+	PropLateBroadcast:     "mpi_collective",
+	PropEarlyReduce:       "mpi_collective",
+	PropWaitAtNxN:         "mpi_collective",
+	PropWaitAtBarrier:     "mpi_synchronization",
+	"mpi_p2p":             "mpi",
+	"mpi_collective":      "mpi",
+	"mpi_synchronization": "mpi",
+	"mpi":                 PropTotalWaiting,
+	PropOMPRegion:         "omp",
+	PropOMPBarrier:        "omp",
+	PropOMPLoop:           "omp",
+	PropOMPSections:       "omp",
+	PropOMPSingle:         "omp",
+	PropOMPCritical:       "omp",
+	"omp":                 PropTotalWaiting,
+}
+
+// Result aggregates one property's findings.
+type Result struct {
+	Property string
+	// Wait is the accumulated waiting time in seconds.
+	Wait float64
+	// Severity is Wait normalized by the run's total resource time.
+	Severity float64
+	// Instances counts the compound events contributing to Wait.
+	Instances int
+	// ByPath accumulates Wait per call path (rendered string).
+	ByPath map[string]float64
+	// ByLocation accumulates Wait per location.
+	ByLocation map[trace.Location]float64
+}
+
+func newResult(prop string) *Result {
+	return &Result{
+		Property:   prop,
+		ByPath:     make(map[string]float64),
+		ByLocation: make(map[trace.Location]float64),
+	}
+}
+
+// TopPath returns the call path with the largest accumulated wait.
+func (r *Result) TopPath() string {
+	best, bestW := "", -1.0
+	for p, w := range r.ByPath {
+		if w > bestW || (w == bestW && p < best) {
+			best, bestW = p, w
+		}
+	}
+	return best
+}
+
+// Options tunes the analysis.
+type Options struct {
+	// Threshold is the minimum severity for a finding to be considered
+	// significant (default 0.005, i.e. 0.5% of total resource time —
+	// automatic tools have "different thresholds/sensitivities", which
+	// is exactly why the suite's severities are parameterizable).
+	Threshold float64
+}
+
+// MessageStats summarizes point-to-point traffic — the raw material for
+// diagnosing latency-bound (many tiny messages) versus bandwidth-bound
+// (few huge messages) communication, as the Grindstone-style programs
+// require.
+type MessageStats struct {
+	// Count is the number of point-to-point messages sent.
+	Count int `json:"count"`
+	// Bytes is their total payload volume.
+	Bytes int64 `json:"bytes"`
+	// AvgBytes is Bytes/Count (0 without messages).
+	AvgBytes float64 `json:"avg_bytes"`
+	// Rate is messages per second of trace span.
+	Rate float64 `json:"rate"`
+}
+
+// Report is the complete analysis result.
+type Report struct {
+	// TotalTime is the aggregate resource time severity is normalized by.
+	TotalTime float64
+	// Duration is the wall span of the trace.
+	Duration float64
+	// Results holds one entry per detected leaf property.
+	Results map[string]*Result
+	// Stats is the flat region profile of the trace.
+	Stats *trace.Stats
+	// Messages summarizes point-to-point traffic.
+	Messages MessageStats
+	// Threshold is the significance threshold used.
+	Threshold float64
+}
+
+// Get returns the result for a property (nil if nothing was detected).
+func (rep *Report) Get(prop string) *Result { return rep.Results[prop] }
+
+// Wait returns the accumulated waiting time for a property (0 if none).
+func (rep *Report) Wait(prop string) float64 {
+	if r := rep.Results[prop]; r != nil {
+		return r.Wait
+	}
+	return 0
+}
+
+// Severity returns a property's severity (0 if not detected).
+func (rep *Report) Severity(prop string) float64 {
+	if r := rep.Results[prop]; r != nil {
+		return r.Severity
+	}
+	return 0
+}
+
+// Significant returns the leaf properties at or above the threshold,
+// ranked by severity (highest first).  Info-metrics (init/finalize
+// overhead, MPI time fraction) are excluded: they are reported separately
+// because they measure cost rather than waiting.
+func (rep *Report) Significant() []*Result {
+	var out []*Result
+	for _, r := range rep.Results {
+		if r.Property == PropInitFinalize || r.Property == PropMPITimeFraction {
+			continue
+		}
+		if r.Severity >= rep.Threshold {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Severity != out[j].Severity {
+			return out[i].Severity > out[j].Severity
+		}
+		return out[i].Property < out[j].Property
+	})
+	return out
+}
+
+// Top returns the most severe significant property result, or nil.
+func (rep *Report) Top() *Result {
+	sig := rep.Significant()
+	if len(sig) == 0 {
+		return nil
+	}
+	return sig[0]
+}
+
+// Analyze runs the full pattern search over a trace.
+func Analyze(tr *trace.Trace, opt Options) *Report {
+	if opt.Threshold <= 0 {
+		opt.Threshold = 0.005
+	}
+	stats := trace.ComputeStats(tr)
+	rep := &Report{
+		TotalTime: stats.TotalTime,
+		Duration:  tr.Duration(),
+		Results:   make(map[string]*Result),
+		Stats:     stats,
+		Threshold: opt.Threshold,
+	}
+
+	add := func(prop string, wait float64, path string, loc trace.Location) {
+		if wait <= 0 {
+			return
+		}
+		r := rep.Results[prop]
+		if r == nil {
+			r = newResult(prop)
+			rep.Results[prop] = r
+		}
+		r.Wait += wait
+		r.Instances++
+		r.ByPath[path] += wait
+		r.ByLocation[loc] += wait
+	}
+
+	detectP2P(tr, add)
+	detectCollectives(tr, add)
+	detectLocks(tr, add)
+	detectCostMetrics(tr, stats, rep)
+	for i := range tr.Events {
+		ev := &tr.Events[i]
+		if ev.Kind == trace.KindSend {
+			rep.Messages.Count++
+			rep.Messages.Bytes += ev.Bytes
+		}
+	}
+	if rep.Messages.Count > 0 {
+		rep.Messages.AvgBytes = float64(rep.Messages.Bytes) / float64(rep.Messages.Count)
+		if rep.Duration > 0 {
+			rep.Messages.Rate = float64(rep.Messages.Count) / rep.Duration
+		}
+	}
+
+	for _, r := range rep.Results {
+		if stats.TotalTime > 0 {
+			r.Severity = r.Wait / stats.TotalTime
+		}
+	}
+	return rep
+}
+
+type addFunc func(prop string, wait float64, path string, loc trace.Location)
+
+// detectP2P pairs message events and derives Late Sender / Late Receiver.
+func detectP2P(tr *trace.Trace, add addFunc) {
+	sends := make(map[uint64]*trace.Event)
+	recvs := make(map[uint64]*trace.Event)
+	for i := range tr.Events {
+		ev := &tr.Events[i]
+		switch ev.Kind {
+		case trace.KindSend:
+			sends[ev.Match] = ev
+		case trace.KindRecv:
+			recvs[ev.Match] = ev
+		}
+	}
+	for m, s := range sends {
+		r, ok := recvs[m]
+		if !ok {
+			continue // message never received (truncated trace)
+		}
+		// Late sender: the receiver entered its receive before the send
+		// operation started.
+		if wait := s.Time - r.Aux; wait > 0 {
+			add(PropLateSender, wait, tr.PathString(r.Path), r.Loc)
+		}
+		// Late receiver: a synchronous sender blocked until the receive
+		// was posted.
+		if s.Flags&trace.FlagSync != 0 {
+			if wait := r.Aux - s.Time; wait > 0 {
+				add(PropLateReceiver, wait, tr.PathString(s.Path), s.Loc)
+			}
+		}
+	}
+}
+
+// detectCollectives groups collective events by instance and derives the
+// wait-state properties of each collective class.
+func detectCollectives(tr *trace.Trace, add addFunc) {
+	type key struct {
+		coll  trace.CollKind
+		match uint64
+	}
+	groups := make(map[key][]*trace.Event)
+	for i := range tr.Events {
+		ev := &tr.Events[i]
+		if ev.Kind == trace.KindColl {
+			k := key{ev.Coll, ev.Match}
+			groups[k] = append(groups[k], ev)
+		}
+	}
+	for k, evs := range groups {
+		switch k.coll {
+		case trace.CollBarrier:
+			nxnWaits(tr, evs, PropWaitAtBarrier, add)
+
+		case trace.CollBcast, trace.CollScatter, trace.CollScatterv:
+			// 1-to-N: non-roots wait for the root.
+			var rootEnter float64
+			found := false
+			for _, ev := range evs {
+				if ev.Flags&trace.FlagRoot != 0 {
+					rootEnter, found = ev.Aux, true
+					break
+				}
+			}
+			if !found {
+				continue
+			}
+			for _, ev := range evs {
+				if ev.Flags&trace.FlagRoot != 0 {
+					continue
+				}
+				if wait := rootEnter - ev.Aux; wait > 0 {
+					add(PropLateBroadcast, wait, tr.PathString(ev.Path), ev.Loc)
+				}
+			}
+
+		case trace.CollReduce, trace.CollGather, trace.CollGatherv:
+			// N-to-1: the root waits for its last contributor.
+			var root *trace.Event
+			lastOther := -1.0
+			for _, ev := range evs {
+				if ev.Flags&trace.FlagRoot != 0 {
+					root = ev
+				} else if ev.Aux > lastOther {
+					lastOther = ev.Aux
+				}
+			}
+			if root == nil || lastOther < 0 {
+				continue
+			}
+			if wait := lastOther - root.Aux; wait > 0 {
+				add(PropEarlyReduce, wait, tr.PathString(root.Path), root.Loc)
+			}
+
+		case trace.CollAlltoall, trace.CollAlltoallv, trace.CollAllreduce,
+			trace.CollAllgather, trace.CollAllgatherv, trace.CollReduceScatter:
+			nxnWaits(tr, evs, PropWaitAtNxN, add)
+
+		case trace.CollScan:
+			// Rank i waits for the slowest of ranks 0..i.
+			sort.Slice(evs, func(a, b int) bool { return evs[a].CRank < evs[b].CRank })
+			prefixMax := -1.0
+			for _, ev := range evs {
+				if ev.Aux > prefixMax {
+					prefixMax = ev.Aux
+				}
+				if wait := prefixMax - ev.Aux; wait > 0 {
+					add(PropWaitAtNxN, wait, tr.PathString(ev.Path), ev.Loc)
+				}
+			}
+
+		case trace.CollOMPBarrier:
+			nxnWaits(tr, evs, PropOMPBarrier, add)
+		case trace.CollOMPForEnd:
+			nxnWaits(tr, evs, PropOMPLoop, add)
+		case trace.CollOMPSection:
+			nxnWaits(tr, evs, PropOMPSections, add)
+		case trace.CollOMPJoin:
+			nxnWaits(tr, evs, PropOMPRegion, add)
+		case trace.CollOMPSingle:
+			// Root is the executing thread; everyone else idles from
+			// arrival to release.
+			for _, ev := range evs {
+				if int32(ev.CRank) == ev.Root {
+					continue
+				}
+				if wait := ev.Time - ev.Aux; wait > 0 {
+					add(PropOMPSingle, wait, tr.PathString(ev.Path), ev.Loc)
+				}
+			}
+		}
+	}
+}
+
+// nxnWaits attributes (maxEnter - enter) waiting to each participant of a
+// fully synchronizing operation.
+func nxnWaits(tr *trace.Trace, evs []*trace.Event, prop string, add addFunc) {
+	maxEnter := -1.0
+	for _, ev := range evs {
+		if ev.Aux > maxEnter {
+			maxEnter = ev.Aux
+		}
+	}
+	for _, ev := range evs {
+		if wait := maxEnter - ev.Aux; wait > 0 {
+			add(prop, wait, tr.PathString(ev.Path), ev.Loc)
+		}
+	}
+}
+
+// detectLocks sums lock/critical waiting times.
+func detectLocks(tr *trace.Trace, add addFunc) {
+	for i := range tr.Events {
+		ev := &tr.Events[i]
+		if ev.Kind == trace.KindLock && ev.Aux > 0 {
+			add(PropOMPCritical, ev.Aux, tr.PathString(ev.Path), ev.Loc)
+		}
+	}
+}
+
+// detectCostMetrics derives the region-profile metrics: MPI init/finalize
+// overhead (the property the paper observes dominating tiny test programs
+// in Fig 3.2) and the overall MPI time fraction.
+func detectCostMetrics(tr *trace.Trace, stats *trace.Stats, rep *Report) {
+	initFin := stats.RegionInclusive("MPI_Init") + stats.RegionInclusive("MPI_Finalize")
+	if initFin > 0 {
+		r := newResult(PropInitFinalize)
+		r.Wait = initFin
+		r.Instances = stats.RegionCount("MPI_Init") + stats.RegionCount("MPI_Finalize")
+		r.ByPath["MPI_Init+MPI_Finalize"] = initFin
+		rep.Results[PropInitFinalize] = r
+	}
+	var mpiTime float64
+	var mpiCount int
+	for region, byLoc := range stats.Regions {
+		if len(region) > 4 && region[:4] == "MPI_" {
+			for _, rs := range byLoc {
+				mpiTime += rs.Inclusive
+				mpiCount += rs.Count
+			}
+		}
+	}
+	if mpiTime > 0 {
+		r := newResult(PropMPITimeFraction)
+		r.Wait = mpiTime
+		r.Instances = mpiCount
+		r.ByPath["all MPI regions"] = mpiTime
+		rep.Results[PropMPITimeFraction] = r
+	}
+}

@@ -1,0 +1,246 @@
+package analyzer
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Rendering: the three EXPERT panes of paper Fig 3.5 as text — the
+// property tree (left pane), the call-path breakdown of a selected
+// property (middle pane), and the per-location distribution (right pane).
+
+// treeOrder fixes the display order of the property tree.
+var treeOrder = []string{
+	PropTotalWaiting,
+	"mpi",
+	"mpi_p2p",
+	PropLateSender,
+	PropLateReceiver,
+	"mpi_collective",
+	PropLateBroadcast,
+	PropEarlyReduce,
+	PropWaitAtNxN,
+	"mpi_synchronization",
+	PropWaitAtBarrier,
+	"omp",
+	PropOMPRegion,
+	PropOMPBarrier,
+	PropOMPLoop,
+	PropOMPSections,
+	PropOMPSingle,
+	PropOMPCritical,
+}
+
+// depth computes a node's depth in the hierarchy.
+func depth(prop string) int {
+	d := 0
+	for prop != PropTotalWaiting {
+		parent, ok := Hierarchy[prop]
+		if !ok {
+			return d
+		}
+		prop = parent
+		d++
+	}
+	return d
+}
+
+// rollup computes aggregated waits for inner tree nodes.
+func (rep *Report) rollup() map[string]float64 {
+	agg := make(map[string]float64)
+	for prop, r := range rep.Results {
+		if prop == PropInitFinalize || prop == PropMPITimeFraction {
+			continue
+		}
+		node := prop
+		agg[node] += r.Wait
+		for {
+			parent, ok := Hierarchy[node]
+			if !ok {
+				break
+			}
+			agg[parent] += r.Wait
+			node = parent
+		}
+	}
+	return agg
+}
+
+// RenderTree renders the property-tree pane with severities.
+func (rep *Report) RenderTree() string {
+	agg := rep.rollup()
+	var b strings.Builder
+	b.WriteString("performance properties (severity = waiting time / total resource time)\n")
+	for _, prop := range treeOrder {
+		w, ok := agg[prop]
+		if !ok {
+			continue
+		}
+		sev := 0.0
+		if rep.TotalTime > 0 {
+			sev = w / rep.TotalTime
+		}
+		marker := " "
+		if sev >= rep.Threshold {
+			marker = "*"
+		}
+		fmt.Fprintf(&b, "%s %s%-32s %10.6fs  %6.2f%%\n",
+			marker, strings.Repeat("  ", depth(prop)), prop, w, sev*100)
+	}
+	if r := rep.Results[PropInitFinalize]; r != nil {
+		fmt.Fprintf(&b, "  [info] %-30s %10.6fs  %6.2f%%\n",
+			PropInitFinalize, r.Wait, r.Severity*100)
+	}
+	if r := rep.Results[PropMPITimeFraction]; r != nil {
+		fmt.Fprintf(&b, "  [info] %-30s %10.6fs  %6.2f%%\n",
+			PropMPITimeFraction, r.Wait, r.Severity*100)
+	}
+	return b.String()
+}
+
+// RenderCallPaths renders the call-path pane for one property.
+func (rep *Report) RenderCallPaths(prop string) string {
+	r := rep.Results[prop]
+	if r == nil {
+		return fmt.Sprintf("property %s: not detected\n", prop)
+	}
+	type row struct {
+		path string
+		wait float64
+	}
+	var rows []row
+	for p, w := range r.ByPath {
+		rows = append(rows, row{p, w})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].wait != rows[j].wait {
+			return rows[i].wait > rows[j].wait
+		}
+		return rows[i].path < rows[j].path
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "call paths for %s:\n", prop)
+	for _, rw := range rows {
+		fmt.Fprintf(&b, "  %10.6fs  %s\n", rw.wait, rw.path)
+	}
+	return b.String()
+}
+
+// RenderLocations renders the location pane for one property as a
+// per-rank/thread bar chart.
+func (rep *Report) RenderLocations(prop string) string {
+	r := rep.Results[prop]
+	if r == nil {
+		return fmt.Sprintf("property %s: not detected\n", prop)
+	}
+	locs := make([]trace.Location, 0, len(r.ByLocation))
+	maxW := 0.0
+	for l, w := range r.ByLocation {
+		locs = append(locs, l)
+		if w > maxW {
+			maxW = w
+		}
+	}
+	sort.Slice(locs, func(i, j int) bool {
+		if locs[i].Rank != locs[j].Rank {
+			return locs[i].Rank < locs[j].Rank
+		}
+		return locs[i].Thread < locs[j].Thread
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "locations for %s:\n", prop)
+	for _, l := range locs {
+		w := r.ByLocation[l]
+		bar := 0
+		if maxW > 0 {
+			bar = int(w / maxW * 40)
+		}
+		fmt.Fprintf(&b, "  %8s %10.6fs |%s\n", l, w, strings.Repeat("#", bar))
+	}
+	return b.String()
+}
+
+// jsonReport is the export schema of WriteJSON.
+type jsonReport struct {
+	Duration  float64            `json:"duration"`
+	TotalTime float64            `json:"total_time"`
+	Threshold float64            `json:"threshold"`
+	Messages  MessageStats       `json:"messages"`
+	Findings  []jsonFinding      `json:"findings"`
+	Info      map[string]float64 `json:"info_metrics"`
+}
+
+type jsonFinding struct {
+	Property   string             `json:"property"`
+	Wait       float64            `json:"wait_s"`
+	Severity   float64            `json:"severity"`
+	Instances  int                `json:"instances"`
+	ByPath     map[string]float64 `json:"by_path"`
+	ByLocation map[string]float64 `json:"by_location"`
+}
+
+// WriteJSON exports the report (significant findings plus info metrics)
+// as a single JSON document for external tooling.
+func (rep *Report) WriteJSON(w io.Writer) error {
+	out := jsonReport{
+		Duration:  rep.Duration,
+		TotalTime: rep.TotalTime,
+		Threshold: rep.Threshold,
+		Messages:  rep.Messages,
+		Info:      map[string]float64{},
+	}
+	for _, r := range rep.Significant() {
+		jf := jsonFinding{
+			Property:   r.Property,
+			Wait:       r.Wait,
+			Severity:   r.Severity,
+			Instances:  r.Instances,
+			ByPath:     r.ByPath,
+			ByLocation: map[string]float64{},
+		}
+		for loc, v := range r.ByLocation {
+			jf.ByLocation[loc.String()] = v
+		}
+		out.Findings = append(out.Findings, jf)
+	}
+	for _, p := range []string{PropInitFinalize, PropMPITimeFraction} {
+		if r := rep.Results[p]; r != nil {
+			out.Info[p] = r.Severity
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&out)
+}
+
+// Render produces the full three-pane report: the tree, then the call-path
+// and location panes for every significant property in rank order.
+func (rep *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== automatic analysis report ===\n")
+	fmt.Fprintf(&b, "trace span %.6fs, total resource time %.6fs, threshold %.2f%%\n",
+		rep.Duration, rep.TotalTime, rep.Threshold*100)
+	if rep.Messages.Count > 0 {
+		fmt.Fprintf(&b, "p2p traffic: %d messages, %d bytes (avg %.0f B, %.0f msg/s)\n",
+			rep.Messages.Count, rep.Messages.Bytes, rep.Messages.AvgBytes, rep.Messages.Rate)
+	}
+	b.WriteString("\n")
+	b.WriteString(rep.RenderTree())
+	sig := rep.Significant()
+	if len(sig) == 0 {
+		b.WriteString("\nno significant performance properties found\n")
+		return b.String()
+	}
+	for i, r := range sig {
+		fmt.Fprintf(&b, "\n--- finding %d: %s (severity %.2f%%, %d instances) ---\n",
+			i+1, r.Property, r.Severity*100, r.Instances)
+		b.WriteString(rep.RenderCallPaths(r.Property))
+		b.WriteString(rep.RenderLocations(r.Property))
+	}
+	return b.String()
+}

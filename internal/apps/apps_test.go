@@ -1,0 +1,306 @@
+package apps
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/analyzer"
+	"repro/internal/mpi"
+	"repro/internal/trace"
+)
+
+func run(t *testing.T, procs int, body func(c *mpi.Comm)) *trace.Trace {
+	t.Helper()
+	tr, err := mpi.Run(mpi.Options{Procs: procs, Timeout: 60 * time.Second}, body)
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	return tr
+}
+
+func analyze(tr *trace.Trace) *analyzer.Report {
+	return analyzer.Analyze(tr, analyzer.Options{})
+}
+
+func TestJacobiConvergesAndIsDeterministic(t *testing.T) {
+	var res1, res2 JacobiResult
+	run(t, 4, func(c *mpi.Comm) {
+		r := Jacobi(c, JacobiConfig{Iters: 20})
+		if c.Rank() == 0 {
+			res1 = r
+		}
+	})
+	run(t, 4, func(c *mpi.Comm) {
+		r := Jacobi(c, JacobiConfig{Iters: 20})
+		if c.Rank() == 0 {
+			res2 = r
+		}
+	})
+	if res1.Checksum != res2.Checksum || res1.Residual != res2.Residual {
+		t.Errorf("non-deterministic: %+v vs %+v", res1, res2)
+	}
+	if res1.Residual <= 0 || math.IsNaN(res1.Residual) {
+		t.Errorf("bad residual %v", res1.Residual)
+	}
+}
+
+func TestJacobiChecksumIndependentOfDecomposition(t *testing.T) {
+	// The same grid split over 2 vs 4 ranks must produce the same field.
+	var c2, c4 float64
+	run(t, 2, func(c *mpi.Comm) {
+		r := Jacobi(c, JacobiConfig{Iters: 8})
+		c2 = r.Checksum
+	})
+	run(t, 4, func(c *mpi.Comm) {
+		r := Jacobi(c, JacobiConfig{Iters: 8})
+		c4 = r.Checksum
+	})
+	if math.Abs(c2-c4) > 1e-9 {
+		t.Errorf("checksum depends on decomposition: %v vs %v", c2, c4)
+	}
+}
+
+func TestJacobiTunedAnalyzesClean(t *testing.T) {
+	tr := run(t, 4, func(c *mpi.Comm) {
+		Jacobi(c, JacobiConfig{Rows: 64, Iters: 10, CellCost: 5e-6})
+	})
+	rep := analyze(tr)
+	if top := rep.Top(); top != nil {
+		t.Errorf("tuned Jacobi flagged: %s (%.2f%%)\n%s",
+			top.Property, top.Severity*100, rep.Render())
+	}
+}
+
+func TestJacobiImbalanceDetectedAndLocalized(t *testing.T) {
+	for _, inject := range []Injection{InjectImbalance, InjectSlowRank} {
+		tr := run(t, 4, func(c *mpi.Comm) {
+			Jacobi(c, JacobiConfig{Rows: 64, Iters: 10, CellCost: 5e-6, Inject: inject})
+		})
+		rep := analyze(tr)
+		top := rep.Top()
+		if top == nil {
+			t.Fatalf("%v: injected pathology not detected", inject)
+		}
+		// The imbalance surfaces at the residual allreduce and/or the
+		// halo exchange.
+		if top.Property != analyzer.PropWaitAtNxN && top.Property != analyzer.PropLateSender {
+			t.Errorf("%v: top = %s, want NxN wait or late sender", inject, top.Property)
+		}
+		// Localized inside the iteration call path.
+		if p := top.TopPath(); !contains(p, "jacobi_iteration") {
+			t.Errorf("%v: top path %q not in jacobi_iteration", inject, p)
+		}
+		// Rank 0 is the overloaded one: it must NOT be the top waiter.
+		r := rep.Get(analyzer.PropWaitAtNxN)
+		if r != nil {
+			w0 := r.ByLocation[trace.Location{Rank: 0}]
+			for loc, w := range r.ByLocation {
+				if loc.Rank != 0 && w < w0*0.5 {
+					t.Errorf("%v: overloaded rank 0 waits (%v) more than rank %d (%v)",
+						inject, w0, loc.Rank, w)
+				}
+			}
+		}
+	}
+}
+
+func contains(path, region string) bool {
+	for len(path) > 0 {
+		i := 0
+		for i < len(path) && path[i] != '/' {
+			i++
+		}
+		if path[:i] == region {
+			return true
+		}
+		if i == len(path) {
+			break
+		}
+		path = path[i+1:]
+	}
+	return false
+}
+
+func TestMasterWorkerComputesCorrectTotal(t *testing.T) {
+	const tasks = 24
+	totals := make([]int64, 4)
+	run(t, 4, func(c *mpi.Comm) {
+		r := MasterWorker(c, MasterWorkerConfig{Tasks: tasks, TaskCost: 1e-3})
+		totals[c.WorldRank()] = r.Total
+	})
+	want := MasterWorkerExpectedTotal(tasks)
+	for rank, got := range totals {
+		if got != want {
+			t.Errorf("rank %d total = %d, want %d", rank, got, want)
+		}
+	}
+}
+
+func TestMasterWorkerAllTasksProcessed(t *testing.T) {
+	const tasks = 30
+	done := make([]int, 5)
+	run(t, 5, func(c *mpi.Comm) {
+		r := MasterWorker(c, MasterWorkerConfig{Tasks: tasks, TaskCost: 1e-3})
+		done[c.WorldRank()] = r.TasksDone
+	})
+	sum := 0
+	for _, d := range done {
+		sum += d
+	}
+	if sum != tasks {
+		t.Errorf("workers processed %d tasks, want %d", sum, tasks)
+	}
+	if done[0] != 0 {
+		t.Errorf("master processed %d tasks", done[0])
+	}
+}
+
+func TestMasterWorkerGiantTaskDetected(t *testing.T) {
+	tr := run(t, 4, func(c *mpi.Comm) {
+		MasterWorker(c, MasterWorkerConfig{Tasks: 12, TaskCost: 2e-3,
+			Inject: InjectImbalance, SkewFactor: 40})
+	})
+	rep := analyze(tr)
+	// Early-finishing workers idle in Recv while the giant task runs:
+	// late sender must be significant and located under masterworker.
+	r := rep.Get(analyzer.PropLateSender)
+	if r == nil || r.Severity < rep.Threshold {
+		t.Fatalf("giant task not detected\n%s", rep.Render())
+	}
+	if p := r.TopPath(); !contains(p, "masterworker") {
+		t.Errorf("late sender path %q not under masterworker", p)
+	}
+}
+
+func TestPipelineChecksum(t *testing.T) {
+	const P, blocks = 5, 12
+	var got int64
+	run(t, P, func(c *mpi.Comm) {
+		r := Pipeline(c, PipelineConfig{Blocks: blocks, StageCost: 1e-3})
+		got = r.Checksum
+	})
+	if want := PipelineExpectedChecksum(P, blocks); got != want {
+		t.Errorf("checksum = %d, want %d", got, want)
+	}
+}
+
+func TestPipelineBottleneckDetected(t *testing.T) {
+	const P = 4
+	tr := run(t, P, func(c *mpi.Comm) {
+		Pipeline(c, PipelineConfig{Blocks: 16, StageCost: 2e-3,
+			Inject: InjectSlowRank, SkewFactor: 5})
+	})
+	rep := analyze(tr)
+	r := rep.Get(analyzer.PropLateSender)
+	if r == nil || r.Severity < rep.Threshold {
+		t.Fatalf("pipeline bottleneck not detected\n%s", rep.Render())
+	}
+	// The starvation is downstream of the slow stage (rank P/2): the
+	// immediate successor must be a prominent waiter.
+	succ := trace.Location{Rank: P/2 + 1}
+	if r.ByLocation[succ] <= 0 {
+		t.Errorf("successor of the slow stage shows no waiting: %v", r.ByLocation)
+	}
+	// Upstream of the slow stage there is (eager sends) no late-sender
+	// waiting beyond pipeline fill: rank 0 never receives at all.
+	if w := r.ByLocation[trace.Location{Rank: 0}]; w > 0 {
+		t.Errorf("source stage waits on a receive: %v", w)
+	}
+}
+
+func TestHybridHeatDeterministicAndDetectable(t *testing.T) {
+	var clean, skewed float64
+	tr1 := run(t, 2, func(c *mpi.Comm) {
+		clean = HybridHeat(c, HybridHeatConfig{Rows: 32, Iters: 4, CellCost: 1e-4})
+	})
+	tr2 := run(t, 2, func(c *mpi.Comm) {
+		skewed = HybridHeat(c, HybridHeatConfig{Rows: 32, Iters: 4, CellCost: 1e-4,
+			Inject: InjectImbalance})
+	})
+	if clean != skewed {
+		t.Errorf("injection changed numerical result: %v vs %v", clean, skewed)
+	}
+	repClean := analyze(tr1)
+	if w := repClean.Wait(analyzer.PropOMPLoop); w > 0.001 {
+		t.Errorf("tuned hybrid shows loop imbalance: %v", w)
+	}
+	repSkew := analyze(tr2)
+	r := repSkew.Get(analyzer.PropOMPLoop)
+	if r == nil || r.Severity < repSkew.Threshold {
+		t.Fatalf("hybrid loop imbalance not detected\n%s", repSkew.Render())
+	}
+	if p := r.TopPath(); !contains(p, "hybrid_iteration") {
+		t.Errorf("loop imbalance path %q not in hybrid_iteration", p)
+	}
+}
+
+func TestInjectionStrings(t *testing.T) {
+	if InjectNone.String() != "none" || InjectImbalance.String() != "imbalance" ||
+		InjectSlowRank.String() != "slow-rank" {
+		t.Error("injection strings wrong")
+	}
+}
+
+func TestJacobi2DChecksumMatchesDecompositions(t *testing.T) {
+	// The same 48×48 grid over 1×1, 2×2 and 2×4 process grids must agree.
+	run2d := func(procs, px, py int) float64 {
+		var sum float64
+		run(t, procs, func(c *mpi.Comm) {
+			r := Jacobi2D(c, Jacobi2DConfig{Px: px, Py: py, Iters: 6})
+			if c.Rank() == 0 {
+				sum = r.Checksum
+			}
+		})
+		return sum
+	}
+	a := run2d(1, 1, 1)
+	b := run2d(4, 2, 2)
+	c := run2d(8, 2, 4)
+	if math.Abs(a-b) > 1e-9 || math.Abs(a-c) > 1e-9 {
+		t.Errorf("checksums differ across decompositions: %v %v %v", a, b, c)
+	}
+}
+
+func TestJacobi2DTunedClean(t *testing.T) {
+	tr := run(t, 4, func(c *mpi.Comm) {
+		Jacobi2D(c, Jacobi2DConfig{Px: 2, Py: 2, Iters: 8, CellCost: 5e-6})
+	})
+	rep := analyze(tr)
+	if top := rep.Top(); top != nil {
+		t.Errorf("tuned 2-D Jacobi flagged: %s (%.2f%%)\n%s",
+			top.Property, top.Severity*100, rep.Render())
+	}
+}
+
+func TestJacobi2DRowImbalanceLocalized(t *testing.T) {
+	// Process grid 2×2: ranks 0,1 form grid row 0 (the slow row).
+	tr := run(t, 4, func(c *mpi.Comm) {
+		Jacobi2D(c, Jacobi2DConfig{Px: 2, Py: 2, Iters: 8, CellCost: 5e-6,
+			Inject: InjectImbalance, SkewFactor: 4})
+	})
+	rep := analyze(tr)
+	r := rep.Get(analyzer.PropWaitAtNxN)
+	if r == nil || r.Severity < rep.Threshold {
+		t.Fatalf("2-D imbalance not detected\n%s", rep.Render())
+	}
+	// The fast ranks (grid row 1: ranks 2,3) wait at the residual
+	// allreduce; the slow ranks (0,1) do not.
+	slow := r.ByLocation[trace.Location{Rank: 0}] + r.ByLocation[trace.Location{Rank: 1}]
+	fast := r.ByLocation[trace.Location{Rank: 2}] + r.ByLocation[trace.Location{Rank: 3}]
+	if fast < 5*slow {
+		t.Errorf("waits not localized to the fast row: slow %v fast %v", slow, fast)
+	}
+	if p := r.TopPath(); !contains(p, "jacobi2d_iteration") {
+		t.Errorf("top path %q not in jacobi2d_iteration", p)
+	}
+}
+
+func TestJacobi2DExcessRanksIdle(t *testing.T) {
+	run(t, 5, func(c *mpi.Comm) {
+		r := Jacobi2D(c, Jacobi2DConfig{Px: 2, Py: 2, Iters: 2})
+		if c.Rank() == 4 && (r.Checksum != 0 || r.Rows != 0) {
+			t.Errorf("excess rank computed: %+v", r)
+		}
+	})
+}

@@ -1,0 +1,231 @@
+// Package apps provides realistic mini-applications for the suite's
+// scalability/applicability axis (paper Chapter 4): multi-phase parallel
+// codes with documented performance behaviour, usable both as "well-tuned
+// real programs" (negative tests at application scale) and — with an
+// injected pathology — as positive tests whose root cause hides inside a
+// real program structure rather than a synthetic kernel.
+//
+// Each application computes real data (so the validation layer can check
+// that instrumentation does not alter results) and charges the executor
+// clocks a modeled computation cost proportional to its actual local work
+// (so traces have realistic shape in virtual time).
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mpi"
+)
+
+// Injection selects a seeded pathology in an application run.
+type Injection uint8
+
+const (
+	// InjectNone runs the tuned application.
+	InjectNone Injection = iota
+	// InjectImbalance skews the domain decomposition so one rank gets a
+	// disproportionate share of the work.
+	InjectImbalance
+	// InjectSlowRank makes one rank's computation slower (e.g. a slow
+	// node), leaving the decomposition balanced.
+	InjectSlowRank
+)
+
+// String names the injection.
+func (in Injection) String() string {
+	switch in {
+	case InjectNone:
+		return "none"
+	case InjectImbalance:
+		return "imbalance"
+	case InjectSlowRank:
+		return "slow-rank"
+	default:
+		return fmt.Sprintf("injection(%d)", uint8(in))
+	}
+}
+
+// JacobiConfig configures the 2-D Jacobi heat-diffusion solver.
+//
+// Performance behaviour (documented per the Chapter-4 template): the
+// tuned solver is bulk-synchronous — per iteration each rank smooths its
+// row block, exchanges one halo row with each neighbour, and joins an
+// allreduce for the global residual.  With a balanced decomposition it
+// shows no wait states beyond intrinsic communication costs.  Under
+// InjectImbalance (or InjectSlowRank) the slower rank delays its halo
+// sends and the residual allreduce: a tool must report late_sender at the
+// halo exchange and wait_at_nxn at the allreduce, located in the
+// "jacobi_iteration" call path.
+type JacobiConfig struct {
+	// Rows and Cols size the global grid (default 64×32).
+	Rows, Cols int
+	// Iters is the iteration count (default 10).
+	Iters int
+	// CellCost is the modeled time to smooth one cell (default 1µs).
+	CellCost float64
+	// Inject selects a seeded pathology.
+	Inject Injection
+	// SkewFactor scales the injected slowdown (default 3: the affected
+	// rank is 3× slower or 3× bigger).
+	SkewFactor float64
+}
+
+func (cfg JacobiConfig) withDefaults() JacobiConfig {
+	if cfg.Rows <= 0 {
+		cfg.Rows = 64
+	}
+	if cfg.Cols <= 0 {
+		cfg.Cols = 32
+	}
+	if cfg.Iters <= 0 {
+		cfg.Iters = 10
+	}
+	if cfg.CellCost <= 0 {
+		cfg.CellCost = 1e-6
+	}
+	if cfg.SkewFactor <= 0 {
+		cfg.SkewFactor = 3
+	}
+	return cfg
+}
+
+// JacobiResult reports the solve outcome.
+type JacobiResult struct {
+	Residual float64
+	Checksum float64
+	Rows     int // local rows of this rank
+}
+
+// rowPartition returns each rank's row count under the configuration.
+func (cfg JacobiConfig) rowPartition(size int) []int {
+	rows := make([]int, size)
+	base := cfg.Rows / size
+	rem := cfg.Rows % size
+	for i := range rows {
+		rows[i] = base
+		if i < rem {
+			rows[i]++
+		}
+	}
+	if cfg.Inject == InjectImbalance && size > 1 {
+		// Move rows onto rank 0 until it holds SkewFactor times its
+		// balanced share (bounded by what the others can give up).
+		want := int(float64(base) * cfg.SkewFactor)
+		for i := 1; i < size && rows[0] < want; i++ {
+			give := rows[i] - 1
+			if rows[0]+give > want {
+				give = want - rows[0]
+			}
+			rows[i] -= give
+			rows[0] += give
+		}
+	}
+	return rows
+}
+
+// Jacobi runs the solver on communicator c and returns this rank's result.
+// Every rank must call it with the same configuration.
+func Jacobi(c *mpi.Comm, cfg JacobiConfig) JacobiResult {
+	cfg = cfg.withDefaults()
+	c.Begin("jacobi")
+	defer c.End()
+
+	size, rank := c.Size(), c.Rank()
+	rows := cfg.rowPartition(size)
+	myRows := rows[rank]
+	firstRow := 0
+	for i := 0; i < rank; i++ {
+		firstRow += rows[i]
+	}
+
+	// Local grid with two halo rows.
+	cur := make([][]float64, myRows+2)
+	next := make([][]float64, myRows+2)
+	for i := range cur {
+		cur[i] = make([]float64, cfg.Cols)
+		next[i] = make([]float64, cfg.Cols)
+	}
+	// Boundary condition: hot left edge, deterministic interior seed.
+	for i := 1; i <= myRows; i++ {
+		g := firstRow + i - 1
+		for j := 0; j < cfg.Cols; j++ {
+			cur[i][j] = math.Sin(float64(g*31+j)) * 0.01
+		}
+		cur[i][0] = 1.0
+	}
+
+	up, down := rank-1, rank+1
+	halo := mpi.AllocBuf(mpi.TypeDouble, cfg.Cols)
+	haloIn := mpi.AllocBuf(mpi.TypeDouble, cfg.Cols)
+	resS := mpi.AllocBuf(mpi.TypeDouble, 1)
+	resR := mpi.AllocBuf(mpi.TypeDouble, 1)
+
+	cellCost := cfg.CellCost
+	if cfg.Inject == InjectSlowRank && rank == 0 {
+		cellCost *= cfg.SkewFactor
+	}
+
+	var residual float64
+	for it := 0; it < cfg.Iters; it++ {
+		c.Begin("jacobi_iteration")
+
+		// Halo exchange: send top row up / bottom row down.
+		c.Begin("halo_exchange")
+		if up >= 0 {
+			copyRow(halo, cur[1])
+			c.Sendrecv(halo, up, 10, haloIn, up, 11)
+			copyRowBack(cur[0], haloIn)
+		}
+		if down < size {
+			copyRow(halo, cur[myRows])
+			c.Sendrecv(halo, down, 11, haloIn, down, 10)
+			copyRowBack(cur[myRows+1], haloIn)
+		}
+		c.End()
+
+		// Smooth, accumulating the local residual, and charge the
+		// modeled computation time.
+		local := 0.0
+		for i := 1; i <= myRows; i++ {
+			for j := 1; j < cfg.Cols-1; j++ {
+				v := 0.25 * (cur[i-1][j] + cur[i+1][j] + cur[i][j-1] + cur[i][j+1])
+				next[i][j] = v
+				d := v - cur[i][j]
+				local += d * d
+			}
+			next[i][0], next[i][cfg.Cols-1] = cur[i][0], cur[i][cfg.Cols-1]
+		}
+		c.Work(float64(myRows*cfg.Cols) * cellCost)
+		cur, next = next, cur
+
+		// Global residual.
+		resS.SetFloat64(0, local)
+		c.Allreduce(resS, resR, mpi.OpSum)
+		residual = math.Sqrt(resR.Float64(0))
+		c.End()
+	}
+
+	var sum float64
+	for i := 1; i <= myRows; i++ {
+		for j := 0; j < cfg.Cols; j++ {
+			sum += cur[i][j]
+		}
+	}
+	// Global checksum so every rank returns identical verifiable state.
+	resS.SetFloat64(0, sum)
+	c.Allreduce(resS, resR, mpi.OpSum)
+	return JacobiResult{Residual: residual, Checksum: resR.Float64(0), Rows: myRows}
+}
+
+func copyRow(dst *mpi.Buf, row []float64) {
+	for j, v := range row {
+		dst.SetFloat64(j, v)
+	}
+}
+
+func copyRowBack(row []float64, src *mpi.Buf) {
+	for j := range row {
+		row[j] = src.Float64(j)
+	}
+}

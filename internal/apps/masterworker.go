@@ -1,0 +1,150 @@
+package apps
+
+import (
+	"repro/internal/mpi"
+	"repro/internal/work"
+)
+
+// MasterWorkerConfig configures the task-farm application.
+//
+// Performance behaviour: rank 0 is the master; it hands task descriptors
+// to workers on demand and collects results.  With many small, uniform
+// tasks the farm self-balances and analyzes clean apart from the master's
+// own serialization.  Two pathologies are characteristic:
+//
+//   - InjectImbalance: task durations become heavy-tailed (one giant task),
+//     so workers that finish early idle in MPI_Recv waiting for the final
+//     result round — late_sender located under "masterworker".
+//   - A too-small TasksPerWorker ratio starves workers on the master's
+//     send path (master becomes the bottleneck — MPI time fraction rises).
+type MasterWorkerConfig struct {
+	// Tasks is the total number of tasks (default 8×workers).
+	Tasks int
+	// TaskCost is the nominal per-task duration (default 5ms).
+	TaskCost float64
+	// Inject selects a seeded pathology.
+	Inject Injection
+	// SkewFactor scales the giant task under InjectImbalance (default 20).
+	SkewFactor float64
+	// Seed randomizes task order deterministically.
+	Seed uint64
+}
+
+func (cfg MasterWorkerConfig) withDefaults(workers int) MasterWorkerConfig {
+	if cfg.Tasks <= 0 {
+		cfg.Tasks = 8 * workers
+	}
+	if cfg.TaskCost <= 0 {
+		cfg.TaskCost = 5e-3
+	}
+	if cfg.SkewFactor <= 0 {
+		cfg.SkewFactor = 20
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+	return cfg
+}
+
+// MasterWorkerResult reports the farm outcome.
+type MasterWorkerResult struct {
+	// TasksDone is the number of tasks this rank processed (0 on the
+	// master).
+	TasksDone int
+	// Total is the verified sum of all task results (identical on all
+	// ranks).
+	Total int64
+}
+
+// Message tags of the farm protocol.
+const (
+	tagTask   = 20
+	tagResult = 21
+	tagStop   = 22
+)
+
+// MasterWorker runs the task farm on communicator c (requires ≥ 2 ranks).
+func MasterWorker(c *mpi.Comm, cfg MasterWorkerConfig) MasterWorkerResult {
+	workers := c.Size() - 1
+	if workers < 1 {
+		panic("apps: MasterWorker needs at least 2 ranks")
+	}
+	cfg = cfg.withDefaults(workers)
+	c.Begin("masterworker")
+	defer c.End()
+
+	// Task durations, identical on all ranks (deterministic RNG).
+	durations := make([]float64, cfg.Tasks)
+	rng := work.NewRNG(cfg.Seed)
+	for i := range durations {
+		durations[i] = cfg.TaskCost * (0.5 + rng.Float64())
+	}
+	if cfg.Inject == InjectImbalance {
+		durations[cfg.Tasks/2] = cfg.TaskCost * cfg.SkewFactor
+	}
+
+	task := mpi.AllocBuf(mpi.TypeInt, 1)
+	result := mpi.AllocBuf(mpi.TypeInt, 2)
+	res := MasterWorkerResult{}
+
+	if c.Rank() == 0 {
+		// Master: initial round-robin seeding, then demand-driven.
+		next := 0
+		outstanding := 0
+		var total int64
+		for w := 1; w <= workers && next < cfg.Tasks; w++ {
+			task.SetInt64(0, int64(next))
+			c.Send(task, w, tagTask)
+			next++
+			outstanding++
+		}
+		for outstanding > 0 {
+			st := c.Recv(result, mpi.AnySource, tagResult)
+			total += result.Int64(1)
+			outstanding--
+			if next < cfg.Tasks {
+				task.SetInt64(0, int64(next))
+				c.Send(task, st.Source, tagTask)
+				next++
+				outstanding++
+			} else {
+				c.Send(task, st.Source, tagStop)
+			}
+		}
+		res.Total = total
+	} else {
+		for {
+			st := c.Recv(task, 0, mpi.AnyTag)
+			if st.Tag == tagStop {
+				break
+			}
+			id := int(task.Int64(0))
+			c.Begin("task")
+			c.Work(durations[id])
+			c.End()
+			result.SetInt64(0, int64(id))
+			result.SetInt64(1, int64(id)*int64(id)) // verifiable payload
+			c.Send(result, 0, tagResult)
+			res.TasksDone++
+		}
+	}
+
+	// Broadcast the verified total so every rank can cross-check.
+	tot := mpi.AllocBuf(mpi.TypeInt, 1)
+	if c.Rank() == 0 {
+		tot.SetInt64(0, res.Total)
+	}
+	c.Bcast(tot, 0)
+	res.Total = tot.Int64(0)
+	return res
+}
+
+// MasterWorkerExpectedTotal returns the verified sum Σ id² the farm must
+// produce for a given task count.
+func MasterWorkerExpectedTotal(tasks int) int64 {
+	var t int64
+	for i := 0; i < tasks; i++ {
+		t += int64(i) * int64(i)
+	}
+	return t
+}

@@ -1,0 +1,184 @@
+package apps
+
+import (
+	"repro/internal/mpi"
+	"repro/internal/omp"
+)
+
+// PipelineConfig configures the stage-pipeline application.
+//
+// Performance behaviour: the ranks form a software pipeline; block b
+// passes through stages 0..P-1 in order.  With equal stage costs the
+// pipeline streams cleanly after its fill phase.  Under InjectSlowRank the
+// middle stage becomes the bottleneck: downstream stages starve in
+// MPI_Recv (late_sender located under "pipeline_stage"), which is the
+// classic bottleneck signature a tool must localize to the slow stage's
+// successor links.
+type PipelineConfig struct {
+	// Blocks is the number of data blocks pushed through (default 16).
+	Blocks int
+	// StageCost is the per-block per-stage work (default 2ms).
+	StageCost float64
+	// Inject selects a seeded pathology.
+	Inject Injection
+	// SkewFactor scales the slow stage (default 4).
+	SkewFactor float64
+}
+
+func (cfg PipelineConfig) withDefaults() PipelineConfig {
+	if cfg.Blocks <= 0 {
+		cfg.Blocks = 16
+	}
+	if cfg.StageCost <= 0 {
+		cfg.StageCost = 2e-3
+	}
+	if cfg.SkewFactor <= 0 {
+		cfg.SkewFactor = 4
+	}
+	return cfg
+}
+
+// PipelineResult reports the pipeline outcome.
+type PipelineResult struct {
+	// Checksum is the last rank's accumulated output (0 elsewhere),
+	// broadcast to all ranks for verification.
+	Checksum int64
+	// Processed counts blocks handled by this rank.
+	Processed int
+}
+
+// Pipeline runs the stage pipeline on communicator c.
+func Pipeline(c *mpi.Comm, cfg PipelineConfig) PipelineResult {
+	cfg = cfg.withDefaults()
+	c.Begin("pipeline")
+	defer c.End()
+
+	rank, size := c.Rank(), c.Size()
+	cost := cfg.StageCost
+	if cfg.Inject == InjectSlowRank && rank == size/2 {
+		cost *= cfg.SkewFactor
+	}
+
+	buf := mpi.AllocBuf(mpi.TypeInt, 1)
+	res := PipelineResult{}
+	var acc int64
+	for b := 0; b < cfg.Blocks; b++ {
+		c.Begin("pipeline_stage")
+		var v int64
+		if rank == 0 {
+			v = int64(b)
+		} else {
+			c.Recv(buf, rank-1, 30)
+			v = buf.Int64(0)
+		}
+		c.Work(cost)
+		v = v*3 + 1 // verifiable transformation per stage
+		res.Processed++
+		if rank < size-1 {
+			buf.SetInt64(0, v)
+			c.Send(buf, rank+1, 30)
+		} else {
+			acc += v
+		}
+		c.End()
+	}
+	// Broadcast the sink's checksum.
+	out := mpi.AllocBuf(mpi.TypeInt, 1)
+	if rank == size-1 {
+		out.SetInt64(0, acc)
+	}
+	c.Bcast(out, size-1)
+	res.Checksum = out.Int64(0)
+	return res
+}
+
+// PipelineExpectedChecksum computes the reference checksum for a pipeline
+// of `stages` stages and `blocks` blocks.
+func PipelineExpectedChecksum(stages, blocks int) int64 {
+	var total int64
+	for b := 0; b < blocks; b++ {
+		v := int64(b)
+		for s := 0; s < stages; s++ {
+			v = v*3 + 1
+		}
+		total += v
+	}
+	return total
+}
+
+// HybridHeatConfig configures the hybrid MPI+OpenMP variant of the Jacobi
+// solver: each rank smooths its block with an OpenMP worksharing loop.
+//
+// Performance behaviour: tuned, it analyzes clean at both levels.  Under
+// InjectImbalance the OpenMP loop of every rank is fed a skewed static
+// schedule, so imbalance_in_omp_loop appears inside each rank while the
+// MPI level stays balanced — the hybrid separation-of-levels scenario of
+// paper §3.3.
+type HybridHeatConfig struct {
+	// Rows, Cols, Iters, CellCost as in JacobiConfig.
+	Rows, Cols int
+	Iters      int
+	CellCost   float64
+	// Threads is the per-rank team size (default 4).
+	Threads int
+	// Inject selects a seeded pathology.
+	Inject Injection
+}
+
+func (cfg HybridHeatConfig) withDefaults() HybridHeatConfig {
+	if cfg.Rows <= 0 {
+		cfg.Rows = 32
+	}
+	if cfg.Cols <= 0 {
+		cfg.Cols = 16
+	}
+	if cfg.Iters <= 0 {
+		cfg.Iters = 5
+	}
+	if cfg.CellCost <= 0 {
+		cfg.CellCost = 1e-6
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = 4
+	}
+	return cfg
+}
+
+// HybridHeat runs the hybrid solver and returns a per-rank checksum
+// (identical on all ranks).
+func HybridHeat(c *mpi.Comm, cfg HybridHeatConfig) float64 {
+	cfg = cfg.withDefaults()
+	c.Begin("hybrid_heat")
+	defer c.End()
+
+	local := cfg.Rows / c.Size()
+	if local < 1 {
+		local = 1
+	}
+	team := omp.Options{Threads: cfg.Threads}
+	resS := mpi.AllocBuf(mpi.TypeDouble, 1)
+	resR := mpi.AllocBuf(mpi.TypeDouble, 1)
+	state := float64(c.Rank() + 1)
+
+	for it := 0; it < cfg.Iters; it++ {
+		c.Begin("hybrid_iteration")
+		omp.Parallel(c.Ctx(), team, func(tc *omp.TC) {
+			T := tc.NumThreads()
+			tc.For(local, omp.ForOpt{Sched: omp.Static}, func(row int) {
+				cost := cfg.CellCost * float64(cfg.Cols)
+				if cfg.Inject == InjectImbalance {
+					// Rows owned by thread 0's block are 4× heavier.
+					if row < local/T {
+						cost *= 4
+					}
+				}
+				tc.Work(cost)
+			})
+		})
+		state = state*0.5 + 1
+		resS.SetFloat64(0, state)
+		c.Allreduce(resS, resR, mpi.OpSum)
+		c.End()
+	}
+	return resR.Float64(0)
+}

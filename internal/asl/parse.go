@@ -1,0 +1,484 @@
+package asl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Lexer -------------------------------------------------------------------
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct // operators and delimiters
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int // byte offset for error messages
+	line int
+}
+
+// punctuation tokens, longest first so ">=" wins over ">".
+var puncts = []string{
+	"&&", "||", "<=", ">=", "==", "!=",
+	"{", "}", "(", ")", ";", ",", "+", "-", "*", "/", "<", ">", "!",
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#' || (c == '/' && i+1 < len(src) && src[i+1] == '/'):
+			// Comment to end of line.
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '"':
+			j := i + 1
+			for j < len(src) && src[j] != '"' {
+				if src[j] == '\n' {
+					return nil, fmt.Errorf("asl: line %d: unterminated string", line)
+				}
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("asl: line %d: unterminated string", line)
+			}
+			toks = append(toks, token{tokString, src[i+1 : j], i, line})
+			i = j + 1
+		case unicode.IsDigit(rune(c)) || (c == '.' && i+1 < len(src) && unicode.IsDigit(rune(src[i+1]))):
+			j := i
+			for j < len(src) && (unicode.IsDigit(rune(src[j])) || src[j] == '.' ||
+				src[j] == 'e' || src[j] == 'E' ||
+				((src[j] == '+' || src[j] == '-') && j > i && (src[j-1] == 'e' || src[j-1] == 'E'))) {
+				j++
+			}
+			toks = append(toks, token{tokNumber, src[i:j], i, line})
+			i = j
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{tokIdent, src[i:j], i, line})
+			i = j
+		default:
+			matched := false
+			for _, p := range puncts {
+				if strings.HasPrefix(src[i:], p) {
+					toks = append(toks, token{tokPunct, p, i, line})
+					i += len(p)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("asl: line %d: unexpected character %q", line, c)
+			}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(src), line})
+	return toks, nil
+}
+
+// AST ----------------------------------------------------------------------
+
+type node interface {
+	eval(m *Metrics) (value, error)
+}
+
+type numLit float64
+
+func (n numLit) eval(*Metrics) (value, error) { return num(float64(n)), nil }
+
+type strLit string
+
+func (s strLit) eval(*Metrics) (value, error) { return strV(string(s)), nil }
+
+type call struct {
+	name string
+	args []node
+}
+
+func (c *call) eval(m *Metrics) (value, error) {
+	args := make([]value, len(c.args))
+	for i, a := range c.args {
+		v, err := a.eval(m)
+		if err != nil {
+			return value{}, err
+		}
+		args[i] = v
+	}
+	return m.call(c.name, args)
+}
+
+type unary struct {
+	op string
+	x  node
+}
+
+func (u *unary) eval(m *Metrics) (value, error) {
+	v, err := u.x.eval(m)
+	if err != nil {
+		return value{}, err
+	}
+	switch u.op {
+	case "-":
+		if !v.isNum {
+			return value{}, fmt.Errorf("asl: unary '-' on %s", v.kind())
+		}
+		return num(-v.f), nil
+	case "!":
+		if v.isNum || v.isStr {
+			return value{}, fmt.Errorf("asl: '!' on %s", v.kind())
+		}
+		return boolV(!v.b), nil
+	default:
+		return value{}, fmt.Errorf("asl: unknown unary operator %q", u.op)
+	}
+}
+
+type binary struct {
+	op   string
+	l, r node
+}
+
+func (b *binary) eval(m *Metrics) (value, error) {
+	lv, err := b.l.eval(m)
+	if err != nil {
+		return value{}, err
+	}
+	// Short-circuit logical operators.
+	if b.op == "&&" || b.op == "||" {
+		if lv.isNum || lv.isStr {
+			return value{}, fmt.Errorf("asl: %q on %s", b.op, lv.kind())
+		}
+		if b.op == "&&" && !lv.b {
+			return boolV(false), nil
+		}
+		if b.op == "||" && lv.b {
+			return boolV(true), nil
+		}
+		rv, err := b.r.eval(m)
+		if err != nil {
+			return value{}, err
+		}
+		if rv.isNum || rv.isStr {
+			return value{}, fmt.Errorf("asl: %q on %s", b.op, rv.kind())
+		}
+		return boolV(rv.b), nil
+	}
+	rv, err := b.r.eval(m)
+	if err != nil {
+		return value{}, err
+	}
+	if !lv.isNum || !rv.isNum {
+		return value{}, fmt.Errorf("asl: %q needs numeric operands, got %s and %s",
+			b.op, lv.kind(), rv.kind())
+	}
+	switch b.op {
+	case "+":
+		return num(lv.f + rv.f), nil
+	case "-":
+		return num(lv.f - rv.f), nil
+	case "*":
+		return num(lv.f * rv.f), nil
+	case "/":
+		if rv.f == 0 {
+			return num(0), nil // total-time denominators may be zero on empty traces
+		}
+		return num(lv.f / rv.f), nil
+	case "<":
+		return boolV(lv.f < rv.f), nil
+	case "<=":
+		return boolV(lv.f <= rv.f), nil
+	case ">":
+		return boolV(lv.f > rv.f), nil
+	case ">=":
+		return boolV(lv.f >= rv.f), nil
+	case "==":
+		return boolV(lv.f == rv.f), nil
+	case "!=":
+		return boolV(lv.f != rv.f), nil
+	default:
+		return value{}, fmt.Errorf("asl: unknown operator %q", b.op)
+	}
+}
+
+// Parser --------------------------------------------------------------------
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) expectPunct(s string) error {
+	t := p.next()
+	if t.kind != tokPunct || t.text != s {
+		return fmt.Errorf("asl: line %d: expected %q, got %q", t.line, s, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent(s string) error {
+	t := p.next()
+	if t.kind != tokIdent || t.text != s {
+		return fmt.Errorf("asl: line %d: expected %q, got %q", t.line, s, t.text)
+	}
+	return nil
+}
+
+// Parse parses a sequence of property definitions.
+func Parse(src string) ([]*Property, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var props []*Property
+	seen := map[string]bool{}
+	for p.cur().kind != tokEOF {
+		prop, err := p.property()
+		if err != nil {
+			return nil, err
+		}
+		if seen[prop.Name] {
+			return nil, fmt.Errorf("asl: duplicate property %q", prop.Name)
+		}
+		seen[prop.Name] = true
+		props = append(props, prop)
+	}
+	if len(props) == 0 {
+		return nil, fmt.Errorf("asl: no property definitions found")
+	}
+	return props, nil
+}
+
+func (p *parser) property() (*Property, error) {
+	if err := p.expectIdent("property"); err != nil {
+		return nil, err
+	}
+	nameTok := p.next()
+	if nameTok.kind != tokIdent {
+		return nil, fmt.Errorf("asl: line %d: expected property name, got %q", nameTok.line, nameTok.text)
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	prop := &Property{Name: nameTok.text}
+	for {
+		t := p.cur()
+		if t.kind == tokPunct && t.text == "}" {
+			p.next()
+			break
+		}
+		if t.kind != tokIdent {
+			return nil, fmt.Errorf("asl: line %d: expected clause, got %q", t.line, t.text)
+		}
+		switch t.text {
+		case "condition":
+			p.next()
+			n, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if prop.condition != nil {
+				return nil, fmt.Errorf("asl: property %s: duplicate condition", prop.Name)
+			}
+			prop.condition = n
+		case "severity":
+			p.next()
+			n, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if prop.severity != nil {
+				return nil, fmt.Errorf("asl: property %s: duplicate severity", prop.Name)
+			}
+			prop.severity = n
+		default:
+			return nil, fmt.Errorf("asl: line %d: unknown clause %q", t.line, t.text)
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+	}
+	if prop.condition == nil {
+		return nil, fmt.Errorf("asl: property %s: missing condition", prop.Name)
+	}
+	if prop.severity == nil {
+		// Default, per ASL convention: the severity accompanies the
+		// property; absent a formula, a holding property has severity 1.
+		prop.severity = numLit(1)
+	}
+	return prop, nil
+}
+
+// expr → orExpr
+func (p *parser) expr() (node, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (node, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokPunct && p.cur().text == "||" {
+		p.next()
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &binary{"||", l, r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (node, error) {
+	l, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokPunct && p.cur().text == "&&" {
+		p.next()
+		r, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &binary{"&&", l, r}
+	}
+	return l, nil
+}
+
+func (p *parser) cmpExpr() (node, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.kind == tokPunct {
+		switch t.text {
+		case "<", "<=", ">", ">=", "==", "!=":
+			p.next()
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &binary{t.text, l, r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (node, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokPunct && (p.cur().text == "+" || p.cur().text == "-") {
+		op := p.next().text
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &binary{op, l, r}
+	}
+	return l, nil
+}
+
+func (p *parser) mulExpr() (node, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokPunct && (p.cur().text == "*" || p.cur().text == "/") {
+		op := p.next().text
+		r, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &binary{op, l, r}
+	}
+	return l, nil
+}
+
+func (p *parser) unaryExpr() (node, error) {
+	t := p.cur()
+	if t.kind == tokPunct && (t.text == "-" || t.text == "!") {
+		p.next()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &unary{t.text, x}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (node, error) {
+	t := p.next()
+	switch t.kind {
+	case tokNumber:
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("asl: line %d: bad number %q", t.line, t.text)
+		}
+		return numLit(f), nil
+	case tokString:
+		return strLit(t.text), nil
+	case tokIdent:
+		if p.cur().kind == tokPunct && p.cur().text == "(" {
+			p.next()
+			var args []node
+			if !(p.cur().kind == tokPunct && p.cur().text == ")") {
+				for {
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.cur().kind == tokPunct && p.cur().text == "," {
+						p.next()
+						continue
+					}
+					break
+				}
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return &call{name: t.text, args: args}, nil
+		}
+		return nil, fmt.Errorf("asl: line %d: bare identifier %q (did you mean %s(...)?)", t.line, t.text, t.text)
+	case tokPunct:
+		if t.text == "(" {
+			n, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return n, nil
+		}
+	}
+	return nil, fmt.Errorf("asl: line %d: unexpected token %q", t.line, t.text)
+}

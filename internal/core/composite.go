@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/distr"
+	"repro/internal/mpi"
+	"repro/internal/omp"
+)
+
+// Composite test programs (paper §3.3): programs invoking more than one
+// property function, used to test whether a tool can find problems that
+// appear only in parts of a program, rank multiple coexisting problems,
+// and attribute concurrent problems to the right process groups.
+
+// CompositeConfig scales a composite program.
+type CompositeConfig struct {
+	// Basework is the per-iteration base work in seconds.
+	Basework float64
+	// Extrawork is the pathological extra work in seconds.
+	Extrawork float64
+	// Reps is the repetition count per property.
+	Reps int
+}
+
+// DefaultComposite returns the configuration used by the examples and
+// benchmarks.
+func DefaultComposite() CompositeConfig {
+	return CompositeConfig{
+		Basework:  DefaultBasework,
+		Extrawork: DefaultExtrawork,
+		Reps:      DefaultReps,
+	}
+}
+
+func (cc CompositeConfig) withDefaults() CompositeConfig {
+	if cc.Basework <= 0 {
+		cc.Basework = DefaultBasework
+	}
+	if cc.Extrawork <= 0 {
+		cc.Extrawork = DefaultExtrawork
+	}
+	if cc.Reps <= 0 {
+		cc.Reps = DefaultReps
+	}
+	return cc
+}
+
+// CompositeMPIProperties is the set exercised by CompositeAllMPI, in
+// execution order — the paper's Figure 3.3 program ("simply calls all
+// currently defined MPI property functions with different severities and
+// repetition factors").
+var CompositeMPIProperties = []string{
+	"late_sender",
+	"late_sender_nonblocking",
+	"late_receiver",
+	"imbalance_at_mpi_barrier",
+	"imbalance_at_mpi_alltoall",
+	"imbalance_at_mpi_allreduce",
+	"imbalance_at_mpi_allgather",
+	"late_broadcast",
+	"late_scatter",
+	"late_scatterv",
+	"early_reduce",
+	"early_gather",
+	"early_gatherv",
+}
+
+// CompositeAllMPI calls every MPI property function back to back with
+// varying severities, reproducing the Fig 3.3 program.  Property i runs
+// with extra work scaled by (1 + i mod 3)/2 so severities differ, as in
+// the figure.
+func CompositeAllMPI(c *mpi.Comm, cc CompositeConfig) {
+	cc = cc.withDefaults()
+	c.Begin("composite_all_mpi")
+	defer c.End()
+	for i, name := range CompositeMPIProperties {
+		spec, ok := Get(name)
+		if !ok {
+			panic(fmt.Sprintf("core: composite references unknown property %q", name))
+		}
+		a := spec.Defaults()
+		scale := float64(1+i%3) / 2
+		for k := range a.Float {
+			switch k {
+			case "basework", "rootwork":
+				a.Float[k] = cc.Basework
+			default:
+				a.Float[k] = cc.Extrawork * scale
+			}
+		}
+		if _, ok := a.Int["r"]; ok {
+			a.Int["r"] = cc.Reps
+		}
+		if ds, ok := a.Distr["distr"]; ok {
+			ds.Low = cc.Basework
+			ds.High = cc.Basework + cc.Extrawork*scale
+			a.Distr["distr"] = ds
+		}
+		spec.Run(Env{Comm: c, Ctx: c.Ctx()}, a)
+		c.Barrier() // separate the property phases, as in the figure
+	}
+}
+
+// LowerHalfProperties and UpperHalfProperties are the two property sets of
+// the Fig 3.4/3.5 program.  The upper half runs late_broadcast with
+// communicator-local root 1, which on a 16-rank world corresponds to world
+// rank 9 — the paper's EXPERT screenshot shows exactly that localization
+// ("MPI ranks 8 and 9 to 15 … root rank 1 on the communicator with the
+// upper half").
+var (
+	LowerHalfProperties = []string{
+		"late_sender",
+		"imbalance_at_mpi_barrier",
+		"early_reduce",
+	}
+	UpperHalfProperties = []string{
+		"late_broadcast",
+		"late_receiver",
+		"imbalance_at_mpi_alltoall",
+	}
+)
+
+// UpperHalfBcastRoot is the communicator-local root used by the upper
+// half's late_broadcast, matching the paper's setup.
+const UpperHalfBcastRoot = 1
+
+// TwoCommunicators splits the world into lower and upper halves and runs a
+// different property set in each, concurrently — the Fig 3.4 program.  It
+// returns the world rank boundary (start of the upper half).
+func TwoCommunicators(c *mpi.Comm, cc CompositeConfig) int {
+	cc = cc.withDefaults()
+	half := c.Size() / 2
+	color := 0
+	if c.Rank() >= half {
+		color = 1
+	}
+	c.Begin("two_communicators")
+	defer c.End()
+	sub := c.Split(color, c.Rank())
+	names := LowerHalfProperties
+	if color == 1 {
+		names = UpperHalfProperties
+	}
+	for _, name := range names {
+		spec, ok := Get(name)
+		if !ok {
+			panic(fmt.Sprintf("core: unknown property %q", name))
+		}
+		a := spec.Defaults()
+		for k := range a.Float {
+			switch k {
+			case "basework", "rootwork":
+				a.Float[k] = cc.Basework
+			default:
+				a.Float[k] = cc.Extrawork
+			}
+		}
+		if _, ok := a.Int["r"]; ok {
+			a.Int["r"] = cc.Reps
+		}
+		if _, ok := a.Int["root"]; ok && name == "late_broadcast" {
+			a.Int["root"] = UpperHalfBcastRoot
+		}
+		if ds, ok := a.Distr["distr"]; ok {
+			ds.Low = cc.Basework
+			ds.High = cc.Basework + cc.Extrawork
+			a.Distr["distr"] = ds
+		}
+		spec.Run(Env{Comm: sub, Ctx: c.Ctx()}, a)
+		sub.Barrier()
+	}
+	c.Barrier()
+	return half
+}
+
+// CompositeHybrid mixes MPI and OpenMP property functions in one program
+// (the §3.3 closing scenario): every rank first exhibits OpenMP-level
+// imbalance, then the world exhibits MPI-level late senders, then the
+// hybrid cause-and-effect property runs.
+func CompositeHybrid(c *mpi.Comm, opt omp.Options, cc CompositeConfig) {
+	cc = cc.withDefaults()
+	c.Begin("composite_hybrid")
+	defer c.End()
+	dd := distr.Val2{Low: cc.Basework, High: cc.Basework + cc.Extrawork}
+	ImbalanceAtOMPBarrier(c.Ctx(), opt, distr.Block2, dd, cc.Reps)
+	c.Barrier()
+	LateSender(c, cc.Basework, cc.Extrawork, cc.Reps)
+	c.Barrier()
+	HybridOMPImbalanceCausesLateSender(c, opt, cc.Basework, cc.Extrawork, cc.Reps)
+	c.Barrier()
+}

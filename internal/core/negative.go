@@ -1,0 +1,71 @@
+package core
+
+import (
+	"repro/internal/distr"
+	"repro/internal/mpi"
+	"repro/internal/omp"
+	"repro/internal/xctx"
+)
+
+// Negative test programs (paper §1, "negative correctness"): synthetic
+// programs with no performance problem beyond the intrinsic cost of the
+// operations they use.  A correct analysis tool must not report findings
+// above its noise threshold for these.
+
+// NegativeBalancedMPI runs perfectly balanced work interleaved with the
+// same MPI operations the positive tests use: every rank computes the same
+// amount, so barriers, collectives and the send-receive pattern complete
+// without wait states.
+func NegativeBalancedMPI(c *mpi.Comm, work float64, r int) {
+	c.Begin("negative_balanced_mpi")
+	defer c.End()
+	dd := distr.Val1{Val: work}
+	buf := c.BaseBuf()
+	defer mpi.FreeBuf(buf)
+	sbuf := c.BaseBuf()
+	rbuf := c.BaseBuf()
+	defer mpi.FreeBuf(sbuf)
+	defer mpi.FreeBuf(rbuf)
+	for i := 0; i < r; i++ {
+		c.DoWork(distr.Same, dd, 1.0)
+		c.Barrier()
+		c.DoWork(distr.Same, dd, 1.0)
+		mpi.PatternSendRecv(c, buf, mpi.DirUp, mpi.PatternOpts{})
+		c.DoWork(distr.Same, dd, 1.0)
+		c.Bcast(buf, 0)
+		c.DoWork(distr.Same, dd, 1.0)
+		c.Allreduce(sbuf, rbuf, mpi.OpSum)
+	}
+}
+
+// NegativeBalancedOMP is the OpenMP counterpart: balanced thread work with
+// barriers and a balanced static loop.
+func NegativeBalancedOMP(ctx *xctx.Ctx, opt omp.Options, work float64, r int) {
+	ctx.Enter("negative_balanced_omp")
+	defer ctx.Exit()
+	dd := distr.Val1{Val: work}
+	omp.Parallel(ctx, opt, func(tc *omp.TC) {
+		for i := 0; i < r; i++ {
+			tc.DoWork(distr.Same, dd, 1.0)
+			tc.Barrier()
+			n := tc.NumThreads()
+			tc.For(n, omp.ForOpt{Sched: omp.Static}, func(j int) {
+				tc.Work(work)
+			})
+		}
+	})
+}
+
+// NegativeBalancedHybrid combines both: balanced OpenMP regions inside
+// balanced MPI phases.
+func NegativeBalancedHybrid(c *mpi.Comm, opt omp.Options, work float64, r int) {
+	c.Begin("negative_balanced_hybrid")
+	defer c.End()
+	dd := distr.Val1{Val: work}
+	for i := 0; i < r; i++ {
+		omp.Parallel(c.Ctx(), opt, func(tc *omp.TC) {
+			tc.DoWork(distr.Same, dd, 1.0)
+		})
+		c.Barrier()
+	}
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"repro/internal/distr"
+	"repro/internal/mpi"
+	"repro/internal/omp"
+)
+
+// --- Hybrid MPI + OpenMP performance properties ---------------------------
+//
+// The paper's §3.3 closes by noting that the modular design permits mixing
+// property functions from different paradigms in one program so that tools
+// for hybrid programming (e.g. on the Hitachi SR8000 targeted by [8]) can
+// be tested.  The functions here are such mixtures.
+
+// HybridOMPImbalanceCausesLateSender runs an OpenMP region inside each MPI
+// rank before the even-odd send-receive pattern; the teams of the sending
+// (even) ranks are imbalanced by ompextra seconds, which delays the join
+// and thereby the MPI send — an OpenMP-level root cause manifesting as an
+// MPI-level late sender.
+func HybridOMPImbalanceCausesLateSender(c *mpi.Comm, opt omp.Options, basework, ompextra float64, r int) {
+	c.Begin("hybrid_omp_imbalance_causes_late_sender")
+	defer c.End()
+	buf := c.BaseBuf()
+	defer mpi.FreeBuf(buf)
+	sender := c.Rank()%2 == 0
+	for i := 0; i < r; i++ {
+		omp.Parallel(c.Ctx(), opt, func(tc *omp.TC) {
+			dd := distr.Val2N{Low: basework, High: basework, N: -1}
+			if sender {
+				// One thread of the sender's team is overloaded.
+				dd = distr.Val2N{Low: basework, High: basework + ompextra, N: 0}
+			}
+			tc.DoWork(distr.Peak, dd, 1.0)
+		})
+		mpi.PatternSendRecv(c, buf, mpi.DirUp, mpi.PatternOpts{})
+	}
+}
+
+// HybridBarrierAfterOMPRegions runs df-imbalanced OpenMP regions on every
+// rank followed by an MPI barrier: thread-level imbalance accumulates into
+// process-level wait-at-barrier (the two properties are simultaneously
+// visible at both levels).
+func HybridBarrierAfterOMPRegions(c *mpi.Comm, opt omp.Options, df distr.Func, dd distr.Desc, r int) {
+	c.Begin("hybrid_barrier_after_omp_regions")
+	defer c.End()
+	for i := 0; i < r; i++ {
+		omp.Parallel(c.Ctx(), opt, func(tc *omp.TC) {
+			// Thread work is scaled by the process's distribution value
+			// so the process-level imbalance follows df.
+			w := df(c.Rank(), c.Size(), 1.0, dd)
+			tc.Work(w)
+		})
+		c.Barrier()
+	}
+}

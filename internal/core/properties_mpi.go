@@ -1,0 +1,296 @@
+// Package core implements the heart of the APART Test Suite: the
+// performance property functions (paper §3.1.5), the property registry
+// that drives test-program generation (§3.2), and the composite test
+// program builders (§3.3).
+//
+// A performance property function is a routine which, when executed by all
+// participants of a parallel construct, exhibits exactly one well-defined
+// performance property (late sender, imbalance at barrier, …) whose
+// severity is controlled by its parameters.  Following the paper, most
+// functions take a generic distribution (function + descriptor) describing
+// the work imbalance, plus a repetition count; pattern-specific functions
+// (late_sender and friends) instead take explicit basework/extrawork
+// parameters because they require one particular distribution shape.
+//
+// Every property function wraps its body in a trace region named after the
+// property, so the analyzer's call-graph pane can localize each finding at
+// "<property>/<MPI call>" exactly as EXPERT does in paper Fig 3.5.
+package core
+
+import (
+	"repro/internal/distr"
+	"repro/internal/mpi"
+)
+
+// Paper-defaults used by the property functions' registry entries.
+const (
+	// DefaultBasework is the default per-iteration base work in seconds.
+	DefaultBasework = 0.01
+	// DefaultExtrawork is the default pathological extra work in seconds.
+	DefaultExtrawork = 0.05
+	// DefaultReps is the default repetition count.
+	DefaultReps = 5
+)
+
+// --- MPI point-to-point communication performance properties ------------
+
+// LateSender makes the receiving processes wait: the sending (even) ranks
+// execute basework+extrawork seconds of work per iteration while the
+// receiving (odd) ranks execute only basework, so every receive blocks for
+// extrawork seconds (late_sender in the paper, whose source this function
+// transliterates: a cyclic2 distribution assigning the extra work to the
+// even ranks, followed by the even-odd send-receive pattern).
+func LateSender(c *mpi.Comm, basework, extrawork float64, r int) {
+	c.Begin("late_sender")
+	defer c.End()
+	buf := c.BaseBuf()
+	defer mpi.FreeBuf(buf)
+	dd := distr.Val2{Low: basework + extrawork, High: basework}
+	for i := 0; i < r; i++ {
+		c.DoWork(distr.Cyclic2, dd, 1.0)
+		mpi.PatternSendRecv(c, buf, mpi.DirUp, mpi.PatternOpts{})
+	}
+}
+
+// LateSenderNonBlocking is the non-blocking variant of LateSender: the
+// receivers post MPI_Irecv and block in MPI_Wait instead (an extension
+// beyond the paper's initial list, exercising the use_isend/use_irecv
+// flags of the communication pattern).
+func LateSenderNonBlocking(c *mpi.Comm, basework, extrawork float64, r int) {
+	c.Begin("late_sender_nonblocking")
+	defer c.End()
+	buf := c.BaseBuf()
+	defer mpi.FreeBuf(buf)
+	dd := distr.Val2{Low: basework + extrawork, High: basework}
+	for i := 0; i < r; i++ {
+		c.DoWork(distr.Cyclic2, dd, 1.0)
+		mpi.PatternSendRecv(c, buf, mpi.DirUp, mpi.PatternOpts{UseIsend: true, UseIrecv: true})
+	}
+}
+
+// LateReceiver makes the sending processes wait: the receiving (odd) ranks
+// are loaded with extrawork while the senders use the synchronous
+// protocol, so every send blocks until its receiver finally arrives
+// (late_receiver).
+func LateReceiver(c *mpi.Comm, basework, extrawork float64, r int) {
+	c.Begin("late_receiver")
+	defer c.End()
+	buf := c.BaseBuf()
+	defer mpi.FreeBuf(buf)
+	dd := distr.Val2{Low: basework, High: basework + extrawork}
+	for i := 0; i < r; i++ {
+		c.DoWork(distr.Cyclic2, dd, 1.0)
+		mpi.PatternSendRecv(c, buf, mpi.DirUp, mpi.PatternOpts{UseSsend: true})
+	}
+}
+
+// --- MPI collective communication performance properties ----------------
+
+// ImbalanceAtMPIBarrier executes df-distributed work followed by a barrier,
+// r times (imbalance_at_mpi_barrier): lightly loaded ranks wait at the
+// barrier for the heavily loaded ones.
+func ImbalanceAtMPIBarrier(c *mpi.Comm, df distr.Func, dd distr.Desc, r int) {
+	c.Begin("imbalance_at_mpi_barrier")
+	defer c.End()
+	for i := 0; i < r; i++ {
+		c.DoWork(df, dd, 1.0)
+		c.Barrier()
+	}
+}
+
+// ImbalanceAtMPIAlltoall is the N×N variant (imbalance_at_mpi_alltoall):
+// the all-to-all exchange cannot complete until its last participant
+// arrives.
+func ImbalanceAtMPIAlltoall(c *mpi.Comm, df distr.Func, dd distr.Desc, r int) {
+	c.Begin("imbalance_at_mpi_alltoall")
+	defer c.End()
+	t, cnt := c.Base()
+	sbuf := mpi.AllocBuf(t, cnt*c.Size())
+	rbuf := mpi.AllocBuf(t, cnt*c.Size())
+	defer mpi.FreeBuf(sbuf)
+	defer mpi.FreeBuf(rbuf)
+	for i := 0; i < r; i++ {
+		c.DoWork(df, dd, 1.0)
+		c.Alltoall(sbuf, rbuf)
+	}
+}
+
+// ImbalanceAtMPIAllreduce is an extension property: imbalance in front of
+// a synchronizing MPI_Allreduce.
+func ImbalanceAtMPIAllreduce(c *mpi.Comm, df distr.Func, dd distr.Desc, r int) {
+	c.Begin("imbalance_at_mpi_allreduce")
+	defer c.End()
+	sbuf := c.BaseBuf()
+	rbuf := c.BaseBuf()
+	defer mpi.FreeBuf(sbuf)
+	defer mpi.FreeBuf(rbuf)
+	for i := 0; i < r; i++ {
+		c.DoWork(df, dd, 1.0)
+		c.Allreduce(sbuf, rbuf, mpi.OpSum)
+	}
+}
+
+// ImbalanceAtMPIAllgather is an extension property: imbalance in front of
+// a synchronizing MPI_Allgather.
+func ImbalanceAtMPIAllgather(c *mpi.Comm, df distr.Func, dd distr.Desc, r int) {
+	c.Begin("imbalance_at_mpi_allgather")
+	defer c.End()
+	t, cnt := c.Base()
+	sbuf := mpi.AllocBuf(t, cnt)
+	rbuf := mpi.AllocBuf(t, cnt*c.Size())
+	defer mpi.FreeBuf(sbuf)
+	defer mpi.FreeBuf(rbuf)
+	for i := 0; i < r; i++ {
+		c.DoWork(df, dd, 1.0)
+		c.Allgather(sbuf, rbuf)
+	}
+}
+
+// LateBroadcast delays the root of an MPI_Bcast by rootextrawork seconds,
+// so every other rank waits inside the broadcast (late_broadcast; EXPERT
+// calls the resulting pattern "Late Broadcast", see paper Fig 3.5).
+func LateBroadcast(c *mpi.Comm, basework, rootextrawork float64, root, r int) {
+	c.Begin("late_broadcast")
+	defer c.End()
+	buf := c.BaseBuf()
+	defer mpi.FreeBuf(buf)
+	dd := distr.Val2N{Low: basework, High: basework + rootextrawork, N: root}
+	for i := 0; i < r; i++ {
+		c.DoWork(distr.Peak, dd, 1.0)
+		c.Bcast(buf, root)
+	}
+}
+
+// LateScatter is the MPI_Scatter analogue of LateBroadcast (late_scatter).
+func LateScatter(c *mpi.Comm, basework, rootextrawork float64, root, r int) {
+	c.Begin("late_scatter")
+	defer c.End()
+	t, cnt := c.Base()
+	var sbuf *mpi.Buf
+	if c.Rank() == root {
+		sbuf = mpi.AllocBuf(t, cnt*c.Size())
+		defer mpi.FreeBuf(sbuf)
+	}
+	rbuf := mpi.AllocBuf(t, cnt)
+	defer mpi.FreeBuf(rbuf)
+	dd := distr.Val2N{Low: basework, High: basework + rootextrawork, N: root}
+	for i := 0; i < r; i++ {
+		c.DoWork(distr.Peak, dd, 1.0)
+		c.Scatter(sbuf, rbuf, root)
+	}
+}
+
+// LateScatterv is the irregular variant (late_scatterv); portion sizes
+// follow a linear distribution around the base count.
+func LateScatterv(c *mpi.Comm, basework, rootextrawork float64, root, r int) {
+	c.Begin("late_scatterv")
+	defer c.End()
+	t, cnt := c.Base()
+	v := mpi.AllocVBuf(c, t, distr.Linear,
+		distr.Val2{Low: 1, High: float64(2*cnt - 1)}, 1.0, root)
+	defer mpi.FreeVBuf(v)
+	dd := distr.Val2N{Low: basework, High: basework + rootextrawork, N: root}
+	for i := 0; i < r; i++ {
+		c.DoWork(distr.Peak, dd, 1.0)
+		c.Scatterv(v)
+	}
+}
+
+// EarlyReduce makes the MPI_Reduce root arrive early and wait for its last
+// contributor: the root executes only rootwork seconds while every other
+// rank executes rootwork+baseextrawork (early_reduce).
+func EarlyReduce(c *mpi.Comm, rootwork, baseextrawork float64, root, r int) {
+	c.Begin("early_reduce")
+	defer c.End()
+	sbuf := c.BaseBuf()
+	rbuf := c.BaseBuf()
+	defer mpi.FreeBuf(sbuf)
+	defer mpi.FreeBuf(rbuf)
+	dd := distr.Val2N{Low: rootwork + baseextrawork, High: rootwork, N: root}
+	for i := 0; i < r; i++ {
+		c.DoWork(distr.Peak, dd, 1.0)
+		c.Reduce(sbuf, rbuf, mpi.OpSum, root)
+	}
+}
+
+// EarlyGather is the MPI_Gather analogue of EarlyReduce (early_gather).
+func EarlyGather(c *mpi.Comm, rootwork, baseextrawork float64, root, r int) {
+	c.Begin("early_gather")
+	defer c.End()
+	t, cnt := c.Base()
+	sbuf := mpi.AllocBuf(t, cnt)
+	defer mpi.FreeBuf(sbuf)
+	var rbuf *mpi.Buf
+	if c.Rank() == root {
+		rbuf = mpi.AllocBuf(t, cnt*c.Size())
+		defer mpi.FreeBuf(rbuf)
+	}
+	dd := distr.Val2N{Low: rootwork + baseextrawork, High: rootwork, N: root}
+	for i := 0; i < r; i++ {
+		c.DoWork(distr.Peak, dd, 1.0)
+		c.Gather(sbuf, rbuf, root)
+	}
+}
+
+// EarlyGatherv is the irregular variant (early_gatherv).
+func EarlyGatherv(c *mpi.Comm, rootwork, baseextrawork float64, root, r int) {
+	c.Begin("early_gatherv")
+	defer c.End()
+	t, cnt := c.Base()
+	v := mpi.AllocVBuf(c, t, distr.Linear,
+		distr.Val2{Low: 1, High: float64(2*cnt - 1)}, 1.0, root)
+	defer mpi.FreeVBuf(v)
+	dd := distr.Val2N{Low: rootwork + baseextrawork, High: rootwork, N: root}
+	for i := 0; i < r; i++ {
+		c.DoWork(distr.Peak, dd, 1.0)
+		c.Gatherv(v)
+	}
+}
+
+// UnparallelizedMPICode is the sequential-property extension foreseen in
+// §5 ("we also need test functions for sequential performance
+// properties"): all useful work happens on rank 0 while every other rank
+// idles at the synchronizing barrier — the classic unparallelized code
+// section.
+func UnparallelizedMPICode(c *mpi.Comm, serialwork float64, r int) {
+	c.Begin("unparallelized_mpi_code")
+	defer c.End()
+	dd := distr.Val2N{Low: 0, High: serialwork, N: 0}
+	for i := 0; i < r; i++ {
+		c.DoWork(distr.Peak, dd, 1.0)
+		c.Barrier()
+	}
+}
+
+// GrowingImbalanceAtMPIBarrier makes the severity a function of the
+// iteration number, exactly as the paper suggests: "more complicated
+// implementations are possible, e.g., where the severity of the pattern is
+// a function of the iteration number.  This can easily be implemented by
+// using the scale factor parameter of the distribution functions."
+// Iteration i runs with scale factor i+1, so the per-iteration waiting
+// time grows linearly through the run.
+func GrowingImbalanceAtMPIBarrier(c *mpi.Comm, df distr.Func, dd distr.Desc, r int) {
+	c.Begin("growing_imbalance_at_mpi_barrier")
+	defer c.End()
+	for i := 0; i < r; i++ {
+		c.DoWork(df, dd, float64(i+1))
+		c.Barrier()
+	}
+}
+
+// DominatedByCommunication is an extension property: negligible
+// computation interleaved with fine-grained messaging and barriers, so MPI
+// time dominates execution ("communication dominates" in the ASL catalog).
+func DominatedByCommunication(c *mpi.Comm, msgwork float64, r int) {
+	c.Begin("dominated_by_communication")
+	defer c.End()
+	sbuf := c.BaseBuf()
+	rbuf := c.BaseBuf()
+	defer mpi.FreeBuf(sbuf)
+	defer mpi.FreeBuf(rbuf)
+	for i := 0; i < r; i++ {
+		c.DoWork(distr.Same, distr.Val1{Val: msgwork}, 1.0)
+		mpi.PatternShift(c, sbuf, rbuf, mpi.DirUp, mpi.PatternOpts{})
+		c.Barrier()
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"repro/internal/distr"
+	"repro/internal/omp"
+	"repro/internal/xctx"
+)
+
+// --- OpenMP parallel region performance properties -----------------------
+//
+// The OpenMP property functions fork their own team from the encountering
+// context (ctx), which may be a standalone master or an MPI rank (hybrid
+// programs, paper §3.3).  Team size and construct costs come from opt.
+
+// ImbalanceInOMPPRegion executes df-distributed work inside a parallel
+// region r times (imbalance_in_omp_pregion): lightly loaded threads wait
+// at the region's implicit join.
+func ImbalanceInOMPPRegion(ctx *xctx.Ctx, opt omp.Options, df distr.Func, dd distr.Desc, r int) {
+	ctx.Enter("imbalance_in_omp_pregion")
+	defer ctx.Exit()
+	for i := 0; i < r; i++ {
+		omp.Parallel(ctx, opt, func(tc *omp.TC) {
+			tc.DoWork(df, dd, 1.0)
+		})
+	}
+}
+
+// ImbalanceAtOMPBarrier is the transliteration of the paper's complete
+// example (§3.1.5): one parallel region whose body repeats df-distributed
+// work followed by an explicit barrier r times.
+func ImbalanceAtOMPBarrier(ctx *xctx.Ctx, opt omp.Options, df distr.Func, dd distr.Desc, r int) {
+	ctx.Enter("imbalance_at_omp_barrier")
+	defer ctx.Exit()
+	omp.Parallel(ctx, opt, func(tc *omp.TC) {
+		for i := 0; i < r; i++ {
+			tc.DoWork(df, dd, 1.0)
+			tc.Barrier()
+		}
+	})
+}
+
+// ImbalanceInOMPLoop runs a statically scheduled worksharing loop whose
+// per-thread work follows df (imbalance_in_omp_loop): the imbalance
+// surfaces at the loop's implicit barrier.  The loop has exactly one
+// iteration per thread so the distribution maps 1:1 onto threads.
+func ImbalanceInOMPLoop(ctx *xctx.Ctx, opt omp.Options, df distr.Func, dd distr.Desc, r int) {
+	ctx.Enter("imbalance_in_omp_loop")
+	defer ctx.Exit()
+	omp.Parallel(ctx, opt, func(tc *omp.TC) {
+		n := tc.NumThreads()
+		for i := 0; i < r; i++ {
+			tc.For(n, omp.ForOpt{Sched: omp.Static}, func(j int) {
+				tc.Work(df(j, n, 1.0, dd))
+			})
+		}
+	})
+}
+
+// SerializationAtOMPCritical is an extension property: every thread passes
+// through the same critical section holding it for secwork seconds, r
+// times, so threads serialize ("serialization at critical section").  A
+// barrier re-synchronizes the team between iterations, which makes the
+// per-iteration lock waiting deterministic (0+1+…+(T-1) section times).
+// Note the unavoidable physics of serialization: the staggered exits also
+// produce an equally sized wait at the re-synchronization point, so an
+// analysis tool will (correctly) report imbalance_at_omp_barrier alongside
+// the serialization — the positive-correctness oracle therefore requires
+// the serialization finding to be present and exact, not dominant.
+func SerializationAtOMPCritical(ctx *xctx.Ctx, opt omp.Options, secwork float64, r int) {
+	ctx.Enter("serialization_at_omp_critical")
+	defer ctx.Exit()
+	omp.Parallel(ctx, opt, func(tc *omp.TC) {
+		for i := 0; i < r; i++ {
+			tc.Critical("ats_serialized", func() {
+				tc.Work(secwork)
+			})
+			tc.Barrier()
+		}
+	})
+}
+
+// UnparallelizedInSingle is an extension property: all the region's work
+// happens inside a single construct while the rest of the team idles at
+// the implicit barrier ("unparallelized code / idle threads").
+func UnparallelizedInSingle(ctx *xctx.Ctx, opt omp.Options, singlework float64, r int) {
+	ctx.Enter("unparallelized_in_single")
+	defer ctx.Exit()
+	omp.Parallel(ctx, opt, func(tc *omp.TC) {
+		for i := 0; i < r; i++ {
+			tc.Single(func() {
+				tc.Work(singlework)
+			})
+		}
+	})
+}
+
+// ImbalanceAtOMPSections is an extension property: sections of df-
+// distributed durations (one section per thread count) distributed over
+// the team; imbalance surfaces at the sections construct's implicit
+// barrier.
+func ImbalanceAtOMPSections(ctx *xctx.Ctx, opt omp.Options, df distr.Func, dd distr.Desc, r int) {
+	ctx.Enter("imbalance_at_omp_sections")
+	defer ctx.Exit()
+	omp.Parallel(ctx, opt, func(tc *omp.TC) {
+		n := tc.NumThreads()
+		secs := make([]func(), n)
+		for j := 0; j < n; j++ {
+			w := df(j, n, 1.0, dd)
+			secs[j] = func() { tc.Work(w) }
+		}
+		for i := 0; i < r; i++ {
+			tc.Sections(secs...)
+		}
+	})
+}

@@ -1,0 +1,90 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/analyzer"
+	"repro/internal/core"
+	"repro/internal/distr"
+	"repro/internal/mpi"
+)
+
+// TestQuickImbalanceWaitMatchesTheory is the end-to-end property at the
+// heart of the suite: for random distribution parameters, group sizes and
+// repetition counts, the analyzer's measured wait-at-barrier equals
+// reps × Σ(max−work_i) — the closed form of the seeded severity.
+func TestQuickImbalanceWaitMatchesTheory(t *testing.T) {
+	inv := func(pRaw, rRaw uint8, lowRaw, spreadRaw uint16, dfIdx uint8) bool {
+		procs := int(pRaw%6) + 2 // 2..7
+		reps := int(rRaw%4) + 1  // 1..4
+		low := float64(lowRaw%100)/1000 + 0.001
+		high := low + float64(spreadRaw%200)/1000
+		names := []string{"block2", "cyclic2", "linear"}
+		name := names[int(dfIdx)%len(names)]
+		df, _ := distr.Lookup(name)
+		dd := distr.Val2{Low: low, High: high}
+
+		theory := float64(reps) * distr.Imbalance(df, procs, 1.0, dd)
+		tr, err := mpi.Run(mpi.Options{Procs: procs, Timeout: 30 * time.Second},
+			func(c *mpi.Comm) {
+				core.ImbalanceAtMPIBarrier(c, df, dd, reps)
+			})
+		if err != nil {
+			return false
+		}
+		got := analyzer.Analyze(tr, analyzer.Options{}).Wait(analyzer.PropWaitAtBarrier)
+		// Tolerance: per-instance network/overhead terms (µs-scale).
+		tol := 1e-4*float64(reps*procs) + 1e-9
+		return math.Abs(got-theory) <= tol
+	}
+	if err := quick.Check(inv, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLateSenderScalesLinearly: for random extrawork, the measured
+// late-sender wait is pairs × extrawork × reps.
+func TestQuickLateSenderScalesLinearly(t *testing.T) {
+	inv := func(pRaw, rRaw uint8, extraRaw uint16) bool {
+		procs := int(pRaw%4)*2 + 2 // 2,4,6,8 (even, all paired)
+		reps := int(rRaw%3) + 1
+		extra := float64(extraRaw%500)/1000 + 0.002
+		theory := float64(procs/2) * extra * float64(reps)
+		tr, err := mpi.Run(mpi.Options{Procs: procs, Timeout: 30 * time.Second},
+			func(c *mpi.Comm) {
+				core.LateSender(c, 0.001, extra, reps)
+			})
+		if err != nil {
+			return false
+		}
+		got := analyzer.Analyze(tr, analyzer.Options{}).Wait(analyzer.PropLateSender)
+		return math.Abs(got-theory) <= 1e-4*float64(reps*procs)+1e-9
+	}
+	if err := quick.Check(inv, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNegativeStaysClean: balanced programs of random sizes produce
+// no significant findings.
+func TestQuickNegativeStaysClean(t *testing.T) {
+	inv := func(pRaw, rRaw uint8, workRaw uint16) bool {
+		procs := int(pRaw%7) + 2
+		reps := int(rRaw%5) + 1
+		w := float64(workRaw%100)/1000 + 0.005
+		tr, err := mpi.Run(mpi.Options{Procs: procs, Timeout: 30 * time.Second},
+			func(c *mpi.Comm) {
+				core.NegativeBalancedMPI(c, w, reps)
+			})
+		if err != nil {
+			return false
+		}
+		return analyzer.Analyze(tr, analyzer.Options{}).Top() == nil
+	}
+	if err := quick.Check(inv, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/distr"
+	"repro/internal/mpi"
+	"repro/internal/omp"
+	"repro/internal/xctx"
+)
+
+// Paradigm classifies a property function by the programming model it
+// exercises.
+type Paradigm uint8
+
+const (
+	// ParadigmMPI properties run on an MPI communicator.
+	ParadigmMPI Paradigm = iota
+	// ParadigmOMP properties run on an OpenMP team.
+	ParadigmOMP
+	// ParadigmHybrid properties mix both.
+	ParadigmHybrid
+)
+
+// String names the paradigm.
+func (p Paradigm) String() string {
+	switch p {
+	case ParadigmMPI:
+		return "mpi"
+	case ParadigmOMP:
+		return "omp"
+	case ParadigmHybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("paradigm(%d)", uint8(p))
+	}
+}
+
+// ParamKind types a property-function parameter.
+type ParamKind uint8
+
+const (
+	// ParamFloat is a float64 parameter (work amounts in seconds).
+	ParamFloat ParamKind = iota
+	// ParamInt is an integer parameter (repetitions, root rank).
+	ParamInt
+	// ParamDistr is a generic distribution parameter (function name plus
+	// descriptor values), as used by the imbalance properties.
+	ParamDistr
+)
+
+// DistrSpec is the serializable form of a distribution argument: the
+// function name plus the descriptor parameters, mirroring what a generated
+// test program accepts on its command line.
+type DistrSpec struct {
+	Name string  // distribution function name, e.g. "block2"
+	Low  float64 // first descriptor value (Val for "same")
+	High float64
+	Med  float64
+	N    int // peak rank for "peak"
+}
+
+// Resolve looks the function up and builds its descriptor.
+func (ds DistrSpec) Resolve() (distr.Func, distr.Desc, error) {
+	df, ok := distr.Lookup(ds.Name)
+	if !ok {
+		return nil, nil, fmt.Errorf("core: unknown distribution %q", ds.Name)
+	}
+	kind, _ := distr.DescKind(ds.Name)
+	dd, err := distr.ParseDesc(kind, ds.Low, ds.High, ds.Med, ds.N)
+	if err != nil {
+		return nil, nil, err
+	}
+	return df, dd, nil
+}
+
+// Param describes one parameter of a property function, with its default —
+// the information the test-program generator turns into command-line
+// flags (paper §3.2).
+type Param struct {
+	Name     string
+	Kind     ParamKind
+	DefFloat float64
+	DefInt   int
+	DefDistr DistrSpec
+	Help     string
+}
+
+// Args carries concrete parameter values for one invocation.
+type Args struct {
+	Float map[string]float64
+	Int   map[string]int
+	Distr map[string]DistrSpec
+}
+
+// NewArgs returns an empty argument set.
+func NewArgs() Args {
+	return Args{
+		Float: make(map[string]float64),
+		Int:   make(map[string]int),
+		Distr: make(map[string]DistrSpec),
+	}
+}
+
+// F fetches a float parameter (panics on absence: construction bugs in
+// test harnesses should fail loudly).
+func (a Args) F(name string) float64 {
+	v, ok := a.Float[name]
+	if !ok {
+		panic(fmt.Sprintf("core: missing float arg %q", name))
+	}
+	return v
+}
+
+// I fetches an int parameter.
+func (a Args) I(name string) int {
+	v, ok := a.Int[name]
+	if !ok {
+		panic(fmt.Sprintf("core: missing int arg %q", name))
+	}
+	return v
+}
+
+// D fetches and resolves a distribution parameter.
+func (a Args) D(name string) (distr.Func, distr.Desc) {
+	ds, ok := a.Distr[name]
+	if !ok {
+		panic(fmt.Sprintf("core: missing distribution arg %q", name))
+	}
+	df, dd, err := ds.Resolve()
+	if err != nil {
+		panic(err)
+	}
+	return df, dd
+}
+
+// Env is the execution environment handed to a registered property
+// function: the MPI communicator (nil for pure-OpenMP programs), the
+// encountering executor context, and the OpenMP team options.
+type Env struct {
+	Comm *mpi.Comm
+	Ctx  *xctx.Ctx
+	OMP  omp.Options
+}
+
+// Spec describes one registered property function: everything the
+// single-property program generator, the CLI driver, and the
+// positive-correctness experiments need.
+type Spec struct {
+	Name     string
+	Paradigm Paradigm
+	Help     string
+	Params   []Param
+	// Run executes the property function with the given arguments.
+	Run func(env Env, a Args)
+	// ExpectedWait returns the theoretical total waiting time (seconds,
+	// summed over locations and repetitions) the property should induce
+	// in virtual time, or a negative value if no closed form exists.
+	// procs and threads describe the environment.
+	ExpectedWait func(procs, threads int, a Args) float64
+}
+
+// Defaults builds the argument set holding every parameter's default.
+func (s *Spec) Defaults() Args {
+	a := NewArgs()
+	for _, p := range s.Params {
+		switch p.Kind {
+		case ParamFloat:
+			a.Float[p.Name] = p.DefFloat
+		case ParamInt:
+			a.Int[p.Name] = p.DefInt
+		case ParamDistr:
+			a.Distr[p.Name] = p.DefDistr
+		}
+	}
+	return a
+}
+
+// registry state.
+var (
+	regMu    sync.RWMutex
+	registry = map[string]*Spec{}
+)
+
+// Register adds a property spec; duplicate names are rejected.
+func Register(s *Spec) error {
+	if s == nil || s.Name == "" || s.Run == nil {
+		return fmt.Errorf("core: invalid spec")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[s.Name]; dup {
+		return fmt.Errorf("core: property %q already registered", s.Name)
+	}
+	registry[s.Name] = s
+	return nil
+}
+
+func mustRegister(s *Spec) {
+	if err := Register(s); err != nil {
+		panic(err)
+	}
+}
+
+// Get returns the spec registered under name.
+func Get(name string) (*Spec, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Names returns the sorted names of all registered properties.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByParadigm returns the sorted specs of one paradigm.
+func ByParadigm(p Paradigm) []*Spec {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	var out []*Spec
+	for _, s := range registry {
+		if s.Paradigm == p {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// All returns all specs sorted by name.
+func All() []*Spec {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]*Spec, 0, len(registry))
+	for _, s := range registry {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// common parameter constructors.
+
+func fparam(name string, def float64, help string) Param {
+	return Param{Name: name, Kind: ParamFloat, DefFloat: def, Help: help}
+}
+
+func iparam(name string, def int, help string) Param {
+	return Param{Name: name, Kind: ParamInt, DefInt: def, Help: help}
+}
+
+func dparam(name string, def DistrSpec, help string) Param {
+	return Param{Name: name, Kind: ParamDistr, DefDistr: def, Help: help}
+}
+
+// defaultImbalanceDistr is the default distribution for the imbalance
+// properties: block2 with a 1:5 work ratio.
+var defaultImbalanceDistr = DistrSpec{
+	Name: "block2", Low: DefaultBasework, High: DefaultBasework + DefaultExtrawork,
+}
+
+// imbalanceWait returns the closed-form waiting time of a df-driven
+// imbalance followed by a synchronizing operation.
+func imbalanceWait(ds DistrSpec, group, reps int) float64 {
+	df, dd, err := ds.Resolve()
+	if err != nil {
+		return -1
+	}
+	return float64(reps) * distr.Imbalance(df, group, 1.0, dd)
+}

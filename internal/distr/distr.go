@@ -1,0 +1,332 @@
+// Package distr implements the ATS distribution layer (paper §3.1.2).
+//
+// A distribution assigns to each participant of a parallel group a scalar
+// value (an amount of work in seconds, or a number of buffer elements).
+// Following the paper, a distribution is specified by the combination of a
+// distribution function (the type of the distribution) and a distribution
+// descriptor (its parameters), plus a proportional scale factor:
+//
+//	value := df(me, sz, scale, dd)
+//
+// The seven predefined functions of the ATS prototype are provided —
+// Same, Cyclic2, Block2, Linear, Peak, Cyclic3, Block3 — together with the
+// four predefined descriptor types (one to three parameters).  Users may
+// supply their own functions with the same signature; Register makes them
+// available by name to the test-program generator and the CLI drivers.
+package distr
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Desc is a distribution descriptor: the parameter block passed to a
+// distribution function.  The concrete types below mirror the C structs
+// val1_distr_t .. val3_distr_t of the original ATS.
+type Desc interface {
+	// Kind names the descriptor type, e.g. "val2".
+	Kind() string
+}
+
+// Val1 carries a single value (val1_distr_t).
+type Val1 struct {
+	Val float64
+}
+
+// Kind implements Desc.
+func (Val1) Kind() string { return "val1" }
+
+// Val2 carries a low and a high value (val2_distr_t).
+type Val2 struct {
+	Low  float64
+	High float64
+}
+
+// Kind implements Desc.
+func (Val2) Kind() string { return "val2" }
+
+// Val2N carries low/high values and an integer parameter, used by the Peak
+// distribution to select the peaking rank (val2_n_distr_t).
+type Val2N struct {
+	Low  float64
+	High float64
+	N    int
+}
+
+// Kind implements Desc.
+func (Val2N) Kind() string { return "val2n" }
+
+// Val3 carries low, medium and high values (val3_distr_t).
+type Val3 struct {
+	Low  float64
+	High float64
+	Med  float64
+}
+
+// Kind implements Desc.
+func (Val3) Kind() string { return "val3" }
+
+// Func is the ATS generic distribution function type: it returns the value
+// for participant me of a group of size sz, scaled by scale, according to
+// descriptor dd.  Implementations must be pure (same inputs, same output):
+// the buffer-management layer relies on every rank computing every other
+// rank's share identically.
+type Func func(me, sz int, scale float64, dd Desc) float64
+
+// mustVal1 etc. convert a descriptor or panic with a helpful message; the
+// panic indicates a programming error in test construction, mirroring the
+// undefined behaviour a mismatched C struct cast would have produced.
+func mustVal1(name string, dd Desc) Val1 {
+	v, ok := dd.(Val1)
+	if !ok {
+		panic(fmt.Sprintf("distr: %s requires a Val1 descriptor, got %T", name, dd))
+	}
+	return v
+}
+
+func mustVal2(name string, dd Desc) Val2 {
+	v, ok := dd.(Val2)
+	if !ok {
+		panic(fmt.Sprintf("distr: %s requires a Val2 descriptor, got %T", name, dd))
+	}
+	return v
+}
+
+func mustVal2N(name string, dd Desc) Val2N {
+	v, ok := dd.(Val2N)
+	if !ok {
+		panic(fmt.Sprintf("distr: %s requires a Val2N descriptor, got %T", name, dd))
+	}
+	return v
+}
+
+func mustVal3(name string, dd Desc) Val3 {
+	v, ok := dd.(Val3)
+	if !ok {
+		panic(fmt.Sprintf("distr: %s requires a Val3 descriptor, got %T", name, dd))
+	}
+	return v
+}
+
+func checkMeSz(name string, me, sz int) {
+	if sz <= 0 {
+		panic(fmt.Sprintf("distr: %s called with non-positive group size %d", name, sz))
+	}
+	if me < 0 || me >= sz {
+		panic(fmt.Sprintf("distr: %s called with rank %d outside group of size %d", name, me, sz))
+	}
+}
+
+// Same gives every participant the same value: Val * scale (df_same).
+func Same(me, sz int, scale float64, dd Desc) float64 {
+	checkMeSz("Same", me, sz)
+	return mustVal1("Same", dd).Val * scale
+}
+
+// Cyclic2 alternates between Low (even ranks) and High (odd ranks)
+// (df_cyclic2).
+func Cyclic2(me, sz int, scale float64, dd Desc) float64 {
+	checkMeSz("Cyclic2", me, sz)
+	v := mustVal2("Cyclic2", dd)
+	if me%2 == 0 {
+		return v.Low * scale
+	}
+	return v.High * scale
+}
+
+// Block2 assigns Low to the first half of the group and High to the second
+// half (df_block2).  With odd group sizes the first block is the larger.
+func Block2(me, sz int, scale float64, dd Desc) float64 {
+	checkMeSz("Block2", me, sz)
+	v := mustVal2("Block2", dd)
+	if 2*me < sz {
+		return v.Low * scale
+	}
+	return v.High * scale
+}
+
+// Linear interpolates linearly from Low at rank 0 to High at rank sz-1
+// (df_linear).  A singleton group receives Low.
+func Linear(me, sz int, scale float64, dd Desc) float64 {
+	checkMeSz("Linear", me, sz)
+	v := mustVal2("Linear", dd)
+	if sz == 1 {
+		return v.Low * scale
+	}
+	frac := float64(me) / float64(sz-1)
+	return (v.Low + (v.High-v.Low)*frac) * scale
+}
+
+// Peak gives High to rank N and Low to everyone else (df_peak).  If N lies
+// outside the group no rank peaks.
+func Peak(me, sz int, scale float64, dd Desc) float64 {
+	checkMeSz("Peak", me, sz)
+	v := mustVal2N("Peak", dd)
+	if me == v.N {
+		return v.High * scale
+	}
+	return v.Low * scale
+}
+
+// Cyclic3 cycles Low, Med, High by rank modulo three (df_cyclic3).
+func Cyclic3(me, sz int, scale float64, dd Desc) float64 {
+	checkMeSz("Cyclic3", me, sz)
+	v := mustVal3("Cyclic3", dd)
+	switch me % 3 {
+	case 0:
+		return v.Low * scale
+	case 1:
+		return v.Med * scale
+	default:
+		return v.High * scale
+	}
+}
+
+// Block3 splits the group into three nearly equal blocks receiving Low,
+// Med, High respectively (df_block3).  Remainder ranks go to the earlier
+// blocks, matching a block distribution of sz items over 3 buckets.
+func Block3(me, sz int, scale float64, dd Desc) float64 {
+	checkMeSz("Block3", me, sz)
+	v := mustVal3("Block3", dd)
+	// Block boundaries of a balanced 3-way block distribution.
+	b1 := (sz + 2) / 3
+	b2 := b1 + (sz+1)/3
+	switch {
+	case me < b1:
+		return v.Low * scale
+	case me < b2:
+		return v.Med * scale
+	default:
+		return v.High * scale
+	}
+}
+
+// Total sums the distribution over the whole group — the aggregate work or
+// buffer volume it describes.
+func Total(df Func, sz int, scale float64, dd Desc) float64 {
+	var t float64
+	for i := 0; i < sz; i++ {
+		t += df(i, sz, scale, dd)
+	}
+	return t
+}
+
+// Max returns the maximum value over the group.
+func Max(df Func, sz int, scale float64, dd Desc) float64 {
+	m := df(0, sz, scale, dd)
+	for i := 1; i < sz; i++ {
+		if v := df(i, sz, scale, dd); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Imbalance returns the theoretical load-imbalance waiting time of the
+// distribution: the sum over ranks of (max - value).  For a work
+// distribution followed by a synchronizing operation this is exactly the
+// total waiting time a perfect analysis tool should report.
+func Imbalance(df Func, sz int, scale float64, dd Desc) float64 {
+	m := Max(df, sz, scale, dd)
+	var w float64
+	for i := 0; i < sz; i++ {
+		w += m - df(i, sz, scale, dd)
+	}
+	return w
+}
+
+// registry maps distribution names to functions so that generated test
+// programs and CLI drivers can select distributions by name.
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Func{
+		"same":    Same,
+		"cyclic2": Cyclic2,
+		"block2":  Block2,
+		"linear":  Linear,
+		"peak":    Peak,
+		"cyclic3": Cyclic3,
+		"block3":  Block3,
+	}
+	// descKinds records which descriptor type each named distribution
+	// expects, for CLI parsing and program generation.
+	descKinds = map[string]string{
+		"same":    "val1",
+		"cyclic2": "val2",
+		"block2":  "val2",
+		"linear":  "val2",
+		"peak":    "val2n",
+		"cyclic3": "val3",
+		"block3":  "val3",
+	}
+)
+
+// Register adds a user-defined distribution under name.  kind must be one
+// of "val1", "val2", "val2n", "val3" and names the descriptor type the
+// function expects.  Registering an existing name replaces it.
+func Register(name, kind string, f Func) error {
+	switch kind {
+	case "val1", "val2", "val2n", "val3":
+	default:
+		return fmt.Errorf("distr: unknown descriptor kind %q", kind)
+	}
+	if name == "" || f == nil {
+		return fmt.Errorf("distr: Register requires a name and a function")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[name] = f
+	descKinds[name] = kind
+	return nil
+}
+
+// Lookup returns the distribution function registered under name.
+func Lookup(name string) (Func, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	f, ok := registry[name]
+	return f, ok
+}
+
+// DescKind returns the descriptor kind expected by the named distribution.
+func DescKind(name string) (string, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	k, ok := descKinds[name]
+	return k, ok
+}
+
+// Names returns the sorted list of registered distribution names.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParseDesc builds a descriptor of the given kind from up to three float
+// parameters and one integer, as supplied on a command line:
+//
+//	val1:  low            (Val = low)
+//	val2:  low, high
+//	val2n: low, high, n
+//	val3:  low, high, med
+func ParseDesc(kind string, low, high, med float64, n int) (Desc, error) {
+	switch kind {
+	case "val1":
+		return Val1{Val: low}, nil
+	case "val2":
+		return Val2{Low: low, High: high}, nil
+	case "val2n":
+		return Val2N{Low: low, High: high, N: n}, nil
+	case "val3":
+		return Val3{Low: low, High: high, Med: med}, nil
+	default:
+		return nil, fmt.Errorf("distr: unknown descriptor kind %q", kind)
+	}
+}

@@ -1,0 +1,256 @@
+package distr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestSame(t *testing.T) {
+	dd := Val1{Val: 3.5}
+	for me := 0; me < 7; me++ {
+		if got := Same(me, 7, 2.0, dd); !almostEqual(got, 7.0) {
+			t.Errorf("Same(%d) = %v, want 7", me, got)
+		}
+	}
+}
+
+func TestCyclic2(t *testing.T) {
+	dd := Val2{Low: 1, High: 2}
+	want := []float64{1, 2, 1, 2, 1}
+	for me, w := range want {
+		if got := Cyclic2(me, 5, 1, dd); !almostEqual(got, w) {
+			t.Errorf("Cyclic2(%d) = %v, want %v", me, got, w)
+		}
+	}
+}
+
+func TestBlock2(t *testing.T) {
+	dd := Val2{Low: 1, High: 2}
+	cases := []struct {
+		sz   int
+		want []float64
+	}{
+		{4, []float64{1, 1, 2, 2}},
+		{5, []float64{1, 1, 1, 2, 2}}, // first block larger on odd sizes
+		{1, []float64{1}},
+	}
+	for _, tc := range cases {
+		for me, w := range tc.want {
+			if got := Block2(me, tc.sz, 1, dd); !almostEqual(got, w) {
+				t.Errorf("Block2(%d, %d) = %v, want %v", me, tc.sz, got, w)
+			}
+		}
+	}
+}
+
+func TestLinear(t *testing.T) {
+	dd := Val2{Low: 0, High: 10}
+	want := []float64{0, 2.5, 5, 7.5, 10}
+	for me, w := range want {
+		if got := Linear(me, 5, 1, dd); !almostEqual(got, w) {
+			t.Errorf("Linear(%d) = %v, want %v", me, got, w)
+		}
+	}
+	if got := Linear(0, 1, 1, dd); !almostEqual(got, 0) {
+		t.Errorf("Linear singleton = %v, want Low", got)
+	}
+}
+
+func TestPeak(t *testing.T) {
+	dd := Val2N{Low: 1, High: 9, N: 2}
+	want := []float64{1, 1, 9, 1}
+	for me, w := range want {
+		if got := Peak(me, 4, 1, dd); !almostEqual(got, w) {
+			t.Errorf("Peak(%d) = %v, want %v", me, got, w)
+		}
+	}
+	// Out-of-range peak: nobody peaks.
+	dd.N = 99
+	for me := 0; me < 4; me++ {
+		if got := Peak(me, 4, 1, dd); !almostEqual(got, 1) {
+			t.Errorf("Peak(%d) with absent N = %v, want Low", me, got)
+		}
+	}
+}
+
+func TestCyclic3(t *testing.T) {
+	dd := Val3{Low: 1, Med: 2, High: 3}
+	want := []float64{1, 2, 3, 1, 2, 3, 1}
+	for me, w := range want {
+		if got := Cyclic3(me, 7, 1, dd); !almostEqual(got, w) {
+			t.Errorf("Cyclic3(%d) = %v, want %v", me, got, w)
+		}
+	}
+}
+
+func TestBlock3(t *testing.T) {
+	dd := Val3{Low: 1, Med: 2, High: 3}
+	cases := []struct {
+		sz   int
+		want []float64
+	}{
+		{3, []float64{1, 2, 3}},
+		{6, []float64{1, 1, 2, 2, 3, 3}},
+		{7, []float64{1, 1, 1, 2, 2, 3, 3}},
+		{8, []float64{1, 1, 1, 2, 2, 2, 3, 3}},
+	}
+	for _, tc := range cases {
+		for me, w := range tc.want {
+			if got := Block3(me, tc.sz, 1, dd); !almostEqual(got, w) {
+				t.Errorf("Block3(%d, %d) = %v, want %v", me, tc.sz, got, w)
+			}
+		}
+	}
+}
+
+func TestScaleFactor(t *testing.T) {
+	dd := Val2{Low: 2, High: 4}
+	for _, f := range []Func{Cyclic2, Block2, Linear} {
+		for me := 0; me < 4; me++ {
+			if got, want := f(me, 4, 3.0, dd), 3*f(me, 4, 1.0, dd); !almostEqual(got, want) {
+				t.Errorf("scale not proportional at rank %d: %v vs %v", me, got, want)
+			}
+		}
+	}
+}
+
+func TestTotalMaxImbalance(t *testing.T) {
+	dd := Val2{Low: 1, High: 3}
+	if got := Total(Block2, 4, 1, dd); !almostEqual(got, 8) {
+		t.Errorf("Total = %v, want 8", got)
+	}
+	if got := Max(Block2, 4, 1, dd); !almostEqual(got, 3) {
+		t.Errorf("Max = %v, want 3", got)
+	}
+	// Imbalance: (3-1)+(3-1)+0+0 = 4.
+	if got := Imbalance(Block2, 4, 1, dd); !almostEqual(got, 4) {
+		t.Errorf("Imbalance = %v, want 4", got)
+	}
+	// Balanced distribution has zero imbalance.
+	if got := Imbalance(Same, 8, 1, Val1{Val: 5}); !almostEqual(got, 0) {
+		t.Errorf("Imbalance(Same) = %v, want 0", got)
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("wrong descriptor", func() { Same(0, 1, 1, Val2{}) })
+	assertPanics("rank out of range", func() { Cyclic2(5, 4, 1, Val2{}) })
+	assertPanics("zero size", func() { Linear(0, 0, 1, Val2{}) })
+}
+
+func TestRegistryLookup(t *testing.T) {
+	for _, name := range []string{"same", "cyclic2", "block2", "linear", "peak", "cyclic3", "block3"} {
+		if _, ok := Lookup(name); !ok {
+			t.Errorf("predefined distribution %q not registered", name)
+		}
+		if _, ok := DescKind(name); !ok {
+			t.Errorf("descriptor kind for %q missing", name)
+		}
+	}
+	if _, ok := Lookup("no_such"); ok {
+		t.Error("lookup of unknown name succeeded")
+	}
+}
+
+func TestRegisterCustom(t *testing.T) {
+	err := Register("test_reverse_linear", "val2", func(me, sz int, scale float64, dd Desc) float64 {
+		return Linear(sz-1-me, sz, scale, dd)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, ok := Lookup("test_reverse_linear")
+	if !ok {
+		t.Fatal("custom distribution not found")
+	}
+	if got := f(0, 5, 1, Val2{Low: 0, High: 10}); !almostEqual(got, 10) {
+		t.Errorf("reverse linear(0) = %v, want 10", got)
+	}
+	if err := Register("bad", "val9", f); err == nil {
+		t.Error("register with bad kind succeeded")
+	}
+	if err := Register("", "val1", f); err == nil {
+		t.Error("register with empty name succeeded")
+	}
+}
+
+func TestParseDesc(t *testing.T) {
+	d, err := ParseDesc("val2n", 1, 2, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := d.(Val2N)
+	if v.Low != 1 || v.High != 2 || v.N != 3 {
+		t.Errorf("ParseDesc = %+v", v)
+	}
+	if _, err := ParseDesc("nope", 0, 0, 0, 0); err == nil {
+		t.Error("parse of unknown kind succeeded")
+	}
+}
+
+// Property-based invariants over all predefined distributions.
+func TestQuickInvariants(t *testing.T) {
+	descFor := func(name string, low, high, med float64, n int) Desc {
+		kind, _ := DescKind(name)
+		d, _ := ParseDesc(kind, low, high, med, n)
+		return d
+	}
+	for _, name := range Names() {
+		if len(name) > 4 && name[:5] == "test_" {
+			continue
+		}
+		f, _ := Lookup(name)
+		name := name
+		// Invariant 1: value is always one of {low, high, med} or a
+		// convex combination (linear), and scaling is proportional.
+		inv := func(meRaw, szRaw uint8, lowRaw, highRaw uint16) bool {
+			sz := int(szRaw%16) + 1
+			me := int(meRaw) % sz
+			low := float64(lowRaw) / 100
+			high := low + float64(highRaw)/100
+			med := (low + high) / 2
+			dd := descFor(name, low, high, med, sz/2)
+			v := f(me, sz, 1.0, dd)
+			if v < low-1e-9 || v > high+1e-9 {
+				t.Logf("%s(%d,%d) = %v outside [%v,%v]", name, me, sz, v, low, high)
+				return false
+			}
+			// Proportional scaling.
+			if !almostEqual(f(me, sz, 2.0, dd), 2*v) {
+				return false
+			}
+			return true
+		}
+		if err := quick.Check(inv, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: invariant violated: %v", name, err)
+		}
+	}
+}
+
+// Total of any distribution equals the sum of its per-rank values (the
+// buffer layer depends on every rank computing identical counts).
+func TestQuickTotalConsistency(t *testing.T) {
+	inv := func(szRaw uint8, lowRaw, highRaw uint16) bool {
+		sz := int(szRaw%32) + 1
+		dd := Val2{Low: float64(lowRaw), High: float64(highRaw)}
+		var sum float64
+		for i := 0; i < sz; i++ {
+			sum += Linear(i, sz, 1.0, dd)
+		}
+		return almostEqual(sum, Total(Linear, sz, 1.0, dd))
+	}
+	if err := quick.Check(inv, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,177 @@
+package generator
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestGenerateAllPropertiesParse(t *testing.T) {
+	for _, spec := range core.All() {
+		src, err := Generate(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, spec.Name+".go", src, 0)
+		if err != nil {
+			t.Fatalf("%s: generated code does not parse: %v\n%s", spec.Name, err, src)
+		}
+		if f.Name.Name != "main" {
+			t.Errorf("%s: package %s, want main", spec.Name, f.Name.Name)
+		}
+	}
+}
+
+func TestGeneratedFlagsMatchParams(t *testing.T) {
+	// Every parameter of the spec must appear as a flag registration in
+	// the generated source; distribution parameters expand to five flags.
+	for _, spec := range core.All() {
+		src, err := Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := string(src)
+		for _, p := range spec.Params {
+			switch p.Kind {
+			case core.ParamFloat:
+				if !strings.Contains(text, `flag.Float64("`+p.Name+`"`) {
+					t.Errorf("%s: missing float flag %q", spec.Name, p.Name)
+				}
+			case core.ParamInt:
+				if !strings.Contains(text, `flag.Int("`+p.Name+`"`) {
+					t.Errorf("%s: missing int flag %q", spec.Name, p.Name)
+				}
+			case core.ParamDistr:
+				for _, suffix := range []string{"", "_low", "_high", "_med", "_n"} {
+					if !strings.Contains(text, `"`+p.Name+suffix+`"`) {
+						t.Errorf("%s: missing distribution flag %q", spec.Name, p.Name+suffix)
+					}
+				}
+			}
+		}
+		if !strings.Contains(text, `ats.RunProperty("`+spec.Name+`"`) {
+			t.Errorf("%s: generated program does not run its property", spec.Name)
+		}
+	}
+}
+
+func TestGeneratedProgramUsesDefaults(t *testing.T) {
+	spec, _ := core.Get("late_broadcast")
+	src, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The root parameter's default (0) and the reps default must appear.
+	if !strings.Contains(string(src), `flag.Int("root", 0,`) {
+		t.Errorf("root default missing:\n%s", src)
+	}
+}
+
+func TestGenerateAllWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	paths, err := GenerateAll(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != len(core.All()) {
+		t.Errorf("generated %d programs, want %d", len(paths), len(core.All()))
+	}
+	for _, p := range paths {
+		if filepath.Base(p) != "main.go" {
+			t.Errorf("unexpected file name %q", p)
+		}
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("missing file: %v", err)
+		}
+	}
+}
+
+// TestGeneratedIdentifiersAreValid ensures no parameter name produces an
+// invalid Go identifier in the template (flag_<name> variables).
+func TestGeneratedIdentifiersAreValid(t *testing.T) {
+	for _, spec := range core.All() {
+		src, err := Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, "x.go", src, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Walk and ensure all identifiers are sane (parser would have
+		// failed otherwise; this asserts the variables exist).
+		found := false
+		ast.Inspect(f, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && strings.HasPrefix(id.Name, "flag_") {
+				found = true
+			}
+			return true
+		})
+		if len(spec.Params) > 0 && !found {
+			t.Errorf("%s: no parameter variables generated", spec.Name)
+		}
+	}
+}
+
+func TestSweepSeverityMonotone(t *testing.T) {
+	spec, _ := core.Get("late_sender")
+	pts := GridFloat(spec, "extrawork", []float64{0.01, 0.02, 0.04}, 4, 1)
+	rs, err := Sweep("late_sender", pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("got %d results", len(rs))
+	}
+	for i := 1; i < len(rs); i++ {
+		if rs[i].Wait <= rs[i-1].Wait {
+			t.Errorf("wait not increasing: %v then %v", rs[i-1].Wait, rs[i].Wait)
+		}
+	}
+	// Measured ≈ expected for each point.
+	for _, r := range rs {
+		if r.Expected > 0 {
+			rel := (r.Wait - r.Expected) / r.Expected
+			if rel < -0.15 || rel > 0.15 {
+				t.Errorf("point %s: wait %v vs expected %v", r.Point.Label, r.Wait, r.Expected)
+			}
+		}
+		if r.TopProperty != "late_sender" {
+			t.Errorf("point %s: top = %s", r.Point.Label, r.TopProperty)
+		}
+	}
+}
+
+func TestSweepAcrossDistributions(t *testing.T) {
+	spec, _ := core.Get("imbalance_at_mpi_barrier")
+	pts := GridDistr(spec, "distr", []string{"block2", "cyclic2", "linear", "peak"}, 8, 1)
+	rs, err := Sweep("imbalance_at_mpi_barrier", pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if r.Wait <= 0 {
+			t.Errorf("point %s: no barrier wait measured", r.Point.Label)
+		}
+	}
+	out := FormatSweep("imbalance_at_mpi_barrier", rs)
+	for _, want := range []string{"block2", "cyclic2", "linear", "peak", "wait(s)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted sweep missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSweepUnknownProperty(t *testing.T) {
+	if _, err := Sweep("no_such_property", nil); err == nil {
+		t.Error("unknown property accepted")
+	}
+}

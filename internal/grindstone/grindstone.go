@@ -1,0 +1,213 @@
+// Package grindstone provides a Grindstone-style suite of small
+// diagnostic programs.  The paper's Chapter 2 collects existing suites a
+// performance-tool test effort should cover, among them "Grindstone: A
+// Test Suite for Parallel Performance Tools" (Hollingsworth et al., 9 PVM
+// programs).  Grindstone's programs differ from the ATS property
+// functions: each is a tiny but complete *program* with one well-known
+// performance bug class (a hot procedure, a message flood, a passive
+// server, …) rather than a parameterized compound-event generator.
+//
+// This package reimplements the Grindstone idea on the ATS substrate: six
+// programs, each documenting the diagnosis a correct tool must produce.
+// The tests in this package run each program through the analyzer and
+// check that diagnosis, making the suite a second, independent
+// positive-correctness corpus beside the ATS property functions.
+package grindstone
+
+import (
+	"fmt"
+
+	"repro/internal/distr"
+	"repro/internal/mpi"
+	"repro/internal/work"
+)
+
+// Config scales the suite's programs.
+type Config struct {
+	// Work is the base unit of computation in seconds (default 5 ms).
+	Work float64
+	// Reps is the iteration count (default 10).
+	Reps int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Work <= 0 {
+		c.Work = 5e-3
+	}
+	if c.Reps <= 0 {
+		c.Reps = 10
+	}
+	return c
+}
+
+// Program is one diagnostic program of the suite.
+type Program struct {
+	Name string
+	// Diagnosis documents what a correct tool reports.
+	Diagnosis string
+	// Run executes the program on the communicator.
+	Run func(c *mpi.Comm, cfg Config)
+}
+
+// Programs returns the suite.
+func Programs() []Program {
+	return []Program{
+		{
+			Name: "hot_procedure",
+			Diagnosis: "one procedure (hot_spot) consumes the dominant share " +
+				"of execution time on every rank",
+			Run: hotProcedure,
+		},
+		{
+			Name: "diffuse_procedure",
+			Diagnosis: "the same total time is burned, but scattered over many " +
+				"small procedures — no single hot spot",
+			Run: diffuseProcedure,
+		},
+		{
+			Name: "small_messages",
+			Diagnosis: "communication time dominated by per-message latency: a " +
+				"flood of tiny messages (high count, low volume)",
+			Run: smallMessages,
+		},
+		{
+			Name: "big_messages",
+			Diagnosis: "communication time dominated by bandwidth: few, very " +
+				"large messages",
+			Run: bigMessages,
+		},
+		{
+			Name: "passive_server",
+			Diagnosis: "rank 0 is a passive server: it idles in MPI_Recv " +
+				"between requests while clients compute (late_sender on the server)",
+			Run: passiveServer,
+		},
+		{
+			Name: "random_barrier",
+			Diagnosis: "barrier waits spread over all ranks: a different rank " +
+				"is slow in every iteration (no single culprit)",
+			Run: randomBarrier,
+		},
+	}
+}
+
+// Lookup returns a program by name.
+func Lookup(name string) (Program, bool) {
+	for _, p := range Programs() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Program{}, false
+}
+
+// hotProcedure burns most of the time in one traced procedure.
+func hotProcedure(c *mpi.Comm, cfg Config) {
+	cfg = cfg.withDefaults()
+	c.Begin("grindstone_hot_procedure")
+	defer c.End()
+	for i := 0; i < cfg.Reps; i++ {
+		c.Begin("hot_spot")
+		c.Work(cfg.Work * 4)
+		c.End()
+		c.Begin("cold_work")
+		c.Work(cfg.Work / 4)
+		c.End()
+		c.Barrier()
+	}
+}
+
+// diffuseProcedure burns the same total time across many small regions.
+func diffuseProcedure(c *mpi.Comm, cfg Config) {
+	cfg = cfg.withDefaults()
+	c.Begin("grindstone_diffuse_procedure")
+	defer c.End()
+	const parts = 8
+	for i := 0; i < cfg.Reps; i++ {
+		for j := 0; j < parts; j++ {
+			c.Begin(fmt.Sprintf("diffuse_part_%d", j))
+			c.Work(cfg.Work * 4.25 / parts)
+			c.End()
+		}
+		c.Barrier()
+	}
+}
+
+// smallMessages floods rank 0 with tiny messages.
+func smallMessages(c *mpi.Comm, cfg Config) {
+	cfg = cfg.withDefaults()
+	c.Begin("grindstone_small_messages")
+	defer c.End()
+	const perRep = 20
+	buf := mpi.AllocBuf(mpi.TypeInt, 1) // 8 bytes
+	if c.Rank() == 0 {
+		for i := 0; i < cfg.Reps*perRep*(c.Size()-1); i++ {
+			c.Recv(buf, mpi.AnySource, 1)
+		}
+	} else {
+		for i := 0; i < cfg.Reps*perRep; i++ {
+			c.Send(buf, 0, 1)
+		}
+	}
+	c.Barrier()
+}
+
+// bigMessages ships few huge messages instead.
+func bigMessages(c *mpi.Comm, cfg Config) {
+	cfg = cfg.withDefaults()
+	c.Begin("grindstone_big_messages")
+	defer c.End()
+	buf := mpi.AllocBuf(mpi.TypeByte, 1<<20) // 1 MiB
+	if c.Rank() == 0 {
+		for i := 0; i < cfg.Reps*(c.Size()-1); i++ {
+			c.Recv(buf, mpi.AnySource, 2)
+		}
+	} else {
+		for i := 0; i < cfg.Reps; i++ {
+			c.Send(buf, 0, 2)
+		}
+	}
+	c.Barrier()
+}
+
+// passiveServer makes rank 0 serve requests it mostly waits for.
+func passiveServer(c *mpi.Comm, cfg Config) {
+	cfg = cfg.withDefaults()
+	c.Begin("grindstone_passive_server")
+	defer c.End()
+	req := mpi.AllocBuf(mpi.TypeInt, 1)
+	if c.Rank() == 0 {
+		clients := c.Size() - 1
+		for i := 0; i < cfg.Reps*clients; i++ {
+			st := c.Recv(req, mpi.AnySource, 3)
+			req.SetInt64(0, req.Int64(0)*2)
+			c.Send(req, st.Source, 4)
+		}
+	} else {
+		for i := 0; i < cfg.Reps; i++ {
+			c.Work(cfg.Work) // clients compute between requests
+			req.SetInt64(0, int64(i))
+			c.Send(req, 0, 3)
+			c.Recv(req, 0, 4)
+			if req.Int64(0) != int64(2*i) {
+				panic("server returned wrong answer")
+			}
+		}
+	}
+	c.Barrier()
+}
+
+// randomBarrier makes a pseudo-randomly chosen rank slow each iteration.
+func randomBarrier(c *mpi.Comm, cfg Config) {
+	cfg = cfg.withDefaults()
+	c.Begin("grindstone_random_barrier")
+	defer c.End()
+	// All ranks derive the same slow-rank sequence from a shared seed.
+	rng := work.NewRNG(987)
+	for i := 0; i < cfg.Reps; i++ {
+		slow := rng.Intn(c.Size())
+		dd := distr.Val2N{Low: cfg.Work / 4, High: cfg.Work * 3, N: slow}
+		c.DoWork(distr.Peak, dd, 1.0)
+		c.Barrier()
+	}
+}

@@ -1,0 +1,177 @@
+package grindstone
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/analyzer"
+	"repro/internal/mpi"
+	"repro/internal/trace"
+)
+
+func runProgram(t *testing.T, name string, procs int) (*trace.Trace, *analyzer.Report) {
+	t.Helper()
+	p, ok := Lookup(name)
+	if !ok {
+		t.Fatalf("unknown program %q", name)
+	}
+	tr, err := mpi.Run(mpi.Options{Procs: procs, Timeout: 60 * time.Second},
+		func(c *mpi.Comm) {
+			p.Run(c, Config{})
+		})
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return tr, analyzer.Analyze(tr, analyzer.Options{})
+}
+
+func TestSuiteComplete(t *testing.T) {
+	ps := Programs()
+	if len(ps) != 6 {
+		t.Fatalf("suite has %d programs", len(ps))
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		if p.Name == "" || p.Diagnosis == "" || p.Run == nil {
+			t.Errorf("incomplete program %+v", p)
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate program %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+	if _, ok := Lookup("no_such"); ok {
+		t.Error("lookup of unknown program succeeded")
+	}
+}
+
+// TestHotProcedure: the hot_spot region must dominate the profile.
+func TestHotProcedure(t *testing.T) {
+	_, rep := runProgram(t, "hot_procedure", 4)
+	hot := rep.Stats.RegionInclusive("hot_spot")
+	cold := rep.Stats.RegionInclusive("cold_work")
+	if hot < 10*cold {
+		t.Errorf("hot %v not dominating cold %v", hot, cold)
+	}
+	if frac := hot / rep.TotalTime; frac < 0.6 {
+		t.Errorf("hot spot fraction %v, want > 0.6", frac)
+	}
+}
+
+// TestDiffuseProcedure: same total burn, but no single region dominates.
+func TestDiffuseProcedure(t *testing.T) {
+	_, rep := runProgram(t, "diffuse_procedure", 4)
+	maxFrac := 0.0
+	total := 0.0
+	for region := range rep.Stats.Regions {
+		if len(region) > 7 && region[:7] == "diffuse" {
+			f := rep.Stats.RegionInclusive(region) / rep.TotalTime
+			total += f
+			if f > maxFrac {
+				maxFrac = f
+			}
+		}
+	}
+	if maxFrac > 0.2 {
+		t.Errorf("a diffuse part takes %v of the time — not diffuse", maxFrac)
+	}
+	if total < 0.6 {
+		t.Errorf("diffuse parts cover only %v of the time", total)
+	}
+}
+
+// TestSmallVsBigMessages: the message statistics must separate the
+// latency-bound flood from the bandwidth-bound transfer.
+func TestSmallVsBigMessages(t *testing.T) {
+	_, small := runProgram(t, "small_messages", 4)
+	_, big := runProgram(t, "big_messages", 4)
+
+	if small.Messages.AvgBytes > 64 {
+		t.Errorf("small-message program avg size %v", small.Messages.AvgBytes)
+	}
+	if big.Messages.AvgBytes < 1<<19 {
+		t.Errorf("big-message program avg size %v", big.Messages.AvgBytes)
+	}
+	if small.Messages.Count < 10*big.Messages.Count {
+		t.Errorf("counts do not separate: %d vs %d", small.Messages.Count, big.Messages.Count)
+	}
+	if big.Messages.Bytes < 100*small.Messages.Bytes {
+		t.Errorf("volumes do not separate: %d vs %d", big.Messages.Bytes, small.Messages.Bytes)
+	}
+	// Both are communication-dominated.
+	for name, rep := range map[string]*analyzer.Report{"small": small, "big": big} {
+		r := rep.Get(analyzer.PropMPITimeFraction)
+		if r == nil || r.Severity < 0.5 {
+			t.Errorf("%s: MPI time not dominant", name)
+		}
+	}
+	// Effective bandwidth of the big program approaches the model's
+	// 1 GB/s; the small program is latency-bound far below it.
+	smallBW := float64(small.Messages.Bytes) / small.Duration
+	bigBW := float64(big.Messages.Bytes) / big.Duration
+	if bigBW < 100*smallBW {
+		t.Errorf("bandwidth separation weak: big %v vs small %v B/s", bigBW, smallBW)
+	}
+}
+
+// TestPassiveServer: the server (rank 0) idles in MPI_Recv; the waiting
+// must sit on rank 0, not on the clients.
+func TestPassiveServer(t *testing.T) {
+	_, rep := runProgram(t, "passive_server", 4)
+	r := rep.Get(analyzer.PropLateSender)
+	if r == nil || r.Severity < rep.Threshold {
+		t.Fatalf("server idling not detected:\n%s", rep.Render())
+	}
+	server := r.ByLocation[trace.Location{Rank: 0}]
+	var clients float64
+	for loc, w := range r.ByLocation {
+		if loc.Rank != 0 {
+			clients += w
+		}
+	}
+	if server < 3*clients {
+		t.Errorf("server wait %v vs client waits %v — not a passive server", server, clients)
+	}
+}
+
+// TestRandomBarrier: barrier waits significant but spread — no location
+// holds a majority.
+func TestRandomBarrier(t *testing.T) {
+	const P = 4
+	_, rep := runProgram(t, "random_barrier", P)
+	r := rep.Get(analyzer.PropWaitAtBarrier)
+	if r == nil || r.Severity < rep.Threshold {
+		t.Fatalf("barrier waits not detected:\n%s", rep.Render())
+	}
+	var total, maxLoc float64
+	for _, w := range r.ByLocation {
+		total += w
+		if w > maxLoc {
+			maxLoc = w
+		}
+	}
+	if maxLoc/total > 0.6 {
+		t.Errorf("one rank holds %v of the barrier waits — should be spread", maxLoc/total)
+	}
+	if len(r.ByLocation) < P {
+		t.Errorf("waits on only %d of %d ranks", len(r.ByLocation), P)
+	}
+}
+
+// TestDeterministicDiagnoses: the whole suite is deterministic in virtual
+// time, including the wildcard-receiving server programs.
+func TestDeterministicDiagnoses(t *testing.T) {
+	for _, p := range Programs() {
+		run := func() float64 {
+			tr, err := mpi.Run(mpi.Options{Procs: 4, Timeout: 60 * time.Second},
+				func(c *mpi.Comm) { p.Run(c, Config{Reps: 3}) })
+			if err != nil {
+				t.Fatalf("%s: %v", p.Name, err)
+			}
+			return tr.End()
+		}
+		if a, b := run(), run(); a != b {
+			t.Errorf("%s: end times differ: %v vs %v", p.Name, a, b)
+		}
+	}
+}

@@ -1,0 +1,273 @@
+// Package microbench implements the benchmark-suite layer of the paper's
+// Chapter 2: SKaMPI-style MPI microbenchmarks (point-to-point and
+// collective timing over message sizes and process counts) and
+// EPCC-style OpenMP construct-overhead measurements, plus the
+// instrumentation-overhead (intrusiveness) comparison the paper describes
+// — run the benchmarks with and without tool instrumentation and compare.
+//
+// In Virtual clock mode the reported operation times are the cost model's
+// predictions (useful for checking the model's shape); intrusiveness is
+// always measured on the host wall clock, because it quantifies the cost
+// of the tracing machinery itself.
+package microbench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/omp"
+	"repro/internal/vtime"
+	"repro/internal/xctx"
+)
+
+// PingPongResult is one row of the point-to-point benchmark.
+type PingPongResult struct {
+	Bytes int
+	// RTT is the average round-trip time in (virtual or real) seconds.
+	RTT float64
+	// Bandwidth is the effective one-way bandwidth in bytes/second.
+	Bandwidth float64
+}
+
+// PingPong measures round-trip times between ranks 0 and 1 for each
+// message size (SKaMPI's classic pattern).
+func PingPong(sizes []int, reps int, mode vtime.Mode) ([]PingPongResult, error) {
+	if reps <= 0 {
+		reps = 10
+	}
+	var out []PingPongResult
+	for _, sz := range sizes {
+		rtt := make([]float64, 2)
+		_, err := mpi.Run(mpi.Options{Procs: 2, Mode: mode, Untraced: true}, func(c *mpi.Comm) {
+			buf := mpi.AllocBuf(mpi.TypeByte, sz)
+			c.Barrier()
+			start := c.WTime()
+			for i := 0; i < reps; i++ {
+				if c.Rank() == 0 {
+					c.Send(buf, 1, 0)
+					c.Recv(buf, 1, 1)
+				} else {
+					c.Recv(buf, 0, 0)
+					c.Send(buf, 0, 1)
+				}
+			}
+			rtt[c.Rank()] = (c.WTime() - start) / float64(reps)
+		})
+		if err != nil {
+			return nil, err
+		}
+		res := PingPongResult{Bytes: sz, RTT: rtt[0]}
+		if rtt[0] > 0 {
+			res.Bandwidth = 2 * float64(sz) / rtt[0]
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// CollResult is one row of the collective benchmark.
+type CollResult struct {
+	Op    string
+	Procs int
+	Bytes int
+	// Time is the average per-operation completion time.
+	Time float64
+}
+
+// Collectives measures barrier, bcast, allreduce and alltoall times for
+// each process count.
+func Collectives(procs []int, bytes, reps int, mode vtime.Mode) ([]CollResult, error) {
+	if reps <= 0 {
+		reps = 10
+	}
+	ops := []string{"barrier", "bcast", "allreduce", "alltoall"}
+	var out []CollResult
+	for _, p := range procs {
+		times := make(map[string]float64)
+		_, err := mpi.Run(mpi.Options{Procs: p, Mode: mode, Untraced: true}, func(c *mpi.Comm) {
+			n := bytes / mpi.TypeDouble.Size()
+			if n <= 0 {
+				n = 1
+			}
+			sb := mpi.AllocBuf(mpi.TypeDouble, n)
+			rb := mpi.AllocBuf(mpi.TypeDouble, n)
+			sbig := mpi.AllocBuf(mpi.TypeDouble, n*c.Size())
+			rbig := mpi.AllocBuf(mpi.TypeDouble, n*c.Size())
+			for _, op := range ops {
+				c.Barrier()
+				start := c.WTime()
+				for i := 0; i < reps; i++ {
+					switch op {
+					case "barrier":
+						c.Barrier()
+					case "bcast":
+						c.Bcast(sb, 0)
+					case "allreduce":
+						c.Allreduce(sb, rb, mpi.OpSum)
+					case "alltoall":
+						c.Alltoall(sbig, rbig)
+					}
+				}
+				el := (c.WTime() - start) / float64(reps)
+				if c.Rank() == 0 {
+					times[op] = el
+				}
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, op := range ops {
+			out = append(out, CollResult{Op: op, Procs: p, Bytes: bytes, Time: times[op]})
+		}
+	}
+	return out, nil
+}
+
+// OMPOverhead is one row of the EPCC-style construct-overhead benchmark.
+type OMPOverhead struct {
+	Construct string
+	Threads   int
+	// Overhead is the per-construct cost in seconds.
+	Overhead float64
+}
+
+// OMPOverheads measures the cost of parallel-region fork/join, barrier,
+// worksharing loop dispatch, and critical-section entry, following the
+// EPCC methodology of timing a reference loop with and without the
+// construct.
+func OMPOverheads(threads, reps int, mode vtime.Mode) ([]OMPOverhead, error) {
+	if reps <= 0 {
+		reps = 20
+	}
+	var out []OMPOverhead
+	_, err := omp.Run(omp.RunOptions{Threads: threads, Mode: mode, Untraced: true},
+		func(ctx *xctx.Ctx, opt omp.Options) {
+			// parallel region fork+join.
+			start := ctx.Now()
+			for i := 0; i < reps; i++ {
+				omp.Parallel(ctx, opt, func(tc *omp.TC) {})
+			}
+			out = append(out, OMPOverhead{"parallel", threads, (ctx.Now() - start) / float64(reps)})
+
+			// barrier.
+			var barrier float64
+			omp.Parallel(ctx, opt, func(tc *omp.TC) {
+				s := tc.Now()
+				for i := 0; i < reps; i++ {
+					tc.Barrier()
+				}
+				if tc.ThreadNum() == 0 {
+					barrier = (tc.Now() - s) / float64(reps)
+				}
+			})
+			out = append(out, OMPOverhead{"barrier", threads, barrier})
+
+			// worksharing loop (empty dynamic loop).
+			var loop float64
+			omp.Parallel(ctx, opt, func(tc *omp.TC) {
+				s := tc.Now()
+				for i := 0; i < reps; i++ {
+					tc.For(threads, omp.ForOpt{Sched: omp.Dynamic}, func(int) {})
+				}
+				if tc.ThreadNum() == 0 {
+					loop = (tc.Now() - s) / float64(reps)
+				}
+			})
+			out = append(out, OMPOverhead{"for", threads, loop})
+
+			// critical entry.
+			var crit float64
+			omp.Parallel(ctx, opt, func(tc *omp.TC) {
+				s := tc.Now()
+				for i := 0; i < reps; i++ {
+					tc.Critical("bench", func() {})
+				}
+				if tc.ThreadNum() == 0 {
+					crit = (tc.Now() - s) / float64(reps)
+				}
+			})
+			out = append(out, OMPOverhead{"critical", threads, crit})
+		})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// IntrusivenessResult compares a workload with and without tracing.
+type IntrusivenessResult struct {
+	// PlainWall and TracedWall are host wall-clock times of the two runs.
+	PlainWall  time.Duration
+	TracedWall time.Duration
+	// Overhead is TracedWall/PlainWall - 1.
+	Overhead float64
+	// Events is the number of trace events the instrumented run produced.
+	Events int
+}
+
+// Intrusiveness runs a fixed communication-heavy workload twice — without
+// and with event tracing — and reports the tool overhead, the Chapter-2
+// procedure for judging how much the instrumentation perturbs a program.
+func Intrusiveness(procs, reps int) (IntrusivenessResult, error) {
+	workload := func(c *mpi.Comm) {
+		sb := mpi.AllocBuf(mpi.TypeDouble, 64)
+		rb := mpi.AllocBuf(mpi.TypeDouble, 64)
+		for i := 0; i < reps; i++ {
+			mpi.PatternShift(c, sb, rb, mpi.DirUp, mpi.PatternOpts{})
+			c.Allreduce(sb, rb, mpi.OpSum)
+			c.Barrier()
+		}
+	}
+	var res IntrusivenessResult
+
+	start := time.Now()
+	if _, err := mpi.Run(mpi.Options{Procs: procs, Untraced: true}, workload); err != nil {
+		return res, err
+	}
+	res.PlainWall = time.Since(start)
+
+	start = time.Now()
+	tr, err := mpi.Run(mpi.Options{Procs: procs}, workload)
+	if err != nil {
+		return res, err
+	}
+	res.TracedWall = time.Since(start)
+	res.Events = len(tr.Events)
+	if res.PlainWall > 0 {
+		res.Overhead = float64(res.TracedWall)/float64(res.PlainWall) - 1
+	}
+	return res, nil
+}
+
+// FormatPingPong renders the ping-pong table.
+func FormatPingPong(rs []PingPongResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s %14s %14s\n", "bytes", "rtt(s)", "bw(B/s)")
+	for _, r := range rs {
+		fmt.Fprintf(&b, "%10d %14.9f %14.0f\n", r.Bytes, r.RTT, r.Bandwidth)
+	}
+	return b.String()
+}
+
+// FormatCollectives renders the collective table.
+func FormatCollectives(rs []CollResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %6s %10s %14s\n", "op", "procs", "bytes", "time(s)")
+	for _, r := range rs {
+		fmt.Fprintf(&b, "%-10s %6d %10d %14.9f\n", r.Op, r.Procs, r.Bytes, r.Time)
+	}
+	return b.String()
+}
+
+// FormatOMP renders the OpenMP overhead table.
+func FormatOMP(rs []OMPOverhead) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %8s %14s\n", "construct", "threads", "overhead(s)")
+	for _, r := range rs {
+		fmt.Fprintf(&b, "%-10s %8d %14.9f\n", r.Construct, r.Threads, r.Overhead)
+	}
+	return b.String()
+}

@@ -1,0 +1,96 @@
+package microbench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/vtime"
+)
+
+func TestPingPongLatencyBandwidthShape(t *testing.T) {
+	rs, err := PingPong([]int{8, 1024, 65536}, 5, vtime.Virtual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("got %d rows", len(rs))
+	}
+	// RTT must grow with message size; bandwidth must improve.
+	for i := 1; i < len(rs); i++ {
+		if rs[i].RTT <= rs[i-1].RTT {
+			t.Errorf("RTT not increasing: %v then %v", rs[i-1].RTT, rs[i].RTT)
+		}
+		if rs[i].Bandwidth <= rs[i-1].Bandwidth {
+			t.Errorf("bandwidth not improving: %v then %v", rs[i-1].Bandwidth, rs[i].Bandwidth)
+		}
+	}
+	// Small-message RTT is latency-bound: ≈ 2×(latency+overheads); with
+	// the default 5µs latency it must sit in the 5–100µs band.
+	if rs[0].RTT < 5e-6 || rs[0].RTT > 1e-4 {
+		t.Errorf("8-byte RTT = %v, outside plausible band", rs[0].RTT)
+	}
+	out := FormatPingPong(rs)
+	if !strings.Contains(out, "65536") {
+		t.Errorf("table missing row:\n%s", out)
+	}
+}
+
+func TestCollectivesScaleWithProcs(t *testing.T) {
+	rs, err := Collectives([]int{2, 8}, 512, 4, vtime.Virtual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]float64{}
+	for _, r := range rs {
+		byKey[r.Op+string(rune('0'+r.Procs))] = r.Time
+	}
+	// Logarithmic tree model: 8 ranks must cost more than 2.
+	for _, op := range []string{"barrier", "bcast", "allreduce", "alltoall"} {
+		if byKey[op+"8"] <= byKey[op+"2"] {
+			t.Errorf("%s: time(8)=%v <= time(2)=%v", op, byKey[op+"8"], byKey[op+"2"])
+		}
+	}
+	if out := FormatCollectives(rs); !strings.Contains(out, "alltoall") {
+		t.Errorf("table missing op:\n%s", out)
+	}
+}
+
+func TestOMPOverheadsPositive(t *testing.T) {
+	rs, err := OMPOverheads(4, 5, vtime.Virtual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 4 {
+		t.Fatalf("got %d rows", len(rs))
+	}
+	for _, r := range rs {
+		if r.Overhead <= 0 {
+			t.Errorf("%s overhead = %v, want > 0", r.Construct, r.Overhead)
+		}
+		// All construct overheads are microsecond-scale in the default
+		// cost model.
+		if r.Overhead > 1e-3 {
+			t.Errorf("%s overhead = %v, implausibly large", r.Construct, r.Overhead)
+		}
+	}
+	if out := FormatOMP(rs); !strings.Contains(out, "critical") {
+		t.Errorf("table missing construct:\n%s", out)
+	}
+}
+
+func TestIntrusivenessMeasurable(t *testing.T) {
+	res, err := Intrusiveness(4, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events == 0 {
+		t.Error("instrumented run produced no events")
+	}
+	if res.PlainWall <= 0 || res.TracedWall <= 0 {
+		t.Error("wall times not measured")
+	}
+	// Tracing must not blow the run up by an order of magnitude.
+	if res.Overhead > 10 {
+		t.Errorf("tracing overhead %.1fx looks pathological", res.Overhead+1)
+	}
+}

@@ -1,0 +1,131 @@
+package mpi
+
+import "fmt"
+
+// Cartesian process topologies (MPI_Cart_create and friends).  Stencil
+// applications — the Chapter-4 workload class — decompose their domains
+// over a process grid; the topology functions translate between ranks and
+// grid coordinates and provide the neighbour arithmetic halo exchanges
+// need.
+
+// Cart is a communicator with an attached Cartesian topology.
+type Cart struct {
+	*Comm
+	dims     []int
+	periodic []bool
+	coords   []int // this rank's coordinates
+}
+
+// CartCreate attaches a Cartesian topology over the communicator
+// (MPI_Cart_create with reorder=false): dims gives the grid extent per
+// dimension and periodic whether each dimension wraps.  The product of
+// dims must not exceed the communicator size; ranks beyond the product
+// receive nil (they are not part of the grid — MPI returns MPI_COMM_NULL).
+// Like the real operation it is collective.
+func (c *Comm) CartCreate(dims []int, periodic []bool) *Cart {
+	if len(dims) == 0 || len(dims) != len(periodic) {
+		panic(fmt.Sprintf("mpi: CartCreate with dims %v and periodic %v", dims, periodic))
+	}
+	total := 1
+	for _, d := range dims {
+		if d <= 0 {
+			panic(fmt.Sprintf("mpi: CartCreate with non-positive dimension in %v", dims))
+		}
+		total *= d
+	}
+	if total > c.Size() {
+		panic(fmt.Sprintf("mpi: CartCreate grid %v needs %d ranks, communicator has %d",
+			dims, total, c.Size()))
+	}
+	color := 0
+	if c.Rank() >= total {
+		color = Undefined
+	}
+	sub := c.Split(color, c.Rank())
+	if sub == nil {
+		return nil
+	}
+	ct := &Cart{
+		Comm:     sub,
+		dims:     append([]int(nil), dims...),
+		periodic: append([]bool(nil), periodic...),
+	}
+	ct.coords = ct.CoordsOf(sub.Rank())
+	return ct
+}
+
+// Dims returns the grid extents.
+func (ct *Cart) Dims() []int { return append([]int(nil), ct.dims...) }
+
+// Coords returns this rank's grid coordinates (MPI_Cart_coords of self).
+func (ct *Cart) Coords() []int { return append([]int(nil), ct.coords...) }
+
+// CoordsOf converts a grid rank to coordinates (MPI_Cart_coords),
+// row-major as in MPI.
+func (ct *Cart) CoordsOf(rank int) []int {
+	if rank < 0 || rank >= ct.Size() {
+		panic(fmt.Sprintf("mpi: CoordsOf rank %d outside grid of size %d", rank, ct.Size()))
+	}
+	coords := make([]int, len(ct.dims))
+	for i := len(ct.dims) - 1; i >= 0; i-- {
+		coords[i] = rank % ct.dims[i]
+		rank /= ct.dims[i]
+	}
+	return coords
+}
+
+// RankOf converts coordinates to a grid rank (MPI_Cart_rank).  Periodic
+// dimensions wrap; out-of-range coordinates in non-periodic dimensions
+// return ProcNull.
+func (ct *Cart) RankOf(coords []int) int {
+	if len(coords) != len(ct.dims) {
+		panic(fmt.Sprintf("mpi: RankOf with %d coordinates for %d dimensions",
+			len(coords), len(ct.dims)))
+	}
+	rank := 0
+	for i, x := range coords {
+		d := ct.dims[i]
+		if ct.periodic[i] {
+			x = ((x % d) + d) % d
+		} else if x < 0 || x >= d {
+			return ProcNull
+		}
+		rank = rank*d + x
+	}
+	return rank
+}
+
+// ProcNull is the null neighbour rank (MPI_PROC_NULL): communication
+// directed at it is skipped.
+const ProcNull = -2
+
+// Shift returns the source and destination ranks for a shift of disp
+// steps along dimension dim (MPI_Cart_shift): dst is where this rank's
+// data goes, src is where data comes from.  Non-periodic edges yield
+// ProcNull.
+func (ct *Cart) Shift(dim, disp int) (src, dst int) {
+	if dim < 0 || dim >= len(ct.dims) {
+		panic(fmt.Sprintf("mpi: Shift on dimension %d of %d", dim, len(ct.dims)))
+	}
+	up := append([]int(nil), ct.coords...)
+	up[dim] += disp
+	dst = ct.RankOf(up)
+	down := append([]int(nil), ct.coords...)
+	down[dim] -= disp
+	src = ct.RankOf(down)
+	return src, dst
+}
+
+// SendrecvNeighbor performs a Sendrecv along a shift, handling ProcNull
+// partners like MPI does (the corresponding half of the exchange is
+// skipped and the receive buffer is left untouched).
+func (ct *Cart) SendrecvNeighbor(sbuf *Buf, dst, stag int, rbuf *Buf, src, rtag int) {
+	switch {
+	case dst != ProcNull && src != ProcNull:
+		ct.Sendrecv(sbuf, dst, stag, rbuf, src, rtag)
+	case dst != ProcNull:
+		ct.Send(sbuf, dst, stag)
+	case src != ProcNull:
+		ct.Recv(rbuf, src, rtag)
+	}
+}

@@ -1,0 +1,132 @@
+package mpi
+
+import (
+	"testing"
+)
+
+func TestCartCoordsRoundTrip(t *testing.T) {
+	mustRun(t, testOpts(6), func(c *Comm) {
+		ct := c.CartCreate([]int{2, 3}, []bool{false, false})
+		if ct == nil {
+			t.Fatalf("rank %d excluded from exact-fit grid", c.Rank())
+		}
+		// Row-major: rank = x*3 + y.
+		coords := ct.Coords()
+		if want := ct.Rank() / 3; coords[0] != want {
+			t.Errorf("rank %d x = %d, want %d", ct.Rank(), coords[0], want)
+		}
+		if want := ct.Rank() % 3; coords[1] != want {
+			t.Errorf("rank %d y = %d, want %d", ct.Rank(), coords[1], want)
+		}
+		if back := ct.RankOf(coords); back != ct.Rank() {
+			t.Errorf("round trip %v -> %d, want %d", coords, back, ct.Rank())
+		}
+		d := ct.Dims()
+		if d[0] != 2 || d[1] != 3 {
+			t.Errorf("dims = %v", d)
+		}
+	})
+}
+
+func TestCartExcessRanksExcluded(t *testing.T) {
+	mustRun(t, testOpts(5), func(c *Comm) {
+		ct := c.CartCreate([]int{2, 2}, []bool{false, false})
+		if c.Rank() == 4 {
+			if ct != nil {
+				t.Error("excess rank received a grid communicator")
+			}
+			return
+		}
+		if ct == nil || ct.Size() != 4 {
+			t.Errorf("rank %d: bad grid", c.Rank())
+		}
+	})
+}
+
+func TestCartShiftPeriodic(t *testing.T) {
+	mustRun(t, testOpts(4), func(c *Comm) {
+		ct := c.CartCreate([]int{4}, []bool{true})
+		src, dst := ct.Shift(0, 1)
+		if dst != (ct.Rank()+1)%4 || src != (ct.Rank()+3)%4 {
+			t.Errorf("rank %d shift = (%d,%d)", ct.Rank(), src, dst)
+		}
+		// Data makes a full circle in 4 shifts.
+		s := AllocBuf(TypeInt, 1)
+		r := AllocBuf(TypeInt, 1)
+		s.SetInt64(0, int64(ct.Rank()))
+		for i := 0; i < 4; i++ {
+			src, dst := ct.Shift(0, 1)
+			ct.SendrecvNeighbor(s, dst, 5, r, src, 5)
+			s, r = r, s
+		}
+		if s.Int64(0) != int64(ct.Rank()) {
+			t.Errorf("rank %d: data did not circle back: %d", ct.Rank(), s.Int64(0))
+		}
+	})
+}
+
+func TestCartShiftNonPeriodicEdges(t *testing.T) {
+	mustRun(t, testOpts(3), func(c *Comm) {
+		ct := c.CartCreate([]int{3}, []bool{false})
+		src, dst := ct.Shift(0, 1)
+		switch ct.Rank() {
+		case 0:
+			if src != ProcNull || dst != 1 {
+				t.Errorf("rank 0 shift = (%d,%d)", src, dst)
+			}
+		case 2:
+			if src != 1 || dst != ProcNull {
+				t.Errorf("rank 2 shift = (%d,%d)", src, dst)
+			}
+		}
+		// A halo-style exchange over the open chain must not deadlock.
+		s := AllocBuf(TypeInt, 1)
+		r := AllocBuf(TypeInt, 1)
+		s.SetInt64(0, int64(ct.Rank()*7))
+		ct.SendrecvNeighbor(s, dst, 6, r, src, 6)
+		if ct.Rank() > 0 && r.Int64(0) != int64((ct.Rank()-1)*7) {
+			t.Errorf("rank %d received %d", ct.Rank(), r.Int64(0))
+		}
+	})
+}
+
+func TestCart2DNeighborExchange(t *testing.T) {
+	mustRun(t, testOpts(6), func(c *Comm) {
+		ct := c.CartCreate([]int{2, 3}, []bool{false, true})
+		s := AllocBuf(TypeInt, 1)
+		r := AllocBuf(TypeInt, 1)
+		// Exchange along the periodic y dimension.
+		s.SetInt64(0, int64(ct.Rank()))
+		src, dst := ct.Shift(1, 1)
+		ct.SendrecvNeighbor(s, dst, 7, r, src, 7)
+		co := ct.Coords()
+		wantSrc := ct.RankOf([]int{co[0], co[1] - 1})
+		if r.Int64(0) != int64(wantSrc) {
+			t.Errorf("rank %d received %d, want %d", ct.Rank(), r.Int64(0), wantSrc)
+		}
+	})
+}
+
+func TestCartValidation(t *testing.T) {
+	mustRun(t, testOpts(2), func(c *Comm) {
+		assertPanics := func(name string, f func()) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}
+		if c.Rank() == 0 {
+			assertPanics("oversized grid", func() { c.CartCreate([]int{5}, []bool{false}) })
+		} else {
+			assertPanics("oversized grid", func() { c.CartCreate([]int{5}, []bool{false}) })
+		}
+	})
+	_, err := Run(testOpts(2), func(c *Comm) {
+		c.CartCreate([]int{2, 2}, []bool{false}) // dims/periodic mismatch
+	})
+	if err == nil {
+		t.Error("dims/periodic mismatch accepted")
+	}
+}

@@ -1,0 +1,79 @@
+package mpi
+
+import "math"
+
+// CostModel parameterizes the virtual-time costs of communication and of
+// the MPI machinery itself.  It is a deliberately simple latency/bandwidth
+// (Hockney-style) model with a logarithmic tree factor for collectives —
+// enough to give synthetic traces realistic *shape* without pretending to
+// model a specific interconnect.  In Real clock mode the model is ignored
+// except for InitTime/FinalizeTime, which are spun for real so the
+// "High MPI Init/Finalize Overhead" property (paper §3.2) also manifests
+// there.
+type CostModel struct {
+	// Latency is the per-message wire latency in seconds.
+	Latency float64
+	// Bandwidth is the wire bandwidth in bytes/second.
+	Bandwidth float64
+	// Overhead is the per-call CPU overhead charged to each participant
+	// of any MPI operation.
+	Overhead float64
+	// InitTime and FinalizeTime model MPI_Init / MPI_Finalize cost.  The
+	// paper observes that for tiny test programs this overhead dominates
+	// and is itself a detectable property.
+	InitTime     float64
+	FinalizeTime float64
+	// EagerThreshold is the message size in bytes up to which standard
+	// sends complete eagerly (buffered); larger sends use the rendezvous
+	// protocol and block until the receive is posted.  The late-receiver
+	// property only manifests at or above this threshold (or with Ssend).
+	EagerThreshold int
+}
+
+// DefaultCost returns a cost model loosely shaped like a 2002-era cluster
+// interconnect: 5 µs latency, 1 GB/s bandwidth, 1 µs CPU overhead per call,
+// 20 ms Init, 10 ms Finalize, 4 KiB eager threshold.
+func DefaultCost() CostModel {
+	return CostModel{
+		Latency:        5e-6,
+		Bandwidth:      1e9,
+		Overhead:       1e-6,
+		InitTime:       20e-3,
+		FinalizeTime:   10e-3,
+		EagerThreshold: 4096,
+	}
+}
+
+// zero reports whether the model is entirely unset (so defaults apply).
+func (c CostModel) zero() bool {
+	return c == CostModel{}
+}
+
+// transfer returns the wire time for a message of the given size.
+func (c CostModel) transfer(bytes int) float64 {
+	bw := c.Bandwidth
+	if bw <= 0 {
+		bw = 1e9
+	}
+	return c.Latency + float64(bytes)/bw
+}
+
+// ceilLog2 returns ceil(log2(n)) with ceilLog2(1) == 1, so even trivial
+// collectives have nonzero cost.
+func ceilLog2(n int) int {
+	if n <= 2 {
+		return 1
+	}
+	return int(math.Ceil(math.Log2(float64(n))))
+}
+
+// collNet returns the network time of a tree-based collective moving bytes
+// per stage over a group of p ranks.
+func (c CostModel) collNet(p, bytes int) float64 {
+	return float64(ceilLog2(p)) * c.transfer(bytes)
+}
+
+// barrierNet returns the network time of a barrier over p ranks.
+func (c CostModel) barrierNet(p int) float64 {
+	return float64(ceilLog2(p)) * c.Latency
+}

@@ -1,0 +1,368 @@
+package mpi
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func TestPackUnpackVector(t *testing.T) {
+	src := AllocBuf(TypeInt, 12)
+	for i := 0; i < 12; i++ {
+		src.SetInt64(i, int64(i))
+	}
+	// 3 blocks of 2 elements, stride 4: elements 0,1, 4,5, 8,9.
+	v := Vector{Count: 3, BlockLen: 2, Stride: 4}
+	packed := Pack(src, v)
+	want := []int64{0, 1, 4, 5, 8, 9}
+	if packed.Count != len(want) {
+		t.Fatalf("packed count = %d", packed.Count)
+	}
+	for i, w := range want {
+		if packed.Int64(i) != w {
+			t.Errorf("packed[%d] = %d, want %d", i, packed.Int64(i), w)
+		}
+	}
+	dst := AllocBuf(TypeInt, 12)
+	for i := 0; i < 12; i++ {
+		dst.SetInt64(i, -1)
+	}
+	Unpack(dst, v, packed)
+	for i := 0; i < 12; i++ {
+		wantV := int64(-1)
+		for _, idx := range want {
+			if int64(i) == idx {
+				wantV = idx
+			}
+		}
+		if dst.Int64(i) != wantV {
+			t.Errorf("dst[%d] = %d, want %d", i, dst.Int64(i), wantV)
+		}
+	}
+}
+
+func TestPackRejectsBadLayouts(t *testing.T) {
+	src := AllocBuf(TypeInt, 8)
+	for _, v := range []Vector{
+		{Count: 3, BlockLen: 0, Stride: 2},  // empty blocks
+		{Count: 3, BlockLen: 3, Stride: 2},  // overlapping
+		{Count: 4, BlockLen: 2, Stride: 4},  // exceeds buffer
+		{Count: -1, BlockLen: 1, Stride: 1}, // negative count
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("layout %+v accepted", v)
+				}
+			}()
+			Pack(src, v)
+		}()
+	}
+}
+
+func TestSendRecvVector(t *testing.T) {
+	mustRun(t, testOpts(2), func(c *Comm) {
+		v := Vector{Count: 4, BlockLen: 1, Stride: 3}
+		if c.Rank() == 0 {
+			buf := AllocBuf(TypeDouble, 10)
+			for i := 0; i < 10; i++ {
+				buf.SetFloat64(i, float64(i)*1.5)
+			}
+			c.SendVector(buf, v, 1, 0)
+		} else {
+			buf := AllocBuf(TypeDouble, 10)
+			st := c.RecvVector(buf, v, 0, 0)
+			if st.Count != 4 {
+				t.Errorf("count = %d", st.Count)
+			}
+			for _, idx := range []int{0, 3, 6, 9} {
+				if buf.Float64(idx) != float64(idx)*1.5 {
+					t.Errorf("element %d = %v", idx, buf.Float64(idx))
+				}
+			}
+			// Non-layout positions stay zero.
+			if buf.Float64(1) != 0 {
+				t.Errorf("gap element written: %v", buf.Float64(1))
+			}
+		}
+	})
+}
+
+func TestBsendAlwaysEager(t *testing.T) {
+	opt := testOpts(2)
+	opt.Cost = DefaultCost()
+	opt.Cost.EagerThreshold = 8 // tiny: standard sends would rendezvous
+	tr := mustRun(t, opt, func(c *Comm) {
+		b := AllocBuf(TypeDouble, 128) // 1 KiB >> threshold
+		if c.Rank() == 0 {
+			c.Bsend(b, 1, 0) // must not block even though recv is late
+			c.Work(0.01)
+		} else {
+			c.Work(0.05)
+			c.Recv(b, 0, 0)
+		}
+	})
+	for _, ev := range tr.Events {
+		if ev.Kind == trace.KindSend && ev.Flags&trace.FlagSync != 0 {
+			t.Error("Bsend used the rendezvous protocol")
+		}
+	}
+	// Sender's Bsend region must be short (no blocking).
+	st := trace.ComputeStats(tr)
+	if got := st.RegionInclusive("MPI_Bsend"); got > 0.001 {
+		t.Errorf("MPI_Bsend took %v — blocked?", got)
+	}
+}
+
+func TestProbeThenRecv(t *testing.T) {
+	mustRun(t, testOpts(2), func(c *Comm) {
+		if c.Rank() == 0 {
+			b := AllocBuf(TypeInt, 5)
+			b.FillSeq(0)
+			c.Work(0.02)
+			c.Send(b, 1, 9)
+		} else {
+			st := c.Probe(0, 9)
+			if st.Count != 5 || st.Source != 0 || st.Tag != 9 {
+				t.Errorf("probe status %+v", st)
+			}
+			// Allocate exactly the probed size, as real MPI code does.
+			b := AllocBuf(TypeInt, st.Count)
+			got := c.Recv(b, st.Source, st.Tag)
+			if got.Count != 5 {
+				t.Errorf("recv count %d", got.Count)
+			}
+			// The probe completed no earlier than the message arrival.
+			if c.WTime() < 0.02 {
+				t.Errorf("receiver time %v before sender's work finished", c.WTime())
+			}
+		}
+	})
+}
+
+func TestProbeAnySource(t *testing.T) {
+	mustRun(t, testOpts(3), func(c *Comm) {
+		if c.Rank() == 0 {
+			b := AllocBuf(TypeInt, 1)
+			for i := 0; i < 2; i++ {
+				st := c.Probe(AnySource, AnyTag)
+				got := c.Recv(b, st.Source, st.Tag)
+				if got.Source != st.Source || got.Tag != st.Tag {
+					t.Errorf("probe/recv mismatch: %+v vs %+v", st, got)
+				}
+			}
+		} else {
+			b := AllocBuf(TypeInt, 1)
+			c.Work(float64(c.Rank()) * 0.01)
+			c.Send(b, 0, c.Rank())
+		}
+	})
+}
+
+// TestWildcardVirtualArrivalOrder checks the deterministic wildcard rule:
+// the receiver must match messages in virtual-arrival order even though
+// the host-scheduling order of the senders is arbitrary.
+func TestWildcardVirtualArrivalOrder(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		order := make([]int, 0, 3)
+		mustRun(t, testOpts(4), func(c *Comm) {
+			b := AllocBuf(TypeInt, 1)
+			if c.Rank() == 0 {
+				for i := 0; i < 3; i++ {
+					st := c.Recv(b, AnySource, 0)
+					order = append(order, st.Source)
+				}
+			} else {
+				// Rank r sends at virtual time (4-r)*10ms: rank 3
+				// earliest, rank 1 latest.
+				c.Work(float64(4-c.Rank()) * 0.01)
+				b.SetInt64(0, int64(c.Rank()))
+				c.Send(b, 0, 0)
+			}
+		})
+		want := []int{3, 2, 1}
+		for i, w := range want {
+			if order[i] != w {
+				t.Fatalf("trial %d: match order %v, want %v", trial, order, want)
+			}
+		}
+	}
+}
+
+func TestGrowingSeverityPerIteration(t *testing.T) {
+	// Barrier waits must grow linearly across repetitions when the scale
+	// factor is the iteration number.
+	const reps = 4
+	tr := mustRun(t, testOpts(4), func(c *Comm) {
+		for i := 0; i < reps; i++ {
+			if c.Rank() == 0 {
+				c.Work(0.01 * float64(i+1))
+			}
+			c.Barrier()
+		}
+	})
+	var waits []float64
+	perBarrier := map[uint64]float64{}
+	for _, ev := range tr.Events {
+		if ev.Kind == trace.KindColl && ev.Coll == trace.CollBarrier && ev.CRank == 1 {
+			perBarrier[ev.Match] = ev.Time - ev.Aux
+		}
+	}
+	for _, w := range perBarrier {
+		waits = append(waits, w)
+	}
+	if len(waits) != reps {
+		t.Fatalf("got %d barrier instances", len(waits))
+	}
+	var total float64
+	for _, w := range waits {
+		total += w
+	}
+	// Each instance's wait additionally includes the barrier's own
+	// network+overhead cost (~tens of µs with the default model).
+	want := 0.01 * (1 + 2 + 3 + 4)
+	if math.Abs(total-want) > 1e-3 {
+		t.Errorf("total wait %v, want ≈ %v", total, want)
+	}
+}
+
+func TestAllgatherv(t *testing.T) {
+	const P = 4
+	mustRun(t, testOpts(P), func(c *Comm) {
+		counts := []int{2, 1, 3, 2}
+		s := AllocBuf(TypeInt, counts[c.Rank()])
+		for i := 0; i < s.Count; i++ {
+			s.SetInt64(i, int64(c.Rank()*10+i))
+		}
+		r := AllocBuf(TypeInt, 8)
+		c.Allgatherv(s, r, counts)
+		off := 0
+		for rank, n := range counts {
+			for i := 0; i < n; i++ {
+				if r.Int64(off) != int64(rank*10+i) {
+					t.Errorf("slot %d = %d, want %d", off, r.Int64(off), rank*10+i)
+				}
+				off++
+			}
+		}
+	})
+}
+
+func TestAllgathervValidatesCounts(t *testing.T) {
+	_, err := Run(testOpts(2), func(c *Comm) {
+		s := AllocBuf(TypeInt, 1)
+		r := AllocBuf(TypeInt, 4)
+		c.Allgatherv(s, r, []int{2, 2}) // wrong: contributes 1, claims 2
+	})
+	if err == nil {
+		t.Fatal("count mismatch accepted")
+	}
+}
+
+// TestRendezvousRingDeadlockDetected: a ring of plain blocking Sends above
+// the eager threshold deadlocks in real MPI — our substrate must reproduce
+// that failure mode and the watchdog must convert it into an error rather
+// than a hang.
+func TestRendezvousRingDeadlockDetected(t *testing.T) {
+	opt := testOpts(3)
+	opt.Cost = DefaultCost()
+	opt.Cost.EagerThreshold = 8
+	opt.Timeout = 300 * time.Millisecond
+	_, err := Run(opt, func(c *Comm) {
+		big := AllocBuf(TypeDouble, 1024)
+		next, prev := (c.Rank()+1)%3, (c.Rank()+2)%3
+		c.Send(big, next, 0) // rendezvous: everyone blocks waiting for a recv
+		c.Recv(big, prev, 0)
+	})
+	if err == nil {
+		t.Fatal("rendezvous ring of blocking sends did not deadlock")
+	}
+}
+
+// TestSelfSendEager: an eager self-send must work (real MPI allows
+// buffered self-sends); a rendezvous self-send is the classic self-
+// deadlock the watchdog must catch.
+func TestSelfSendEager(t *testing.T) {
+	mustRun(t, testOpts(1), func(c *Comm) {
+		b := AllocBuf(TypeInt, 1)
+		b.SetInt64(0, 77)
+		c.Send(b, 0, 0)
+		r := AllocBuf(TypeInt, 1)
+		c.Recv(r, 0, 0)
+		if r.Int64(0) != 77 {
+			t.Errorf("self-send payload %d", r.Int64(0))
+		}
+	})
+	opt := testOpts(1)
+	opt.Timeout = 300 * time.Millisecond
+	_, err := Run(opt, func(c *Comm) {
+		b := AllocBuf(TypeInt, 1)
+		c.Ssend(b, 0, 0) // blocks forever: no concurrent receive possible
+	})
+	if err == nil {
+		t.Fatal("synchronous self-send did not deadlock")
+	}
+}
+
+// TestTruncationDetected: receiving into a too-small buffer is an error,
+// as in MPI (MPI_ERR_TRUNCATE).
+func TestTruncationDetected(t *testing.T) {
+	_, err := Run(testOpts(2), func(c *Comm) {
+		if c.Rank() == 0 {
+			b := AllocBuf(TypeInt, 8)
+			c.Send(b, 1, 0)
+		} else {
+			small := AllocBuf(TypeInt, 4)
+			c.Recv(small, 0, 0)
+		}
+	})
+	if err == nil {
+		t.Fatal("truncated receive accepted")
+	}
+}
+
+// TestTypeMismatchDetected: datatype disagreement between send and
+// receive is an error.
+func TestTypeMismatchDetected(t *testing.T) {
+	_, err := Run(testOpts(2), func(c *Comm) {
+		if c.Rank() == 0 {
+			b := AllocBuf(TypeDouble, 4)
+			c.Send(b, 1, 0)
+		} else {
+			b := AllocBuf(TypeInt, 4)
+			c.Recv(b, 0, 0)
+		}
+	})
+	if err == nil {
+		t.Fatal("datatype mismatch accepted")
+	}
+}
+
+// TestLargeBacklogDrainsLinearly: a sender racing far ahead of its
+// receiver builds a large mailbox backlog; draining it must stay fast
+// (regression test for the O(n²) front-removal this exposed).
+func TestLargeBacklogDrainsLinearly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-backlog stress test")
+	}
+	const n = 200000
+	start := time.Now()
+	mustRun(t, testOpts(2), func(c *Comm) {
+		b := AllocBuf(TypeByte, 8)
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				c.Send(b, 1, 0)
+			}
+		} else {
+			c.Work(0.001) // let the backlog build
+			for i := 0; i < n; i++ {
+				c.Recv(b, 0, 0)
+			}
+		}
+	})
+	if el := time.Since(start); el > 20*time.Second {
+		t.Errorf("draining %d messages took %v", n, el)
+	}
+}

@@ -1,0 +1,895 @@
+package mpi
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/distr"
+	"repro/internal/trace"
+)
+
+// testOpts returns small, fast default options for unit tests.
+func testOpts(procs int) Options {
+	return Options{Procs: procs, Timeout: 20 * time.Second}
+}
+
+func mustRun(t *testing.T, opt Options, body func(c *Comm)) *trace.Trace {
+	t.Helper()
+	tr, err := Run(opt, body)
+	if err != nil {
+		t.Fatalf("Run failed: %v", err)
+	}
+	return tr
+}
+
+func TestRankAndSize(t *testing.T) {
+	const P = 5
+	var seen [P]atomic.Bool
+	mustRun(t, testOpts(P), func(c *Comm) {
+		if c.Size() != P {
+			t.Errorf("Size() = %d, want %d", c.Size(), P)
+		}
+		if c.Rank() != c.WorldRank() {
+			t.Errorf("world comm: Rank %d != WorldRank %d", c.Rank(), c.WorldRank())
+		}
+		if seen[c.Rank()].Swap(true) {
+			t.Errorf("rank %d seen twice", c.Rank())
+		}
+	})
+	for i := range seen {
+		if !seen[i].Load() {
+			t.Errorf("rank %d never ran", i)
+		}
+	}
+}
+
+func TestSendRecvData(t *testing.T) {
+	mustRun(t, testOpts(2), func(c *Comm) {
+		if c.Rank() == 0 {
+			b := AllocBuf(TypeInt, 8)
+			for i := 0; i < 8; i++ {
+				b.SetInt64(i, int64(i*i))
+			}
+			c.Send(b, 1, 7)
+		} else {
+			b := AllocBuf(TypeInt, 8)
+			st := c.Recv(b, 0, 7)
+			if st.Source != 0 || st.Tag != 7 || st.Count != 8 {
+				t.Errorf("status = %+v", st)
+			}
+			for i := 0; i < 8; i++ {
+				if b.Int64(i) != int64(i*i) {
+					t.Errorf("element %d = %d, want %d", i, b.Int64(i), i*i)
+				}
+			}
+		}
+	})
+}
+
+func TestSendRecvNonOvertaking(t *testing.T) {
+	// Messages with the same (source, tag, comm) must arrive in order.
+	mustRun(t, testOpts(2), func(c *Comm) {
+		const n = 50
+		if c.Rank() == 0 {
+			b := AllocBuf(TypeInt, 1)
+			for i := 0; i < n; i++ {
+				b.SetInt64(0, int64(i))
+				c.Send(b, 1, 3)
+			}
+		} else {
+			b := AllocBuf(TypeInt, 1)
+			for i := 0; i < n; i++ {
+				c.Recv(b, 0, 3)
+				if b.Int64(0) != int64(i) {
+					t.Fatalf("message %d overtaken: got %d", i, b.Int64(0))
+				}
+			}
+		}
+	})
+}
+
+func TestTagSelectivity(t *testing.T) {
+	// A receive for tag 2 must match the tag-2 message even when a tag-1
+	// message was posted earlier.
+	mustRun(t, testOpts(2), func(c *Comm) {
+		if c.Rank() == 0 {
+			b1 := AllocBuf(TypeInt, 1)
+			b1.SetInt64(0, 111)
+			c.Send(b1, 1, 1)
+			b2 := AllocBuf(TypeInt, 1)
+			b2.SetInt64(0, 222)
+			c.Send(b2, 1, 2)
+		} else {
+			b := AllocBuf(TypeInt, 1)
+			c.Recv(b, 0, 2)
+			if b.Int64(0) != 222 {
+				t.Errorf("tag-2 recv got %d", b.Int64(0))
+			}
+			c.Recv(b, 0, 1)
+			if b.Int64(0) != 111 {
+				t.Errorf("tag-1 recv got %d", b.Int64(0))
+			}
+		}
+	})
+}
+
+func TestAnySourceAnyTag(t *testing.T) {
+	mustRun(t, testOpts(3), func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			b := AllocBuf(TypeInt, 1)
+			got := map[int64]bool{}
+			for i := 0; i < 2; i++ {
+				st := c.Recv(b, AnySource, AnyTag)
+				if st.Source != int(b.Int64(0)) {
+					t.Errorf("status source %d, payload says %d", st.Source, b.Int64(0))
+				}
+				got[b.Int64(0)] = true
+			}
+			if !got[1] || !got[2] {
+				t.Errorf("wildcard receive missed a sender: %v", got)
+			}
+		default:
+			b := AllocBuf(TypeInt, 1)
+			b.SetInt64(0, int64(c.Rank()))
+			c.Send(b, 0, c.Rank()+10)
+		}
+	})
+}
+
+func TestIsendIrecvWait(t *testing.T) {
+	mustRun(t, testOpts(2), func(c *Comm) {
+		b := AllocBuf(TypeDouble, 4)
+		if c.Rank() == 0 {
+			for i := 0; i < 4; i++ {
+				b.SetFloat64(i, float64(i)+0.5)
+			}
+			req := c.Isend(b, 1, 0)
+			c.Wait(req)
+		} else {
+			req := c.Irecv(b, 0, 0)
+			st := c.Wait(req)
+			if st.Count != 4 {
+				t.Errorf("count = %d", st.Count)
+			}
+			for i := 0; i < 4; i++ {
+				if b.Float64(i) != float64(i)+0.5 {
+					t.Errorf("element %d = %v", i, b.Float64(i))
+				}
+			}
+		}
+	})
+}
+
+func TestSsendRendezvous(t *testing.T) {
+	// Virtual time: the sender enters Ssend at t=A; the receiver enters
+	// Recv later at t=B>A (late receiver).  The sender must block until
+	// B: its exit time is >= B.
+	const late = 0.25
+	tr := mustRun(t, testOpts(2), func(c *Comm) {
+		b := AllocBuf(TypeInt, 1)
+		if c.Rank() == 0 {
+			c.Ssend(b, 1, 0)
+		} else {
+			c.Work(late)
+			c.Recv(b, 0, 0)
+		}
+	})
+	var sendEnter, recvEnter float64
+	for _, ev := range tr.Events {
+		if ev.Kind == trace.KindSend {
+			sendEnter = ev.Time
+			if ev.Flags&trace.FlagSync == 0 {
+				t.Error("Ssend event not flagged sync")
+			}
+		}
+		if ev.Kind == trace.KindRecv {
+			recvEnter = ev.Aux
+		}
+	}
+	if recvEnter-sendEnter < late*0.99 {
+		t.Errorf("receiver enter %v not late relative to send enter %v", recvEnter, sendEnter)
+	}
+	// Sender's MPI_Ssend region must span the wait.
+	st := trace.ComputeStats(tr)
+	if got := st.RegionInclusive("MPI_Ssend"); got < late*0.99 {
+		t.Errorf("MPI_Ssend inclusive time %v, want >= %v", got, late)
+	}
+}
+
+func TestStandardSendRendezvousAboveThreshold(t *testing.T) {
+	opt := testOpts(2)
+	opt.Cost = DefaultCost()
+	opt.Cost.EagerThreshold = 64
+	tr := mustRun(t, opt, func(c *Comm) {
+		b := AllocBuf(TypeDouble, 64) // 512 bytes > 64-byte threshold
+		if c.Rank() == 0 {
+			c.Send(b, 1, 0)
+		} else {
+			c.Work(0.1)
+			c.Recv(b, 0, 0)
+		}
+	})
+	found := false
+	for _, ev := range tr.Events {
+		if ev.Kind == trace.KindSend {
+			found = true
+			if ev.Flags&trace.FlagSync == 0 {
+				t.Error("above-threshold standard send should be rendezvous")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no send event in trace")
+	}
+}
+
+func TestEagerSendDoesNotBlock(t *testing.T) {
+	// An eager send must complete even though the receive happens much
+	// later in program order (same rank pair, no deadlock).
+	mustRun(t, testOpts(2), func(c *Comm) {
+		b := AllocBuf(TypeInt, 1)
+		if c.Rank() == 0 {
+			c.Send(b, 1, 0) // eager: returns immediately
+			c.Recv(b, 1, 1)
+		} else {
+			c.Send(b, 0, 1)
+			c.Recv(b, 0, 0)
+		}
+	})
+}
+
+func TestSendrecvExchange(t *testing.T) {
+	const P = 4
+	mustRun(t, testOpts(P), func(c *Comm) {
+		s := AllocBuf(TypeInt, 1)
+		r := AllocBuf(TypeInt, 1)
+		s.SetInt64(0, int64(c.Rank()))
+		next, prev := (c.Rank()+1)%P, (c.Rank()+P-1)%P
+		c.Sendrecv(s, next, 0, r, prev, 0)
+		if r.Int64(0) != int64(prev) {
+			t.Errorf("rank %d received %d, want %d", c.Rank(), r.Int64(0), prev)
+		}
+	})
+}
+
+func TestSendrecvLargeNoDeadlock(t *testing.T) {
+	// Under rendezvous, a ring of plain Send/Recv would deadlock;
+	// Sendrecv must not.
+	opt := testOpts(4)
+	opt.Cost = DefaultCost()
+	opt.Cost.EagerThreshold = 8
+	mustRun(t, opt, func(c *Comm) {
+		s := AllocBuf(TypeDouble, 1024)
+		r := AllocBuf(TypeDouble, 1024)
+		next, prev := (c.Rank()+1)%4, (c.Rank()+3)%4
+		c.Sendrecv(s, next, 0, r, prev, 0)
+	})
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	opt := testOpts(2)
+	opt.Timeout = 300 * time.Millisecond
+	_, err := Run(opt, func(c *Comm) {
+		b := AllocBuf(TypeInt, 1)
+		c.Recv(b, (c.Rank()+1)%2, 0) // everyone receives, nobody sends
+	})
+	if err == nil {
+		t.Fatal("expected watchdog error for deadlocked program")
+	}
+}
+
+func TestPanicPropagation(t *testing.T) {
+	_, err := Run(testOpts(3), func(c *Comm) {
+		if c.Rank() == 1 {
+			panic("boom")
+		}
+		c.Barrier() // others block; must be unwound by the abort
+	})
+	if err == nil {
+		t.Fatal("expected error from panicking rank")
+	}
+}
+
+func TestBarrierSynchronizesVirtualClocks(t *testing.T) {
+	const P = 4
+	tr := mustRun(t, testOpts(P), func(c *Comm) {
+		c.Work(float64(c.Rank()) * 0.1) // rank r works r*100ms
+		c.Barrier()
+	})
+	// All barrier exits must equal the maximum arrival (plus epsilon).
+	var exits []float64
+	var maxEnter float64
+	for _, ev := range tr.Events {
+		if ev.Kind == trace.KindColl && ev.Coll == trace.CollBarrier {
+			exits = append(exits, ev.Time)
+			if ev.Aux > maxEnter {
+				maxEnter = ev.Aux
+			}
+		}
+	}
+	if len(exits) != P {
+		t.Fatalf("got %d barrier events, want %d", len(exits), P)
+	}
+	for _, x := range exits {
+		if x < maxEnter {
+			t.Errorf("barrier exit %v before last arrival %v", x, maxEnter)
+		}
+		if x-exits[0] > 1e-12 && exits[0]-x > 1e-12 {
+			t.Errorf("barrier exits differ: %v vs %v", x, exits[0])
+		}
+	}
+}
+
+func TestBcastData(t *testing.T) {
+	const P = 5
+	mustRun(t, testOpts(P), func(c *Comm) {
+		b := AllocBuf(TypeDouble, 3)
+		if c.Rank() == 2 {
+			b.SetFloat64(0, 1.5)
+			b.SetFloat64(1, 2.5)
+			b.SetFloat64(2, 3.5)
+		}
+		c.Bcast(b, 2)
+		for i, want := range []float64{1.5, 2.5, 3.5} {
+			if b.Float64(i) != want {
+				t.Errorf("rank %d element %d = %v, want %v", c.Rank(), i, b.Float64(i), want)
+			}
+		}
+	})
+}
+
+func TestLateBroadcastTiming(t *testing.T) {
+	// Root enters Bcast `delay` seconds late; every other rank's KindColl
+	// event must show waiting >= delay.
+	const P = 4
+	const delay = 0.2
+	tr := mustRun(t, testOpts(P), func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Work(delay)
+		}
+		b := AllocBuf(TypeInt, 1)
+		c.Bcast(b, 0)
+	})
+	n := 0
+	for _, ev := range tr.Events {
+		if ev.Kind != trace.KindColl || ev.Coll != trace.CollBcast {
+			continue
+		}
+		n++
+		if ev.CRank == 0 {
+			if ev.Flags&trace.FlagRoot == 0 {
+				t.Error("root event not flagged")
+			}
+			continue
+		}
+		if wait := ev.Time - ev.Aux; wait < delay*0.99 {
+			t.Errorf("rank %d waited only %v, want >= %v", ev.CRank, wait, delay)
+		}
+	}
+	if n != P {
+		t.Errorf("got %d bcast events, want %d", n, P)
+	}
+}
+
+func TestScatterGatherRoundTrip(t *testing.T) {
+	const P = 4
+	mustRun(t, testOpts(P), func(c *Comm) {
+		const cnt = 3
+		var sbuf, rbuf *Buf
+		recv := AllocBuf(TypeInt, cnt)
+		if c.Rank() == 1 {
+			sbuf = AllocBuf(TypeInt, P*cnt)
+			for i := 0; i < P*cnt; i++ {
+				sbuf.SetInt64(i, int64(100+i))
+			}
+			rbuf = AllocBuf(TypeInt, P*cnt)
+		}
+		c.Scatter(sbuf, recv, 1)
+		for i := 0; i < cnt; i++ {
+			want := int64(100 + c.Rank()*cnt + i)
+			if recv.Int64(i) != want {
+				t.Errorf("rank %d scatter element %d = %d, want %d", c.Rank(), i, recv.Int64(i), want)
+			}
+		}
+		c.Gather(recv, rbuf, 1)
+		if c.Rank() == 1 {
+			for i := 0; i < P*cnt; i++ {
+				if rbuf.Int64(i) != int64(100+i) {
+					t.Errorf("gather element %d = %d, want %d", i, rbuf.Int64(i), 100+i)
+				}
+			}
+		}
+	})
+}
+
+func TestScattervGathervWithDistribution(t *testing.T) {
+	const P = 4
+	mustRun(t, testOpts(P), func(c *Comm) {
+		// Linear distribution of counts: 2, 4, 6, 8.
+		dd := distr.Val2{Low: 2, High: 8}
+		v := AllocVBuf(c, TypeInt, distr.Linear, dd, 1.0, 0)
+		wantCounts := []int{2, 4, 6, 8}
+		for i, w := range wantCounts {
+			if v.Counts[i] != w {
+				t.Errorf("count[%d] = %d, want %d", i, v.Counts[i], w)
+			}
+		}
+		if c.Rank() == 0 {
+			for i := 0; i < v.Total; i++ {
+				v.RootBuf.SetInt64(i, int64(i))
+			}
+		}
+		c.Scatterv(v)
+		base := v.Displs[c.Rank()]
+		for i := 0; i < v.Counts[c.Rank()]; i++ {
+			if v.Buf.Int64(i) != int64(base+i) {
+				t.Errorf("rank %d scatterv element %d = %d, want %d",
+					c.Rank(), i, v.Buf.Int64(i), base+i)
+			}
+		}
+		// Modify and gather back.
+		for i := 0; i < v.Counts[c.Rank()]; i++ {
+			v.Buf.SetInt64(i, v.Buf.Int64(i)*2)
+		}
+		c.Gatherv(v)
+		if c.Rank() == 0 {
+			for i := 0; i < v.Total; i++ {
+				if v.RootBuf.Int64(i) != int64(2*i) {
+					t.Errorf("gatherv element %d = %d, want %d", i, v.RootBuf.Int64(i), 2*i)
+				}
+			}
+		}
+	})
+}
+
+func TestReduceOps(t *testing.T) {
+	const P = 4
+	cases := []struct {
+		op   Op
+		want int64 // reduce of values 1..P
+	}{
+		{OpSum, 10},
+		{OpProd, 24},
+		{OpMax, 4},
+		{OpMin, 1},
+		{OpBAnd, 0},
+		{OpBOr, 7},
+		{OpLAnd, 1},
+		{OpLOr, 1},
+	}
+	mustRun(t, testOpts(P), func(c *Comm) {
+		for _, tc := range cases {
+			s := AllocBuf(TypeInt, 1)
+			r := AllocBuf(TypeInt, 1)
+			s.SetInt64(0, int64(c.Rank()+1))
+			c.Reduce(s, r, tc.op, 0)
+			if c.Rank() == 0 && r.Int64(0) != tc.want {
+				t.Errorf("%v = %d, want %d", tc.op, r.Int64(0), tc.want)
+			}
+		}
+	})
+}
+
+func TestReduceDouble(t *testing.T) {
+	const P = 3
+	mustRun(t, testOpts(P), func(c *Comm) {
+		s := AllocBuf(TypeDouble, 2)
+		r := AllocBuf(TypeDouble, 2)
+		s.SetFloat64(0, float64(c.Rank())+1)
+		s.SetFloat64(1, 0.5)
+		c.Allreduce(s, r, OpSum)
+		if math.Abs(r.Float64(0)-6) > 1e-12 {
+			t.Errorf("allreduce sum = %v, want 6", r.Float64(0))
+		}
+		if math.Abs(r.Float64(1)-1.5) > 1e-12 {
+			t.Errorf("allreduce sum = %v, want 1.5", r.Float64(1))
+		}
+	})
+}
+
+func TestAllgather(t *testing.T) {
+	const P = 4
+	mustRun(t, testOpts(P), func(c *Comm) {
+		s := AllocBuf(TypeInt, 2)
+		r := AllocBuf(TypeInt, 2*P)
+		s.SetInt64(0, int64(c.Rank()))
+		s.SetInt64(1, int64(c.Rank()*10))
+		c.Allgather(s, r)
+		for i := 0; i < P; i++ {
+			if r.Int64(2*i) != int64(i) || r.Int64(2*i+1) != int64(i*10) {
+				t.Errorf("rank %d allgather slot %d = (%d,%d)", c.Rank(), i, r.Int64(2*i), r.Int64(2*i+1))
+			}
+		}
+	})
+}
+
+func TestAlltoall(t *testing.T) {
+	const P = 3
+	mustRun(t, testOpts(P), func(c *Comm) {
+		s := AllocBuf(TypeInt, P)
+		r := AllocBuf(TypeInt, P)
+		for j := 0; j < P; j++ {
+			s.SetInt64(j, int64(c.Rank()*100+j)) // segment j goes to rank j
+		}
+		c.Alltoall(s, r)
+		for j := 0; j < P; j++ {
+			want := int64(j*100 + c.Rank())
+			if r.Int64(j) != want {
+				t.Errorf("rank %d slot %d = %d, want %d", c.Rank(), j, r.Int64(j), want)
+			}
+		}
+	})
+}
+
+func TestAlltoallv(t *testing.T) {
+	const P = 3
+	mustRun(t, testOpts(P), func(c *Comm) {
+		// Rank r sends r+1 elements to each destination.
+		n := c.Rank() + 1
+		counts := make([]int, P)
+		for i := range counts {
+			counts[i] = n
+		}
+		s := AllocBuf(TypeInt, n*P)
+		for i := 0; i < n*P; i++ {
+			s.SetInt64(i, int64(c.Rank()*1000+i))
+		}
+		// Receive 1+2+3 = 6 elements.
+		r := AllocBuf(TypeInt, 6)
+		c.Alltoallv(s, counts, r)
+		// Expect segments from ranks 0,1,2 with lengths 1,2,3; segment
+		// from rank j starts at element j's offset j*(j+1)... check first
+		// element of each segment.
+		off := 0
+		for j := 0; j < P; j++ {
+			want := int64(j*1000 + (j+1)*c.Rank())
+			if r.Int64(off) != want {
+				t.Errorf("rank %d segment from %d starts with %d, want %d",
+					c.Rank(), j, r.Int64(off), want)
+			}
+			off += j + 1
+		}
+	})
+}
+
+func TestScan(t *testing.T) {
+	const P = 5
+	mustRun(t, testOpts(P), func(c *Comm) {
+		s := AllocBuf(TypeInt, 1)
+		r := AllocBuf(TypeInt, 1)
+		s.SetInt64(0, int64(c.Rank()+1))
+		c.Scan(s, r, OpSum)
+		want := int64((c.Rank() + 1) * (c.Rank() + 2) / 2)
+		if r.Int64(0) != want {
+			t.Errorf("rank %d scan = %d, want %d", c.Rank(), r.Int64(0), want)
+		}
+	})
+}
+
+func TestReduceScatter(t *testing.T) {
+	const P = 3
+	mustRun(t, testOpts(P), func(c *Comm) {
+		counts := []int{1, 2, 1}
+		s := AllocBuf(TypeInt, 4)
+		for i := 0; i < 4; i++ {
+			s.SetInt64(i, int64(i+1)) // same on all ranks → reduce = P*(i+1)
+		}
+		r := AllocBuf(TypeInt, counts[c.Rank()])
+		c.ReduceScatter(s, r, counts, OpSum)
+		offs := []int{0, 1, 3}
+		for i := 0; i < counts[c.Rank()]; i++ {
+			want := int64(P * (offs[c.Rank()] + i + 1))
+			if r.Int64(i) != want {
+				t.Errorf("rank %d element %d = %d, want %d", c.Rank(), i, r.Int64(i), want)
+			}
+		}
+	})
+}
+
+func TestSplitHalves(t *testing.T) {
+	const P = 8
+	mustRun(t, testOpts(P), func(c *Comm) {
+		color := 0
+		if c.Rank() >= P/2 {
+			color = 1
+		}
+		sub := c.Split(color, c.Rank())
+		if sub == nil {
+			t.Fatalf("rank %d got nil sub-communicator", c.Rank())
+		}
+		if sub.Size() != P/2 {
+			t.Errorf("sub size = %d, want %d", sub.Size(), P/2)
+		}
+		wantLocal := c.Rank() % (P / 2)
+		if sub.Rank() != wantLocal {
+			t.Errorf("world rank %d has sub rank %d, want %d", c.Rank(), sub.Rank(), wantLocal)
+		}
+		// Collectives on the sub-communicator are independent: reduce
+		// rank sums per half.
+		s := AllocBuf(TypeInt, 1)
+		r := AllocBuf(TypeInt, 1)
+		s.SetInt64(0, int64(c.Rank()))
+		sub.Allreduce(s, r, OpSum)
+		want := int64(0 + 1 + 2 + 3)
+		if color == 1 {
+			want = 4 + 5 + 6 + 7
+		}
+		if r.Int64(0) != want {
+			t.Errorf("half %d sum = %d, want %d", color, r.Int64(0), want)
+		}
+	})
+}
+
+func TestSplitUndefined(t *testing.T) {
+	mustRun(t, testOpts(4), func(c *Comm) {
+		color := 0
+		if c.Rank() == 3 {
+			color = Undefined
+		}
+		sub := c.Split(color, 0)
+		if c.Rank() == 3 {
+			if sub != nil {
+				t.Error("Undefined rank received a communicator")
+			}
+			return
+		}
+		if sub == nil || sub.Size() != 3 {
+			t.Errorf("rank %d: bad sub communicator", c.Rank())
+		}
+	})
+}
+
+func TestSplitKeyOrdering(t *testing.T) {
+	const P = 4
+	mustRun(t, testOpts(P), func(c *Comm) {
+		// Reverse the ranks via the key.
+		sub := c.Split(0, P-c.Rank())
+		want := P - 1 - c.Rank()
+		if sub.Rank() != want {
+			t.Errorf("world rank %d got sub rank %d, want %d", c.Rank(), sub.Rank(), want)
+		}
+	})
+}
+
+func TestDup(t *testing.T) {
+	mustRun(t, testOpts(3), func(c *Comm) {
+		d := c.Dup()
+		if d.Size() != c.Size() || d.Rank() != c.Rank() {
+			t.Errorf("dup mismatch: %d/%d vs %d/%d", d.Rank(), d.Size(), c.Rank(), c.Size())
+		}
+		if d.ContextID() == c.ContextID() {
+			t.Error("dup shares context id with parent")
+		}
+		// Traffic on the dup must not interfere with the parent.
+		b := AllocBuf(TypeInt, 1)
+		if c.Rank() == 0 {
+			b.SetInt64(0, 5)
+			d.Send(b, 1, 0)
+			b.SetInt64(0, 9)
+			c.Send(b, 1, 0)
+		} else if c.Rank() == 1 {
+			c.Recv(b, 0, 0)
+			if b.Int64(0) != 9 {
+				t.Errorf("parent comm recv = %d, want 9", b.Int64(0))
+			}
+			d.Recv(b, 0, 0)
+			if b.Int64(0) != 5 {
+				t.Errorf("dup comm recv = %d, want 5", b.Int64(0))
+			}
+		}
+	})
+}
+
+func TestCollectiveMismatchDetected(t *testing.T) {
+	_, err := Run(testOpts(2), func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Barrier()
+		} else {
+			b := AllocBuf(TypeInt, 1)
+			c.Bcast(b, 0)
+		}
+	})
+	if err == nil {
+		t.Fatal("expected collective mismatch error")
+	}
+}
+
+func TestLateSenderWaitExact(t *testing.T) {
+	// Virtual time: sender is late by exactly `extra`; the receiver's
+	// waiting time (sendEnter - recvEnter) must equal it.
+	const extra = 0.3
+	tr := mustRun(t, testOpts(2), func(c *Comm) {
+		b := AllocBuf(TypeInt, 1)
+		if c.Rank() == 0 {
+			c.Work(extra)
+			c.Send(b, 1, 0)
+		} else {
+			c.Recv(b, 0, 0)
+		}
+	})
+	var send, recv *trace.Event
+	for i := range tr.Events {
+		ev := &tr.Events[i]
+		if ev.Kind == trace.KindSend {
+			send = ev
+		}
+		if ev.Kind == trace.KindRecv {
+			recv = ev
+		}
+	}
+	if send == nil || recv == nil {
+		t.Fatal("missing message events")
+	}
+	if send.Match != recv.Match {
+		t.Errorf("match ids differ: %d vs %d", send.Match, recv.Match)
+	}
+	wait := send.Time - recv.Aux
+	if math.Abs(wait-extra) > 1e-9 {
+		t.Errorf("late-sender wait = %v, want exactly %v", wait, extra)
+	}
+}
+
+func TestInitFinalizeRegions(t *testing.T) {
+	tr := mustRun(t, testOpts(2), func(c *Comm) {
+		c.Work(0.01)
+	})
+	st := trace.ComputeStats(tr)
+	if st.RegionCount("MPI_Init") != 2 {
+		t.Errorf("MPI_Init count = %d, want 2", st.RegionCount("MPI_Init"))
+	}
+	if st.RegionCount("MPI_Finalize") != 2 {
+		t.Errorf("MPI_Finalize count = %d, want 2", st.RegionCount("MPI_Finalize"))
+	}
+	cost := DefaultCost()
+	if got := st.RegionInclusive("MPI_Init"); got < 2*cost.InitTime*0.99 {
+		t.Errorf("MPI_Init inclusive = %v, want >= %v", got, 2*cost.InitTime)
+	}
+}
+
+func TestUntracedRun(t *testing.T) {
+	opt := testOpts(2)
+	opt.Untraced = true
+	tr, err := Run(opt, func(c *Comm) {
+		b := AllocBuf(TypeInt, 1)
+		if c.Rank() == 0 {
+			c.Send(b, 1, 0)
+		} else {
+			c.Recv(b, 0, 0)
+		}
+		c.Barrier()
+	})
+	if err != nil {
+		t.Fatalf("untraced run failed: %v", err)
+	}
+	if tr != nil {
+		t.Error("untraced run returned a trace")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	// Two identical virtual runs must produce identical event timings.
+	run := func() []float64 {
+		tr := mustRun(t, testOpts(4), func(c *Comm) {
+			dd := distr.Val2{Low: 0.01, High: 0.05}
+			c.DoWork(distr.Linear, dd, 1.0)
+			c.Barrier()
+			b := AllocBuf(TypeDouble, 16)
+			c.Bcast(b, 0)
+			PatternShift(c, b.Clone(), b, DirUp, PatternOpts{})
+		})
+		var times []float64
+		for _, ev := range tr.Events {
+			times = append(times, ev.Time)
+		}
+		return times
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("event counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d time differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPatternSendRecvPairs(t *testing.T) {
+	for _, dir := range []Direction{DirUp, DirDown} {
+		for _, p := range []int{2, 4, 5, 7} {
+			tr := mustRun(t, testOpts(p), func(c *Comm) {
+				buf := c.BaseBuf()
+				PatternSendRecv(c, buf, dir, PatternOpts{})
+			})
+			sends, recvs := 0, 0
+			for _, ev := range tr.Events {
+				switch ev.Kind {
+				case trace.KindSend:
+					sends++
+					if ev.CRank%2 != 0 {
+						t.Errorf("dir %v P=%d: odd rank %d sent", dir, p, ev.CRank)
+					}
+				case trace.KindRecv:
+					recvs++
+				}
+			}
+			wantPairs := p / 2
+			if dir == DirDown {
+				// Even rank e sends to e-1: pairs (2,1),(4,3)...
+				wantPairs = (p - 1) / 2
+			}
+			if sends != wantPairs || recvs != wantPairs {
+				t.Errorf("dir %v P=%d: %d sends %d recvs, want %d pairs", dir, p, sends, recvs, wantPairs)
+			}
+		}
+	}
+}
+
+func TestPatternShiftAllRanks(t *testing.T) {
+	const P = 5
+	tr := mustRun(t, testOpts(P), func(c *Comm) {
+		s := AllocBuf(TypeInt, 1)
+		r := AllocBuf(TypeInt, 1)
+		s.SetInt64(0, int64(c.Rank()))
+		PatternShift(c, s, r, DirUp, PatternOpts{})
+		want := int64((c.Rank() + P - 1) % P)
+		if r.Int64(0) != want {
+			t.Errorf("rank %d received %d, want %d", c.Rank(), r.Int64(0), want)
+		}
+	})
+	sends := 0
+	for _, ev := range tr.Events {
+		if ev.Kind == trace.KindSend {
+			sends++
+		}
+	}
+	if sends != P {
+		t.Errorf("%d sends, want %d", sends, P)
+	}
+}
+
+func TestVBufTotals(t *testing.T) {
+	mustRun(t, testOpts(4), func(c *Comm) {
+		v := AllocVBuf(c, TypeDouble, distr.Same, distr.Val1{Val: 5}, 2.0, 0)
+		if v.Total != 40 {
+			t.Errorf("total = %d, want 40", v.Total)
+		}
+		if v.Buf.Count != 10 {
+			t.Errorf("portion = %d, want 10", v.Buf.Count)
+		}
+		if (c.Rank() == 0) != (v.RootBuf != nil) {
+			t.Errorf("rank %d rootbuf presence wrong", c.Rank())
+		}
+	})
+}
+
+func TestSetBase(t *testing.T) {
+	mustRun(t, testOpts(2), func(c *Comm) {
+		c.SetBase(TypeInt, 17)
+		b := c.BaseBuf()
+		if b.Type != TypeInt || b.Count != 17 {
+			t.Errorf("base buf = %v×%d", b.Type, b.Count)
+		}
+	})
+}
+
+func TestWorkDistributionTiming(t *testing.T) {
+	// par_do_mpi_work with a Peak distribution: rank 2 works 0.5s, the
+	// rest 0.1s; check virtual clocks via WTime.
+	mustRun(t, testOpts(4), func(c *Comm) {
+		before := c.WTime()
+		dd := distr.Val2N{Low: 0.1, High: 0.5, N: 2}
+		c.DoWork(distr.Peak, dd, 1.0)
+		got := c.WTime() - before
+		want := 0.1
+		if c.Rank() == 2 {
+			want = 0.5
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("rank %d worked %v, want %v", c.Rank(), got, want)
+		}
+	})
+}

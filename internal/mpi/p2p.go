@@ -1,0 +1,524 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// Status describes a completed receive (MPI_Status).
+type Status struct {
+	// Source is the comm-local rank of the sender.
+	Source int
+	// Tag is the message tag.
+	Tag int
+	// Count is the number of elements received.
+	Count int
+}
+
+// message is an in-flight point-to-point message.
+type message struct {
+	cid   int32
+	src   int // comm-local source rank
+	tag   int
+	dtype Datatype
+	count int
+	data  []byte
+
+	sendEnter float64 // time the sender entered the send operation
+	avail     float64 // virtual arrival time (eager protocol)
+	sync      bool    // rendezvous protocol
+	match     uint64
+
+	// ack carries the virtual transfer-end time back to a rendezvous
+	// sender (0 in real mode).  Buffered so the receiver never blocks.
+	ack chan float64
+}
+
+// mailbox is a rank's incoming message queue with MPI matching semantics:
+// per-sender, per-communicator, per-tag ordering is the post order (MPI's
+// non-overtaking rule).  See take for the full matching rules, including
+// the deterministic virtual-arrival-order treatment of AnySource.
+type mailbox struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	// q[head:] holds the pending messages; consuming from the front only
+	// advances head (amortized O(1) even under large backlogs — a sender
+	// racing ahead of its receiver must not make matching quadratic).
+	q    []*message
+	head int
+	w    *World
+	// qlen mirrors the pending count for lock-free inspection by the
+	// spoiler check of other ranks' wildcard receives.
+	qlen atomic.Int32
+}
+
+// removeAt drops the message at index i (absolute index into q), keeping
+// FIFO order.  Front removals advance head; mid-queue removals shift the
+// (typically short) prefix between head and i.
+func (mb *mailbox) removeAt(i int) {
+	if i == mb.head {
+		mb.q[i] = nil
+		mb.head++
+	} else {
+		copy(mb.q[mb.head+1:i+1], mb.q[mb.head:i])
+		mb.q[mb.head] = nil
+		mb.head++
+	}
+	// Compact once the dead prefix dominates, bounding memory.
+	if mb.head > 1024 && mb.head*2 > len(mb.q) {
+		mb.q = append([]*message(nil), mb.q[mb.head:]...)
+		mb.head = 0
+	}
+	mb.qlen.Store(int32(len(mb.q) - mb.head))
+}
+
+func newMailbox(w *World) *mailbox {
+	mb := &mailbox{w: w}
+	mb.cond = sync.NewCond(&mb.mu)
+	w.registerWaker(mb)
+	return mb
+}
+
+// wakeAll implements waker for abort propagation.
+func (mb *mailbox) wakeAll() {
+	mb.mu.Lock()
+	mb.cond.Broadcast()
+	mb.mu.Unlock()
+}
+
+// post appends a message and wakes the receiver.
+func (mb *mailbox) post(m *message) {
+	mb.mu.Lock()
+	mb.q = append(mb.q, m)
+	mb.qlen.Store(int32(len(mb.q) - mb.head))
+	mb.cond.Broadcast()
+	mb.mu.Unlock()
+}
+
+// matches reports whether m satisfies a receive for (cid, src, tag).
+func matches(m *message, cid int32, src, tag int) bool {
+	if m.cid != cid {
+		return false
+	}
+	if src != AnySource && m.src != src {
+		return false
+	}
+	if tag != AnyTag && m.tag != tag {
+		return false
+	}
+	return true
+}
+
+// take blocks until a matching message is queued, removes and returns it.
+// It unwinds with a panic if the world fails while waiting.
+//
+// Matching semantics: a fully specified receive matches the oldest queued
+// message from its source (MPI's non-overtaking rule makes this
+// deterministic).  A wildcard (AnySource) receive in Virtual mode matches
+// the message with the earliest virtual arrival time (ties to the lowest
+// source rank), after a conservative quiescence check: as long as some
+// other rank is still computing with a clock behind the candidate's
+// arrival, that rank could yet produce an earlier message, so the receiver
+// waits for it to advance, block, or finish.  This makes wildcard matching
+// follow virtual-arrival order — the discrete-event analogue of real MPI's
+// physical arrival order — instead of the racy host scheduling order.  In
+// Real mode wildcard receives match in genuine arrival order.
+func (mb *mailbox) take(p *proc, cid int32, src, tag int) *message {
+	return mb.match(p, cid, src, tag, true)
+}
+
+// match implements take and the non-destructive Probe variant: when remove
+// is false the chosen message stays queued and a subsequent receive with
+// the same arguments is guaranteed to match it (the matching rules are
+// deterministic functions of the queue contents).
+func (mb *mailbox) match(p *proc, cid int32, src, tag int, remove bool) *message {
+	virtualWild := src == AnySource && p.ctx.Mode() == vtime.Virtual
+	// maxWildcardPolls bounds the quiescence wait (~50ms of real time) so
+	// a rank that holds unconsumed messages forever cannot livelock a
+	// wildcard receiver; past the bound the best queued candidate is
+	// accepted even if the schedule might still have been beaten.
+	const maxWildcardPolls = 2500
+	polls := 0
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		if virtualWild {
+			best := -1
+			for i := mb.head; i < len(mb.q); i++ {
+				m := mb.q[i]
+				if !matches(m, cid, src, tag) {
+					continue
+				}
+				if best < 0 || m.avail < mb.q[best].avail ||
+					(m.avail == mb.q[best].avail && m.src < mb.q[best].src) {
+					best = i
+				}
+			}
+			if best >= 0 {
+				m := mb.q[best]
+				if polls > maxWildcardPolls || !mb.w.spoilers(p, m.avail) {
+					if remove {
+						mb.removeAt(best)
+					}
+					return m
+				}
+				polls++
+				// Quiescence poll: some rank may still beat the
+				// candidate.  Count as blocked so mutually waiting
+				// wildcard receivers do not spoil each other forever.
+				restore := p.blockedSection()
+				mb.mu.Unlock()
+				time.Sleep(20 * time.Microsecond)
+				mb.mu.Lock()
+				restore()
+				if mb.w.failed.Load() {
+					mb.w.failMu.Lock()
+					err := mb.w.failErr
+					mb.w.failMu.Unlock()
+					panic(abortError{cause: err})
+				}
+				continue
+			}
+		} else {
+			for i := mb.head; i < len(mb.q); i++ {
+				m := mb.q[i]
+				if matches(m, cid, src, tag) {
+					if remove {
+						mb.removeAt(i)
+					}
+					return m
+				}
+			}
+		}
+		if mb.w.failed.Load() {
+			mb.w.failMu.Lock()
+			err := mb.w.failErr
+			mb.w.failMu.Unlock()
+			panic(abortError{cause: err})
+		}
+		restore := p.blockedSection()
+		mb.cond.Wait()
+		restore()
+	}
+}
+
+// sendMode distinguishes the point-to-point send flavors.
+type sendMode uint8
+
+const (
+	sendStandard sendMode = iota // eager below threshold, rendezvous above
+	sendSync                     // always rendezvous (MPI_Ssend)
+	sendBuffered                 // always eager (MPI_Bsend)
+)
+
+func (c *Comm) checkPeer(rank int, what string) {
+	if rank < 0 || rank >= c.Size() {
+		panic(fmt.Sprintf("mpi: %s rank %d outside communicator of size %d", what, rank, c.Size()))
+	}
+}
+
+func (c *Comm) checkBuf(b *Buf, what string) {
+	if b == nil || b.Data == nil {
+		panic(fmt.Sprintf("mpi: %s with nil or freed buffer", what))
+	}
+}
+
+// postSend builds and delivers the message for a send entered at time
+// `enter`, returning it.  The caller handles rendezvous completion.
+func (c *Comm) postSend(buf *Buf, dest, tag int, mode sendMode, enter float64, flags uint8) *message {
+	c.checkPeer(dest, "send to")
+	c.checkBuf(buf, "send")
+	if tag < 0 {
+		panic(fmt.Sprintf("mpi: send with negative tag %d", tag))
+	}
+	w := c.p.w
+	bytes := buf.Bytes()
+	isSync := mode == sendSync || (mode == sendStandard && bytes > w.opt.Cost.EagerThreshold)
+	m := &message{
+		cid:       c.core.cid,
+		src:       c.myRank,
+		tag:       tag,
+		dtype:     buf.Type,
+		count:     buf.Count,
+		data:      append([]byte(nil), buf.Data...),
+		sendEnter: enter,
+		sync:      isSync,
+		match:     w.matchCounter.Add(1),
+	}
+	if isSync {
+		m.ack = make(chan float64, 1)
+		flags |= trace.FlagSync
+	}
+	if c.p.ctx.Mode() == vtime.Virtual {
+		m.avail = enter + w.opt.Cost.transfer(bytes)
+	}
+	c.p.ctx.Record(trace.Event{
+		Time: enter, Kind: trace.KindSend,
+		Peer: int32(dest), CRank: int32(c.myRank), Tag: int32(tag),
+		Bytes: int64(bytes), Match: m.match, Comm: c.core.cid,
+		Flags: flags,
+	})
+	w.procs[c.worldRankOf(dest)].mb.post(m)
+	return m
+}
+
+// waitAck blocks a rendezvous sender until the receiver acknowledges, then
+// advances the virtual clock to the transfer end.
+func (c *Comm) waitAck(m *message) {
+	w := c.p.w
+	restore := c.p.blockedSection()
+	defer restore()
+	select {
+	case end := <-m.ack:
+		if c.p.ctx.Mode() == vtime.Virtual {
+			c.p.ctx.Clock.AdvanceTo(end + w.opt.Cost.Overhead)
+		}
+	case <-w.failCh:
+		w.checkFailed()
+	}
+}
+
+// Send is the standard blocking send (MPI_Send): eager (buffered) up to the
+// cost model's EagerThreshold, rendezvous above it.
+func (c *Comm) Send(buf *Buf, dest, tag int) {
+	ctx := c.p.ctx
+	ctx.Enter("MPI_Send")
+	enter := ctx.Now()
+	m := c.postSend(buf, dest, tag, sendStandard, enter, 0)
+	if m.sync {
+		c.waitAck(m)
+	} else if ctx.Mode() == vtime.Virtual {
+		ctx.Clock.Advance(c.p.w.opt.Cost.Overhead)
+	}
+	ctx.Exit()
+}
+
+// Ssend is the synchronous blocking send (MPI_Ssend): it always completes
+// only after the matching receive is posted — the protocol under which the
+// "late receiver" property manifests.
+func (c *Comm) Ssend(buf *Buf, dest, tag int) {
+	ctx := c.p.ctx
+	ctx.Enter("MPI_Ssend")
+	enter := ctx.Now()
+	m := c.postSend(buf, dest, tag, sendSync, enter, 0)
+	c.waitAck(m)
+	ctx.Exit()
+}
+
+// completeRecv copies payload, computes receive completion time, records
+// the trace event and returns the status.  enter is the time waiting began
+// (for the Aux field / late-sender analysis); flags annotate the event.
+func (c *Comm) completeRecv(buf *Buf, m *message, enter float64, flags uint8) Status {
+	if m.count > buf.Count {
+		panic(fmt.Sprintf("mpi: message truncated: %d elements into buffer of %d", m.count, buf.Count))
+	}
+	if m.dtype != buf.Type {
+		panic(fmt.Sprintf("mpi: datatype mismatch: sent %v, receiving into %v", m.dtype, buf.Type))
+	}
+	copy(buf.Data, m.data)
+	ctx := c.p.ctx
+	w := c.p.w
+	bytes := m.count * m.dtype.Size()
+	if m.sync {
+		var end float64
+		if ctx.Mode() == vtime.Virtual {
+			start := m.sendEnter
+			if enter > start {
+				start = enter
+			}
+			end = start + w.opt.Cost.transfer(bytes)
+		}
+		m.ack <- end
+		if ctx.Mode() == vtime.Virtual {
+			ctx.Clock.AdvanceTo(end + w.opt.Cost.Overhead)
+		}
+		flags |= trace.FlagSync
+	} else if ctx.Mode() == vtime.Virtual {
+		end := m.avail
+		if enter > end {
+			end = enter
+		}
+		ctx.Clock.AdvanceTo(end + w.opt.Cost.Overhead)
+	}
+	ctx.Record(trace.Event{
+		Time: ctx.Now(), Aux: enter, Kind: trace.KindRecv,
+		Peer: int32(m.src), CRank: int32(c.myRank), Tag: int32(m.tag),
+		Bytes: int64(bytes), Match: m.match, Comm: c.core.cid,
+		Flags: flags,
+	})
+	return Status{Source: m.src, Tag: m.tag, Count: m.count}
+}
+
+// Recv is the blocking receive (MPI_Recv).  source may be AnySource and tag
+// may be AnyTag.
+func (c *Comm) Recv(buf *Buf, source, tag int) Status {
+	if source != AnySource {
+		c.checkPeer(source, "receive from")
+	}
+	c.checkBuf(buf, "receive")
+	ctx := c.p.ctx
+	ctx.Enter("MPI_Recv")
+	enter := ctx.Now()
+	m := c.p.mb.take(c.p, c.core.cid, source, tag)
+	st := c.completeRecv(buf, m, enter, 0)
+	ctx.Exit()
+	return st
+}
+
+// reqKind distinguishes request flavors.
+type reqKind uint8
+
+const (
+	reqSend reqKind = iota
+	reqRecv
+)
+
+// Request is a non-blocking operation handle (MPI_Request).  Complete it
+// with Comm.Wait or Comm.WaitAll.
+type Request struct {
+	kind   reqKind
+	c      *Comm
+	msg    *message // send requests
+	buf    *Buf     // receive requests
+	src    int
+	tag    int
+	done   bool
+	status Status
+}
+
+// Isend starts a non-blocking standard send (MPI_Isend).  The message is
+// posted immediately; for rendezvous-sized messages completion (in Wait)
+// blocks until the receive is posted.
+func (c *Comm) Isend(buf *Buf, dest, tag int) *Request {
+	ctx := c.p.ctx
+	ctx.Enter("MPI_Isend")
+	enter := ctx.Now()
+	m := c.postSend(buf, dest, tag, sendStandard, enter, trace.FlagNonBlocking)
+	if ctx.Mode() == vtime.Virtual {
+		ctx.Clock.Advance(c.p.w.opt.Cost.Overhead)
+	}
+	ctx.Exit()
+	return &Request{kind: reqSend, c: c, msg: m}
+}
+
+// Irecv starts a non-blocking receive (MPI_Irecv).  This reproduction
+// performs the actual matching when the request is completed (Wait), which
+// preserves blocking behaviour and trace shape for the ATS patterns; it
+// deviates from real MPI in that the receive is not pre-posted for
+// matching purposes.  The deviation is documented in DESIGN.md.
+func (c *Comm) Irecv(buf *Buf, source, tag int) *Request {
+	if source != AnySource {
+		c.checkPeer(source, "receive from")
+	}
+	c.checkBuf(buf, "receive")
+	ctx := c.p.ctx
+	ctx.Enter("MPI_Irecv")
+	if ctx.Mode() == vtime.Virtual {
+		ctx.Clock.Advance(c.p.w.opt.Cost.Overhead)
+	}
+	ctx.Exit()
+	return &Request{kind: reqRecv, c: c, buf: buf, src: source, tag: tag}
+}
+
+// Wait blocks until the request completes (MPI_Wait) and returns its
+// status (meaningful for receives).
+func (c *Comm) Wait(r *Request) Status {
+	if r == nil {
+		panic("mpi: Wait on nil request")
+	}
+	if r.c != c {
+		panic("mpi: Wait on request from a different communicator handle")
+	}
+	if r.done {
+		return r.status
+	}
+	ctx := c.p.ctx
+	ctx.Enter("MPI_Wait")
+	switch r.kind {
+	case reqSend:
+		if r.msg.sync {
+			c.waitAck(r.msg)
+		}
+	case reqRecv:
+		enter := ctx.Now()
+		m := c.p.mb.take(c.p, c.core.cid, r.src, r.tag)
+		r.status = c.completeRecv(r.buf, m, enter, trace.FlagNonBlocking)
+	}
+	r.done = true
+	ctx.Exit()
+	return r.status
+}
+
+// WaitAll completes all requests in order (MPI_Waitall).
+func (c *Comm) WaitAll(rs ...*Request) []Status {
+	out := make([]Status, len(rs))
+	for i, r := range rs {
+		out[i] = c.Wait(r)
+	}
+	return out
+}
+
+// Bsend is the buffered send (MPI_Bsend): it always completes eagerly,
+// independent of the message size, as if an unlimited attach buffer were
+// available.
+func (c *Comm) Bsend(buf *Buf, dest, tag int) {
+	ctx := c.p.ctx
+	ctx.Enter("MPI_Bsend")
+	enter := ctx.Now()
+	c.postSend(buf, dest, tag, sendBuffered, enter, 0)
+	if ctx.Mode() == vtime.Virtual {
+		ctx.Clock.Advance(c.p.w.opt.Cost.Overhead)
+	}
+	ctx.Exit()
+}
+
+// Probe blocks until a matching message is available and returns its
+// status without receiving it (MPI_Probe).  The matching rules are those
+// of Recv, so a following Recv with the same arguments receives exactly
+// the probed message.
+func (c *Comm) Probe(source, tag int) Status {
+	if source != AnySource {
+		c.checkPeer(source, "probe")
+	}
+	ctx := c.p.ctx
+	ctx.Enter("MPI_Probe")
+	m := c.p.mb.match(c.p, c.core.cid, source, tag, false)
+	if ctx.Mode() == vtime.Virtual {
+		// The probe completes when the message is available.
+		end := m.avail
+		if enter := ctx.Now(); enter > end {
+			end = enter
+		}
+		ctx.Clock.AdvanceTo(end + c.p.w.opt.Cost.Overhead)
+	}
+	ctx.Exit()
+	return Status{Source: m.src, Tag: m.tag, Count: m.count}
+}
+
+// Sendrecv performs a combined send and receive (MPI_Sendrecv), safe
+// against the cyclic-dependency deadlocks plain Send/Recv pairs can
+// produce under the rendezvous protocol.
+func (c *Comm) Sendrecv(sbuf *Buf, dest, stag int, rbuf *Buf, source, rtag int) Status {
+	ctx := c.p.ctx
+	ctx.Enter("MPI_Sendrecv")
+	enter := ctx.Now()
+	m := c.postSend(sbuf, dest, stag, sendStandard, enter, 0)
+	if source != AnySource {
+		c.checkPeer(source, "receive from")
+	}
+	c.checkBuf(rbuf, "receive")
+	in := c.p.mb.take(c.p, c.core.cid, source, rtag)
+	st := c.completeRecv(rbuf, in, enter, 0)
+	if m.sync {
+		c.waitAck(m)
+	} else if ctx.Mode() == vtime.Virtual {
+		ctx.Clock.Advance(c.p.w.opt.Cost.Overhead)
+	}
+	ctx.Exit()
+	return st
+}

@@ -1,0 +1,108 @@
+package mpi
+
+// Communication patterns (paper §3.1.4): readily usable point-to-point
+// building blocks for property functions.  As the paper requires, the
+// patterns can be called with little context — they work for any number of
+// processes (ranks without a partner simply skip the communication) and do
+// not interfere with other traffic (each invocation uses its own tag
+// space via the fixed pattern tag).
+
+// Direction selects the orientation of a pattern (DIR_UP / DIR_DOWN).  It
+// must be the same on all calling processes.
+type Direction int
+
+const (
+	// DirUp sends towards higher ranks.
+	DirUp Direction = iota
+	// DirDown sends towards lower ranks.
+	DirDown
+)
+
+// String names the direction.
+func (d Direction) String() string {
+	if d == DirUp {
+		return "up"
+	}
+	return "down"
+}
+
+// patternTag is the tag used by the built-in patterns.
+const patternTag = 42
+
+// PatternOpts selects the communication flavor of a pattern, mirroring the
+// use_isend / use_irecv flags of mpi_commpattern_sendrecv.  UseSsend forces
+// the synchronous protocol on the sending side (an addition over the paper
+// needed to realize the late-receiver property independently of message
+// size).
+type PatternOpts struct {
+	UseIsend bool
+	UseIrecv bool
+	UseSsend bool
+}
+
+// PatternSendRecv performs the even-odd send-receive pattern
+// (mpi_commpattern_sendrecv): processes with even ranks send to a process
+// with an odd rank.  With DirUp, even rank e sends to e+1; with DirDown,
+// even rank e sends to e-1.  Ranks without a partner (rank 0 for DirDown,
+// the last even rank for DirUp with an odd communicator size) do not take
+// part, as specified in the paper.
+func PatternSendRecv(c *Comm, buf *Buf, dir Direction, opt PatternOpts) {
+	me, sz := c.Rank(), c.Size()
+	var partner int
+	sender := me%2 == 0
+	if dir == DirUp {
+		if sender {
+			partner = me + 1
+		} else {
+			partner = me - 1
+		}
+	} else {
+		if sender {
+			partner = me - 1
+		} else {
+			partner = me + 1
+		}
+	}
+	if partner < 0 || partner >= sz {
+		return
+	}
+	if sender {
+		switch {
+		case opt.UseSsend:
+			c.Ssend(buf, partner, patternTag)
+		case opt.UseIsend:
+			c.Wait(c.Isend(buf, partner, patternTag))
+		default:
+			c.Send(buf, partner, patternTag)
+		}
+	} else {
+		if opt.UseIrecv {
+			c.Wait(c.Irecv(buf, partner, patternTag))
+		} else {
+			c.Recv(buf, partner, patternTag)
+		}
+	}
+}
+
+// PatternShift performs a cyclic shift (mpi_commpattern_shift): every
+// process sends to its neighbour and receives from the other side.  With
+// DirUp, rank r sends to (r+1) mod size; with DirDown to (r-1) mod size.
+// The implementation uses a non-blocking send so the cycle cannot deadlock
+// under the rendezvous protocol.  A singleton communicator ships the data
+// to itself.
+func PatternShift(c *Comm, sbuf, rbuf *Buf, dir Direction, opt PatternOpts) {
+	me, sz := c.Rank(), c.Size()
+	var dst, src int
+	if dir == DirUp {
+		dst, src = (me+1)%sz, (me-1+sz)%sz
+	} else {
+		dst, src = (me-1+sz)%sz, (me+1)%sz
+	}
+	req := c.Isend(sbuf, dst, patternTag)
+	if opt.UseIrecv {
+		c.Wait(c.Irecv(rbuf, src, patternTag))
+	} else {
+		c.Recv(rbuf, src, patternTag)
+	}
+	c.Wait(req)
+}

@@ -1,0 +1,89 @@
+package mpi
+
+import "fmt"
+
+// Non-contiguous data support (paper §3.1.3: "MPI provides the possibility
+// to work with arbitrarily complex, structured and possibly non-contiguous
+// data").  This substrate keeps wire messages contiguous and provides the
+// derived-datatype facility as explicit pack/unpack of strided layouts —
+// the same data movement an MPI implementation performs internally for
+// MPI_Type_vector.
+
+// Vector describes a strided layout over a buffer, in elements of the
+// buffer's datatype: Count blocks of BlockLen elements, the starts of
+// consecutive blocks separated by Stride elements (MPI_Type_vector).
+type Vector struct {
+	Count    int
+	BlockLen int
+	Stride   int
+}
+
+// Elements returns the number of elements a packed vector holds.
+func (v Vector) Elements() int { return v.Count * v.BlockLen }
+
+// span returns the extent of the layout in elements.
+func (v Vector) span() int {
+	if v.Count == 0 {
+		return 0
+	}
+	return (v.Count-1)*v.Stride + v.BlockLen
+}
+
+func (v Vector) check(buf *Buf, what string) {
+	if v.Count < 0 || v.BlockLen <= 0 || v.Stride < v.BlockLen {
+		panic(fmt.Sprintf("mpi: %s with invalid vector layout %+v", what, v))
+	}
+	if v.span() > buf.Count {
+		panic(fmt.Sprintf("mpi: %s layout %+v exceeds buffer of %d elements", what, v, buf.Count))
+	}
+}
+
+// Pack gathers the strided elements of src into a fresh contiguous buffer
+// suitable for sending.
+func Pack(src *Buf, v Vector) *Buf {
+	v.check(src, "Pack")
+	es := src.Type.Size()
+	out := AllocBuf(src.Type, v.Elements())
+	o := 0
+	for b := 0; b < v.Count; b++ {
+		start := b * v.Stride * es
+		n := v.BlockLen * es
+		copy(out.Data[o:o+n], src.Data[start:start+n])
+		o += n
+	}
+	return out
+}
+
+// Unpack scatters a packed contiguous buffer back into the strided
+// positions of dst.
+func Unpack(dst *Buf, v Vector, packed *Buf) {
+	v.check(dst, "Unpack")
+	if packed.Type != dst.Type {
+		panic(fmt.Sprintf("mpi: Unpack type mismatch: %v into %v", packed.Type, dst.Type))
+	}
+	if packed.Count < v.Elements() {
+		panic(fmt.Sprintf("mpi: Unpack needs %d elements, packed buffer has %d", v.Elements(), packed.Count))
+	}
+	es := dst.Type.Size()
+	o := 0
+	for b := 0; b < v.Count; b++ {
+		start := b * v.Stride * es
+		n := v.BlockLen * es
+		copy(dst.Data[start:start+n], packed.Data[o:o+n])
+		o += n
+	}
+}
+
+// SendVector sends the strided elements of buf described by v (the
+// MPI_Type_vector send path: pack and ship).
+func (c *Comm) SendVector(buf *Buf, v Vector, dest, tag int) {
+	c.Send(Pack(buf, v), dest, tag)
+}
+
+// RecvVector receives into the strided positions of buf described by v.
+func (c *Comm) RecvVector(buf *Buf, v Vector, source, tag int) Status {
+	tmp := AllocBuf(buf.Type, v.Elements())
+	st := c.Recv(tmp, source, tag)
+	Unpack(buf, v, tmp)
+	return st
+}

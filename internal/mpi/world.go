@@ -1,0 +1,327 @@
+package mpi
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/trace"
+	"repro/internal/vtime"
+	"repro/internal/work"
+	"repro/internal/xctx"
+)
+
+// Options configures a World run.
+type Options struct {
+	// Procs is the number of MPI processes (default 4).
+	Procs int
+	// Mode selects virtual (default) or real time.
+	Mode vtime.Mode
+	// Cost is the virtual-time cost model; the zero value selects
+	// DefaultCost.
+	Cost CostModel
+	// Untraced disables event tracing (the zero value traces).
+	Untraced bool
+	// Timeout is the real-time watchdog for deadlock detection
+	// (default 60s).
+	Timeout time.Duration
+	// Seed seeds the per-rank random generators (default 1).
+	Seed uint64
+	// BaseType and BaseCount set the default message buffer used by
+	// property functions (set_base_comm); defaults: MPI_DOUBLE × 256.
+	BaseType  Datatype
+	BaseCount int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Procs <= 0 {
+		o.Procs = 4
+	}
+	if o.Cost.zero() {
+		o.Cost = DefaultCost()
+	}
+	if o.Cost.EagerThreshold <= 0 {
+		o.Cost.EagerThreshold = 4096
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 60 * time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.BaseCount <= 0 {
+		o.BaseType, o.BaseCount = TypeDouble, 256
+	}
+	return o
+}
+
+// World is one parallel run: a fixed set of ranks executing a body
+// function, exchanging messages, and (optionally) producing a trace.
+type World struct {
+	opt   Options
+	epoch time.Time
+
+	procs []*proc
+
+	matchCounter atomic.Uint64 // p2p match ids
+	collCounter  atomic.Uint64 // collective instance ids
+	commCounter  atomic.Int32  // communicator context ids
+
+	// failure propagation (MPI_Abort semantics): the first panic on any
+	// rank aborts the world; all blocked ranks are woken and unwound.
+	failMu   sync.Mutex
+	failErr  error
+	failed   atomic.Bool
+	failCh   chan struct{} // closed on first failure
+	wakeable []waker
+
+	// adopted collects trace buffers of sub-executors (OpenMP threads).
+	adoptMu sync.Mutex
+	adopted []*trace.Buffer
+}
+
+// waker is anything blocked ranks wait on; on world failure every waker is
+// broadcast so waiters can observe the failure and unwind.
+type waker interface{ wakeAll() }
+
+// abortError wraps the original rank failure for ranks unwound by the
+// abort broadcast.
+type abortError struct{ cause error }
+
+func (e abortError) Error() string {
+	return "mpi: run aborted because another rank failed: " + e.cause.Error()
+}
+
+// Execution states used by the conservative wildcard-matching protocol
+// (see mailbox.take): a rank that is blocked or finished cannot produce an
+// earlier message than the best queued candidate.
+const (
+	stateRunning int32 = iota
+	stateBlocked
+	stateDone
+)
+
+// proc is the per-rank state.
+type proc struct {
+	w    *World
+	rank int
+	ctx  *xctx.Ctx
+	mb   *mailbox
+
+	// state tracks whether the rank's goroutine is computing, blocked in
+	// a substrate wait, or finished; read concurrently by wildcard
+	// receivers.
+	state atomic.Int32
+
+	// base default buffer (set_base_comm); per-rank so writes stay local.
+	baseType  Datatype
+	baseCount int
+}
+
+// blockedSection marks the proc blocked for the duration of a substrate
+// wait; the returned function restores the running state.
+func (p *proc) blockedSection() func() {
+	p.state.Store(stateBlocked)
+	return func() { p.state.Store(stateRunning) }
+}
+
+// spoilers reports whether any other rank could still produce a message
+// arriving before `avail` virtual time: a rank whose clock is behind the
+// candidate arrival and that is either computing, or blocked with
+// deliverable messages in its own mailbox (it may wake, consume them, and
+// respond before the candidate).
+func (w *World) spoilers(me *proc, avail float64) bool {
+	for _, p := range w.procs {
+		if p == me {
+			continue
+		}
+		if p.ctx.Clock.Now() >= avail {
+			continue
+		}
+		switch p.state.Load() {
+		case stateRunning:
+			return true
+		case stateBlocked:
+			if p.mb.qlen.Load() > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// fail records the first failure and wakes every blocked rank.
+func (w *World) fail(err error) {
+	w.failMu.Lock()
+	first := w.failErr == nil
+	if first {
+		w.failErr = err
+	}
+	w.failed.Store(true)
+	if first {
+		close(w.failCh)
+	}
+	wk := append([]waker(nil), w.wakeable...)
+	w.failMu.Unlock()
+	for _, x := range wk {
+		x.wakeAll()
+	}
+}
+
+// registerWaker adds a blocking structure to the abort broadcast set.
+func (w *World) registerWaker(x waker) {
+	w.failMu.Lock()
+	w.wakeable = append(w.wakeable, x)
+	w.failMu.Unlock()
+}
+
+// checkFailed panics with an abort error if the world has failed; called
+// from every blocking wait loop.
+func (w *World) checkFailed() {
+	if w.failed.Load() {
+		w.failMu.Lock()
+		err := w.failErr
+		w.failMu.Unlock()
+		panic(abortError{cause: err})
+	}
+}
+
+// adoptBuffer registers a sub-executor trace buffer for the final merge.
+func (w *World) adoptBuffer(b *trace.Buffer) {
+	if b == nil {
+		return
+	}
+	w.adoptMu.Lock()
+	w.adopted = append(w.adopted, b)
+	w.adoptMu.Unlock()
+}
+
+// Run executes body on opt.Procs ranks and returns the merged trace (nil if
+// Untraced).  The body receives each rank's handle on the world
+// communicator.  Any panic on any rank aborts the run and is returned as an
+// error; a watchdog converts deadlocks into errors after opt.Timeout.
+func Run(opt Options, body func(c *Comm)) (*trace.Trace, error) {
+	opt = opt.withDefaults()
+	if opt.Mode == vtime.Real {
+		// Calibrate outside the timed region.
+		vtime.Calibrate()
+		work.CalibrateReal()
+	}
+	w := &World{opt: opt, epoch: time.Now(), failCh: make(chan struct{})}
+
+	worldCore := &commCore{
+		w:      w,
+		cid:    0,
+		ranks:  make([]int, opt.Procs),
+		engine: newCollEngine(w),
+	}
+	w.commCounter.Store(1)
+	for i := range worldCore.ranks {
+		worldCore.ranks[i] = i
+	}
+
+	rootRNG := work.NewRNG(opt.Seed)
+	w.procs = make([]*proc, opt.Procs)
+	comms := make([]*Comm, opt.Procs)
+	for i := 0; i < opt.Procs; i++ {
+		loc := trace.Location{Rank: int32(i), Thread: 0}
+		var tb *trace.Buffer
+		if !opt.Untraced {
+			tb = trace.NewBuffer(loc)
+		}
+		clock := vtime.NewClock(opt.Mode, w.epoch)
+		ctx := xctx.New(clock, tb, rootRNG.Fork(uint64(i)), loc)
+		if !opt.Untraced {
+			ctx.Adopt = w.adoptBuffer
+		}
+		p := &proc{
+			w:         w,
+			rank:      i,
+			ctx:       ctx,
+			mb:        newMailbox(w),
+			baseType:  opt.BaseType,
+			baseCount: opt.BaseCount,
+		}
+		w.procs[i] = p
+		comms[i] = &Comm{core: worldCore, p: p, myRank: i}
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, opt.Procs)
+	for i := 0; i < opt.Procs; i++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					var err error
+					if ae, ok := r.(abortError); ok {
+						err = ae
+					} else {
+						err = fmt.Errorf("mpi: rank %d panicked: %v\n%s",
+							rank, r, debug.Stack())
+						w.fail(err)
+					}
+					errs[rank] = err
+				}
+			}()
+			defer w.procs[rank].state.Store(stateDone)
+			c := comms[rank]
+			c.init()
+			body(c)
+			c.finalize()
+		}(i)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(opt.Timeout):
+		w.fail(fmt.Errorf("mpi: watchdog timeout after %v (deadlock suspected)", opt.Timeout))
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			return nil, fmt.Errorf("mpi: ranks failed to unwind after abort; giving up")
+		}
+	}
+
+	var runErr error
+	w.failMu.Lock()
+	runErr = w.failErr
+	w.failMu.Unlock()
+	if runErr == nil {
+		// Pick up any non-aborting rank error (shouldn't happen, but be safe).
+		for _, e := range errs {
+			if e != nil {
+				runErr = e
+				break
+			}
+		}
+	}
+
+	if opt.Untraced {
+		return nil, runErr
+	}
+	buffers := make([]*trace.Buffer, 0, opt.Procs+len(w.adopted))
+	for _, p := range w.procs {
+		buffers = append(buffers, p.ctx.TB)
+	}
+	w.adoptMu.Lock()
+	extra := append([]*trace.Buffer(nil), w.adopted...)
+	w.adoptMu.Unlock()
+	sort.Slice(extra, func(i, j int) bool {
+		if extra[i].Loc.Rank != extra[j].Loc.Rank {
+			return extra[i].Loc.Rank < extra[j].Loc.Rank
+		}
+		return extra[i].Loc.Thread < extra[j].Loc.Thread
+	})
+	buffers = append(buffers, extra...)
+	return trace.Merge(buffers...), runErr
+}

@@ -1,0 +1,85 @@
+package omp
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/trace"
+	"repro/internal/vtime"
+	"repro/internal/work"
+	"repro/internal/xctx"
+)
+
+// RunOptions configures a standalone (non-MPI) OpenMP program run.
+type RunOptions struct {
+	// Threads is the team size for the top-level region started by the
+	// body via Parallel (it is also recorded as the default Options).
+	Threads int
+	// Mode selects virtual (default) or real time.
+	Mode vtime.Mode
+	// Cost overrides construct overheads (zero selects DefaultCost).
+	Cost CostModel
+	// Untraced disables tracing.
+	Untraced bool
+	// Seed seeds the random generators (default 1).
+	Seed uint64
+}
+
+// Run executes body as a standalone OpenMP-style program on a fresh
+// master context (rank 0, thread 0) and returns the merged trace.  The
+// body typically calls Parallel one or more times with the options it
+// receives.  Panics in the body are returned as errors.
+func Run(opt RunOptions, body func(ctx *xctx.Ctx, opt Options)) (*trace.Trace, error) {
+	if opt.Threads <= 0 {
+		opt.Threads = 4
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	if opt.Mode == vtime.Real {
+		vtime.Calibrate()
+		work.CalibrateReal()
+	}
+	loc := trace.Location{Rank: 0, Thread: 0}
+	var tb *trace.Buffer
+	if !opt.Untraced {
+		tb = trace.NewBuffer(loc)
+	}
+	ctx := xctx.New(vtime.NewClock(opt.Mode, time.Now()), tb, work.NewRNG(opt.Seed), loc)
+
+	var mu sync.Mutex
+	var adopted []*trace.Buffer
+	if !opt.Untraced {
+		ctx.Adopt = func(b *trace.Buffer) {
+			mu.Lock()
+			adopted = append(adopted, b)
+			mu.Unlock()
+		}
+	}
+
+	var runErr error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				runErr = fmt.Errorf("omp: run panicked: %v", r)
+			}
+		}()
+		body(ctx, Options{Threads: opt.Threads, Cost: opt.Cost})
+	}()
+
+	if opt.Untraced {
+		return nil, runErr
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	sort.Slice(adopted, func(i, j int) bool {
+		if adopted[i].Loc.Rank != adopted[j].Loc.Rank {
+			return adopted[i].Loc.Rank < adopted[j].Loc.Rank
+		}
+		return adopted[i].Loc.Thread < adopted[j].Loc.Thread
+	})
+	buffers := append([]*trace.Buffer{tb}, adopted...)
+	return trace.Merge(buffers...), runErr
+}

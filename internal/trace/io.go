@@ -1,0 +1,341 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Binary trace format ("ATS1"):
+//
+//	magic            [4]byte  "ATS1"
+//	regionCount      uvarint
+//	regions          regionCount × (uvarint len, bytes)
+//	pathCount        uvarint  (including the root node)
+//	paths            (pathCount-1) × (uvarint parent, uvarint region)
+//	locationCount    uvarint
+//	locations        locationCount × (varint rank, varint thread)
+//	eventCount       uvarint
+//	events           eventCount × fixed encoding (see writeEvent)
+//
+// All multi-byte integers are varint-encoded; floats are IEEE-754 bits in
+// little-endian order.  The format is self-contained: a trace written by
+// cmd binaries can be re-read by cmd/atsanalyze and cmd/atstrace.
+
+var magic = [4]byte{'A', 'T', 'S', '1'}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+func writeUvarint(w io.Writer, v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+func writeVarint(w io.Writer, v int64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+func writeFloat(w io.Writer, f float64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := writeUvarint(w, uint64(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func writeEvent(w io.Writer, ev *Event) error {
+	if err := writeFloat(w, ev.Time); err != nil {
+		return err
+	}
+	if err := writeFloat(w, ev.Aux); err != nil {
+		return err
+	}
+	fixed := []byte{byte(ev.Kind), byte(ev.Coll), ev.Flags}
+	if _, err := w.Write(fixed); err != nil {
+		return err
+	}
+	for _, v := range []int64{
+		int64(ev.Loc.Rank), int64(ev.Loc.Thread),
+		int64(ev.Region), int64(ev.Path),
+		int64(ev.Peer), int64(ev.CRank), int64(ev.Tag),
+		ev.Bytes, int64(ev.Root), int64(ev.Comm),
+	} {
+		if err := writeVarint(w, v); err != nil {
+			return err
+		}
+	}
+	return writeUvarint(w, ev.Match)
+}
+
+// Write serializes the trace to w.  It returns the number of bytes written.
+func (t *Trace) Write(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return cw.n, err
+	}
+	if err := writeUvarint(bw, uint64(len(t.Regions))); err != nil {
+		return cw.n, err
+	}
+	for _, r := range t.Regions {
+		if err := writeString(bw, r); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := writeUvarint(bw, uint64(len(t.PathParent))); err != nil {
+		return cw.n, err
+	}
+	for i := 1; i < len(t.PathParent); i++ {
+		if err := writeUvarint(bw, uint64(t.PathParent[i])); err != nil {
+			return cw.n, err
+		}
+		if err := writeUvarint(bw, uint64(t.PathRegion[i])); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := writeUvarint(bw, uint64(len(t.Locations))); err != nil {
+		return cw.n, err
+	}
+	for _, l := range t.Locations {
+		if err := writeVarint(bw, int64(l.Rank)); err != nil {
+			return cw.n, err
+		}
+		if err := writeVarint(bw, int64(l.Thread)); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := writeUvarint(bw, uint64(len(t.Events))); err != nil {
+		return cw.n, err
+	}
+	for i := range t.Events {
+		if err := writeEvent(bw, &t.Events[i]); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// WriteFile serializes the trace to the named file.
+func (t *Trace) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := t.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func readFloat(r io.ByteReader) (float64, error) {
+	var buf [8]byte
+	for i := range buf {
+		b, err := r.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		buf[i] = b
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("trace: implausible string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// Read deserializes a trace written by Write.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", m[:])
+	}
+	t := &Trace{}
+	nRegions, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	t.Regions = make([]string, nRegions)
+	for i := range t.Regions {
+		if t.Regions[i], err = readString(br); err != nil {
+			return nil, err
+		}
+	}
+	nPaths, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if nPaths == 0 {
+		return nil, fmt.Errorf("trace: missing path root")
+	}
+	t.PathParent = make([]PathID, nPaths)
+	t.PathRegion = make([]RegionID, nPaths)
+	t.PathParent[0], t.PathRegion[0] = -1, -1
+	for i := uint64(1); i < nPaths; i++ {
+		p, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		rg, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if p >= i || rg >= nRegions {
+			return nil, fmt.Errorf("trace: corrupt path table entry %d", i)
+		}
+		t.PathParent[i] = PathID(p)
+		t.PathRegion[i] = RegionID(rg)
+	}
+	nLocs, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	t.Locations = make([]Location, nLocs)
+	for i := range t.Locations {
+		rank, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, err
+		}
+		thread, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, err
+		}
+		t.Locations[i] = Location{Rank: int32(rank), Thread: int32(thread)}
+	}
+	nEvents, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	t.Events = make([]Event, nEvents)
+	for i := range t.Events {
+		ev := &t.Events[i]
+		if ev.Time, err = readFloat(br); err != nil {
+			return nil, err
+		}
+		if ev.Aux, err = readFloat(br); err != nil {
+			return nil, err
+		}
+		var fixed [3]byte
+		if _, err := io.ReadFull(br, fixed[:]); err != nil {
+			return nil, err
+		}
+		ev.Kind, ev.Coll, ev.Flags = Kind(fixed[0]), CollKind(fixed[1]), fixed[2]
+		dst := []*int64{nil, nil, nil, nil, nil, nil, nil, &ev.Bytes, nil, nil}
+		var ints [10]int64
+		for j := range ints {
+			v, err := binary.ReadVarint(br)
+			if err != nil {
+				return nil, err
+			}
+			ints[j] = v
+			if dst[j] != nil {
+				*dst[j] = v
+			}
+		}
+		ev.Loc = Location{Rank: int32(ints[0]), Thread: int32(ints[1])}
+		ev.Region = RegionID(ints[2])
+		ev.Path = PathID(ints[3])
+		ev.Peer, ev.CRank, ev.Tag = int32(ints[4]), int32(ints[5]), int32(ints[6])
+		ev.Root, ev.Comm = int32(ints[8]), int32(ints[9])
+		if ev.Match, err = binary.ReadUvarint(br); err != nil {
+			return nil, err
+		}
+		if int(ev.Path) >= len(t.PathParent) {
+			return nil, fmt.Errorf("trace: event %d references unknown path %d", i, ev.Path)
+		}
+	}
+	return t, nil
+}
+
+// ReadFile deserializes a trace from the named file.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// jsonEvent is the export schema of WriteJSON.
+type jsonEvent struct {
+	Time  float64 `json:"t"`
+	Aux   float64 `json:"aux,omitempty"`
+	Kind  string  `json:"kind"`
+	Loc   string  `json:"loc"`
+	Path  string  `json:"path,omitempty"`
+	Peer  int32   `json:"peer,omitempty"`
+	Tag   int32   `json:"tag,omitempty"`
+	Bytes int64   `json:"bytes,omitempty"`
+	Match uint64  `json:"match,omitempty"`
+	Coll  string  `json:"coll,omitempty"`
+	Root  int32   `json:"root,omitempty"`
+	Comm  int32   `json:"comm,omitempty"`
+}
+
+// WriteJSON exports the trace as JSON lines (one event per line) for
+// consumption by external tooling.  The format is lossy in the direction
+// of readability: region/path ids are resolved to strings.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range t.Events {
+		ev := &t.Events[i]
+		je := jsonEvent{
+			Time: ev.Time, Aux: ev.Aux, Kind: ev.Kind.String(),
+			Loc: ev.Loc.String(), Path: t.PathString(ev.Path),
+			Peer: ev.Peer, Tag: ev.Tag, Bytes: ev.Bytes, Match: ev.Match,
+			Root: ev.Root, Comm: ev.Comm,
+		}
+		if ev.Coll != CollNone {
+			je.Coll = ev.Coll.String()
+		}
+		if err := enc.Encode(&je); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,236 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RegionStat aggregates time spent in one region at one location.
+type RegionStat struct {
+	Region    string
+	Loc       Location
+	Count     int
+	Inclusive float64 // time between Enter and matching Exit, summed
+	Exclusive float64 // Inclusive minus time in nested regions
+}
+
+// Stats summarizes a trace: per-location total times and per-region
+// inclusive/exclusive profiles.  It is the flat-profile complement to the
+// analyzer's pattern search and feeds severity normalization.
+type Stats struct {
+	// PerLocation maps each location to its span (first to last event).
+	PerLocation map[Location]float64
+	// TotalTime is the sum of all location spans: the aggregate resource
+	// consumption severities are normalized against (ASL convention).
+	TotalTime float64
+	// Regions holds per-(region, location) aggregates.
+	Regions map[string]map[Location]*RegionStat
+}
+
+// ComputeStats scans the trace once and builds the profile.
+func ComputeStats(t *Trace) *Stats {
+	s := &Stats{
+		PerLocation: make(map[Location]float64),
+		Regions:     make(map[string]map[Location]*RegionStat),
+	}
+	type frame struct {
+		region string
+		enter  float64
+		child  float64 // accumulated nested time
+	}
+	stacks := make(map[Location][]frame)
+	first := make(map[Location]float64)
+	last := make(map[Location]float64)
+
+	for _, ev := range t.Events {
+		if _, ok := first[ev.Loc]; !ok {
+			first[ev.Loc] = ev.Time
+		}
+		last[ev.Loc] = ev.Time
+		switch ev.Kind {
+		case KindEnter:
+			stacks[ev.Loc] = append(stacks[ev.Loc], frame{
+				region: t.RegionName(ev.Region), enter: ev.Time,
+			})
+		case KindExit:
+			st := stacks[ev.Loc]
+			if len(st) == 0 {
+				continue // tolerate truncated traces
+			}
+			f := st[len(st)-1]
+			stacks[ev.Loc] = st[:len(st)-1]
+			incl := ev.Time - f.enter
+			excl := incl - f.child
+			if len(stacks[ev.Loc]) > 0 {
+				p := &stacks[ev.Loc][len(stacks[ev.Loc])-1]
+				p.child += incl
+			}
+			byLoc := s.Regions[f.region]
+			if byLoc == nil {
+				byLoc = make(map[Location]*RegionStat)
+				s.Regions[f.region] = byLoc
+			}
+			rs := byLoc[ev.Loc]
+			if rs == nil {
+				rs = &RegionStat{Region: f.region, Loc: ev.Loc}
+				byLoc[ev.Loc] = rs
+			}
+			rs.Count++
+			rs.Inclusive += incl
+			rs.Exclusive += excl
+		}
+	}
+	for loc, f := range first {
+		span := last[loc] - f
+		s.PerLocation[loc] = span
+		s.TotalTime += span
+	}
+	return s
+}
+
+// RegionInclusive sums the inclusive time of a region over all locations.
+func (s *Stats) RegionInclusive(region string) float64 {
+	var tot float64
+	for _, rs := range s.Regions[region] {
+		tot += rs.Inclusive
+	}
+	return tot
+}
+
+// RegionCount sums the visit count of a region over all locations.
+func (s *Stats) RegionCount(region string) int {
+	var n int
+	for _, rs := range s.Regions[region] {
+		n += rs.Count
+	}
+	return n
+}
+
+// PathProfile aggregates inclusive time and visit counts per dynamic call
+// path — the data behind an EXPERT-style call-tree pane.
+type PathProfile struct {
+	Inclusive map[PathID]float64
+	Count     map[PathID]int
+	Total     float64 // total resource time, for percentages
+}
+
+// ComputePathProfile scans the trace once and accumulates per-call-path
+// inclusive times over all locations.
+func ComputePathProfile(t *Trace) *PathProfile {
+	pp := &PathProfile{
+		Inclusive: make(map[PathID]float64),
+		Count:     make(map[PathID]int),
+	}
+	type frame struct {
+		path  PathID
+		enter float64
+	}
+	stacks := make(map[Location][]frame)
+	first := make(map[Location]float64)
+	last := make(map[Location]float64)
+	for _, ev := range t.Events {
+		if _, ok := first[ev.Loc]; !ok {
+			first[ev.Loc] = ev.Time
+		}
+		last[ev.Loc] = ev.Time
+		switch ev.Kind {
+		case KindEnter:
+			stacks[ev.Loc] = append(stacks[ev.Loc], frame{path: ev.Path, enter: ev.Time})
+		case KindExit:
+			st := stacks[ev.Loc]
+			if len(st) == 0 {
+				continue
+			}
+			f := st[len(st)-1]
+			stacks[ev.Loc] = st[:len(st)-1]
+			pp.Inclusive[f.path] += ev.Time - f.enter
+			pp.Count[f.path]++
+		}
+	}
+	for loc := range first {
+		pp.Total += last[loc] - first[loc]
+	}
+	return pp
+}
+
+// RenderTree renders the call-path profile as an indented tree, children
+// sorted by inclusive time.
+func (pp *PathProfile) RenderTree(t *Trace) string {
+	children := make(map[PathID][]PathID)
+	for p := range pp.Inclusive {
+		node := p
+		for node > PathRoot {
+			parent := t.PathParent[node]
+			found := false
+			for _, c := range children[parent] {
+				if c == node {
+					found = true
+					break
+				}
+			}
+			if !found {
+				children[parent] = append(children[parent], node)
+			}
+			node = parent
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "call tree (inclusive time over all locations; total %.6fs)\n", pp.Total)
+	var walk func(p PathID, depth int)
+	walk = func(p PathID, depth int) {
+		kids := children[p]
+		sort.Slice(kids, func(i, j int) bool {
+			if pp.Inclusive[kids[i]] != pp.Inclusive[kids[j]] {
+				return pp.Inclusive[kids[i]] > pp.Inclusive[kids[j]]
+			}
+			return kids[i] < kids[j]
+		})
+		for _, k := range kids {
+			pct := 0.0
+			if pp.Total > 0 {
+				pct = pp.Inclusive[k] / pp.Total * 100
+			}
+			fmt.Fprintf(&b, "%s%-*s %10.6fs %6.2f%% %6d×\n",
+				strings.Repeat("  ", depth),
+				46-2*depth, t.RegionName(t.PathRegion[k]),
+				pp.Inclusive[k], pct, pp.Count[k])
+			walk(k, depth+1)
+		}
+	}
+	walk(PathRoot, 0)
+	return b.String()
+}
+
+// Profile renders a flat profile sorted by aggregate inclusive time —
+// useful for eyeballing synthetic programs and in cmd/atstrace output.
+func (s *Stats) Profile() string {
+	type row struct {
+		region string
+		count  int
+		incl   float64
+		excl   float64
+	}
+	var rows []row
+	for region, byLoc := range s.Regions {
+		r := row{region: region}
+		for _, rs := range byLoc {
+			r.count += rs.Count
+			r.incl += rs.Inclusive
+			r.excl += rs.Exclusive
+		}
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].incl != rows[j].incl {
+			return rows[i].incl > rows[j].incl
+		}
+		return rows[i].region < rows[j].region
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-40s %8s %12s %12s\n", "region", "count", "incl(s)", "excl(s)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-40s %8d %12.6f %12.6f\n", r.region, r.count, r.incl, r.excl)
+	}
+	return b.String()
+}

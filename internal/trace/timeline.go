@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Timeline renders an ASCII Gantt chart of the trace, one row per location,
+// sampling the innermost active region across `width` columns.  It is the
+// Vampir-timeline stand-in used to reproduce the paper's Figures 3.2–3.4:
+// the visible shape (who computes, who waits in which MPI call, when) is
+// what those figures convey.
+//
+// Each region is assigned a display rune; a legend is appended.  Idle time
+// outside any region renders as '.'.
+type TimelineOptions struct {
+	Width int // number of sample columns (default 100)
+	// Regions restricts the legend/rune assignment to the given regions;
+	// others render as '#'.  Empty means auto-assign all.
+	Regions []string
+}
+
+type interval struct {
+	start, end float64
+	region     string
+}
+
+// buildIntervals reconstructs, per location, the innermost-region intervals.
+func buildIntervals(t *Trace) map[Location][]interval {
+	type frame struct {
+		region string
+		since  float64
+	}
+	out := make(map[Location][]interval)
+	stacks := make(map[Location][]frame)
+	emit := func(loc Location, start, end float64, region string) {
+		if end > start {
+			out[loc] = append(out[loc], interval{start, end, region})
+		}
+	}
+	for _, ev := range t.Events {
+		switch ev.Kind {
+		case KindEnter:
+			st := stacks[ev.Loc]
+			if len(st) > 0 {
+				top := &st[len(st)-1]
+				emit(ev.Loc, top.since, ev.Time, top.region)
+				top.since = ev.Time // will resume after nested exit
+			}
+			stacks[ev.Loc] = append(st, frame{region: t.RegionName(ev.Region), since: ev.Time})
+		case KindExit:
+			st := stacks[ev.Loc]
+			if len(st) == 0 {
+				continue
+			}
+			top := st[len(st)-1]
+			emit(ev.Loc, top.since, ev.Time, top.region)
+			stacks[ev.Loc] = st[:len(st)-1]
+			if len(stacks[ev.Loc]) > 0 {
+				stacks[ev.Loc][len(stacks[ev.Loc])-1].since = ev.Time
+			}
+		}
+	}
+	return out
+}
+
+// timelineRunes is the palette for region bars.
+var timelineRunes = []rune("WSRBXGAVQCDEFHIJKLMNOPTUYZwsrbxgavqdefhijklmnop")
+
+// Timeline renders the ASCII timeline.
+func Timeline(t *Trace, opt TimelineOptions) string {
+	width := opt.Width
+	if width <= 0 {
+		width = 100
+	}
+	if len(t.Events) == 0 {
+		return "(empty trace)\n"
+	}
+	start, end := t.Start(), t.End()
+	span := end - start
+	if span <= 0 {
+		span = 1
+	}
+
+	intervals := buildIntervals(t)
+
+	// Assign runes to regions, preferring caller-specified ordering.
+	runeFor := make(map[string]rune)
+	order := opt.Regions
+	if len(order) == 0 {
+		seen := make(map[string]bool)
+		for _, ivs := range intervals {
+			for _, iv := range ivs {
+				seen[iv.region] = true
+			}
+		}
+		for r := range seen {
+			order = append(order, r)
+		}
+		sort.Strings(order)
+	}
+	for i, r := range order {
+		if i < len(timelineRunes) {
+			runeFor[r] = timelineRunes[i]
+		} else {
+			runeFor[r] = '#'
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline: %.6fs .. %.6fs (span %.6fs), %d locations\n",
+		start, end, span, len(t.Locations))
+	for _, loc := range t.Locations {
+		row := make([]rune, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, iv := range intervals[loc] {
+			c0 := int((iv.start - start) / span * float64(width))
+			c1 := int((iv.end - start) / span * float64(width))
+			if c1 <= c0 {
+				c1 = c0 + 1
+			}
+			if c0 < 0 {
+				c0 = 0
+			}
+			if c1 > width {
+				c1 = width
+			}
+			r, ok := runeFor[iv.region]
+			if !ok {
+				r = '#'
+			}
+			for c := c0; c < c1; c++ {
+				row[c] = r
+			}
+		}
+		fmt.Fprintf(&b, "%8s |%s|\n", loc, string(row))
+	}
+	b.WriteString("legend: '.'=idle")
+	for _, r := range order {
+		if _, used := runeFor[r]; used {
+			fmt.Fprintf(&b, "  '%c'=%s", runeFor[r], r)
+		}
+	}
+	b.WriteString("\n")
+	return b.String()
+}

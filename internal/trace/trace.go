@@ -1,0 +1,507 @@
+// Package trace implements the ATS event-trace layer.
+//
+// The original ATS validates analysis tools (EXPERT, Vampir, …) against
+// traces produced by instrumented runs of the synthetic test programs.
+// This reproduction needs the tool side as well, so the runtime records
+// event traces directly: region enter/exit, point-to-point message events,
+// collective-operation events, and thread fork/join.  Each execution
+// location (MPI rank × OpenMP thread) writes to its own Buffer without
+// locking; buffers are merged into a Trace afterwards.
+//
+// Call paths are interned as a tree so that every event carries the full
+// dynamic call path at constant cost — the analyzer's "call graph pane"
+// (paper Fig 3.5) is reconstructed from these path ids.
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Location identifies an execution location: an MPI process rank and an
+// OpenMP thread within it.  Pure MPI programs use Thread 0; pure OpenMP
+// programs use Rank 0.
+type Location struct {
+	Rank   int32
+	Thread int32
+}
+
+// String renders the location as "rank.thread".
+func (l Location) String() string { return fmt.Sprintf("%d.%d", l.Rank, l.Thread) }
+
+// less orders locations rank-major.
+func (l Location) less(o Location) bool {
+	if l.Rank != o.Rank {
+		return l.Rank < o.Rank
+	}
+	return l.Thread < o.Thread
+}
+
+// Kind enumerates event kinds.
+type Kind uint8
+
+const (
+	// KindEnter marks entry into a region (function, construct).
+	KindEnter Kind = iota
+	// KindExit marks exit from the current region.
+	KindExit
+	// KindSend records a point-to-point message send.  Time is the
+	// moment the sending operation was entered.
+	KindSend
+	// KindRecv records the completion of a point-to-point receive.
+	// Time is completion; Aux is the time the receive was entered.
+	KindRecv
+	// KindColl records participation in a collective operation.  Time is
+	// completion; Aux is the participant's enter time.
+	KindColl
+	// KindFork records an OpenMP parallel-region fork on the master.
+	KindFork
+	// KindJoin records the corresponding join; Aux is the fork time.
+	KindJoin
+	// KindLock records acquisition of a lock or critical section; Aux is
+	// the waiting time incurred before acquisition.
+	KindLock
+	// KindMarker is a free-form marker event (used by tests and apps).
+	KindMarker
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindEnter:
+		return "enter"
+	case KindExit:
+		return "exit"
+	case KindSend:
+		return "send"
+	case KindRecv:
+		return "recv"
+	case KindColl:
+		return "coll"
+	case KindFork:
+		return "fork"
+	case KindJoin:
+		return "join"
+	case KindLock:
+		return "lock"
+	case KindMarker:
+		return "marker"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// CollKind enumerates collective operations for KindColl events.
+type CollKind uint8
+
+const (
+	CollNone CollKind = iota
+	CollBarrier
+	CollBcast
+	CollScatter
+	CollScatterv
+	CollGather
+	CollGatherv
+	CollReduce
+	CollAllreduce
+	CollAllgather
+	CollAllgatherv
+	CollAlltoall
+	CollAlltoallv
+	CollScan
+	CollReduceScatter
+	// OMP pseudo-collectives: team-wide synchronization points.
+	CollOMPBarrier
+	CollOMPForEnd  // implicit barrier at end of a worksharing loop
+	CollOMPJoin    // implicit barrier at parallel-region join
+	CollOMPSingle  // implicit barrier at end of single
+	CollOMPSection // implicit barrier at end of sections
+)
+
+var collNames = map[CollKind]string{
+	CollNone:          "none",
+	CollBarrier:       "MPI_Barrier",
+	CollBcast:         "MPI_Bcast",
+	CollScatter:       "MPI_Scatter",
+	CollScatterv:      "MPI_Scatterv",
+	CollGather:        "MPI_Gather",
+	CollGatherv:       "MPI_Gatherv",
+	CollReduce:        "MPI_Reduce",
+	CollAllreduce:     "MPI_Allreduce",
+	CollAllgather:     "MPI_Allgather",
+	CollAllgatherv:    "MPI_Allgatherv",
+	CollAlltoall:      "MPI_Alltoall",
+	CollAlltoallv:     "MPI_Alltoallv",
+	CollScan:          "MPI_Scan",
+	CollReduceScatter: "MPI_Reduce_scatter",
+	CollOMPBarrier:    "omp barrier",
+	CollOMPForEnd:     "omp for (implicit barrier)",
+	CollOMPJoin:       "omp parallel (join)",
+	CollOMPSingle:     "omp single (implicit barrier)",
+	CollOMPSection:    "omp sections (implicit barrier)",
+}
+
+// String names the collective kind.
+func (c CollKind) String() string {
+	if s, ok := collNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("coll(%d)", uint8(c))
+}
+
+// Event flags.
+const (
+	// FlagSync marks a synchronous (rendezvous) point-to-point transfer.
+	FlagSync uint8 = 1 << iota
+	// FlagNonBlocking marks a non-blocking operation (Isend/Irecv).
+	FlagNonBlocking
+	// FlagRoot marks the root participant of a rooted collective.
+	FlagRoot
+)
+
+// RegionID indexes the region name table of a Buffer or Trace.
+type RegionID int32
+
+// PathID indexes the call-path tree.  PathRoot is the empty path.
+type PathID int32
+
+// PathRoot is the id of the empty call path.
+const PathRoot PathID = 0
+
+// Event is one trace record.  The meaning of the payload fields depends on
+// Kind; unused fields are zero.
+type Event struct {
+	Time float64  // event timestamp (seconds since run epoch)
+	Aux  float64  // secondary timestamp or duration (see Kind docs)
+	Kind Kind     //
+	Loc  Location // where the event happened
+
+	Region RegionID // Enter/Exit: region; Coll: unused
+	Path   PathID   // call path at event time (after Enter / before Exit)
+
+	// Point-to-point payload.
+	Peer  int32  // comm-local peer rank (dest for Send, source for Recv)
+	CRank int32  // own comm-local rank at the event
+	Tag   int32  // message tag
+	Bytes int64  // payload size in bytes
+	Match uint64 // match id linking Send↔Recv, or collective instance id
+
+	// Collective payload.
+	Coll  CollKind
+	Root  int32 // comm-local root rank (rooted collectives), else -1
+	Comm  int32 // communicator context id (MPI) or team id (OMP)
+	Flags uint8
+}
+
+// Buffer collects the events of a single location.  It is owned by exactly
+// one goroutine and performs no locking.  Region names and call paths are
+// interned locally and remapped during merge.
+type Buffer struct {
+	Loc    Location
+	events []Event
+
+	regionIDs map[string]RegionID
+	regions   []string
+
+	// Call-path tree: node i has parent pathParent[i] and leaf region
+	// pathRegion[i].  Node 0 is the root (empty path).
+	pathParent []PathID
+	pathRegion []RegionID
+	pathChild  map[pathKey]PathID
+
+	stack  []PathID // current path stack; top is current path
+	cur    PathID
+	seeded int // frames installed by Seed (not matched by Exit)
+}
+
+type pathKey struct {
+	parent PathID
+	region RegionID
+}
+
+// NewBuffer returns an empty buffer for the given location.
+func NewBuffer(loc Location) *Buffer {
+	b := &Buffer{
+		Loc:        loc,
+		regionIDs:  make(map[string]RegionID),
+		pathParent: []PathID{-1},
+		pathRegion: []RegionID{-1},
+		pathChild:  make(map[pathKey]PathID),
+		cur:        PathRoot,
+	}
+	return b
+}
+
+// region interns a region name.
+func (b *Buffer) region(name string) RegionID {
+	if id, ok := b.regionIDs[name]; ok {
+		return id
+	}
+	id := RegionID(len(b.regions))
+	b.regions = append(b.regions, name)
+	b.regionIDs[name] = id
+	return id
+}
+
+// child returns (creating if needed) the path node for region under parent.
+func (b *Buffer) child(parent PathID, region RegionID) PathID {
+	k := pathKey{parent, region}
+	if id, ok := b.pathChild[k]; ok {
+		return id
+	}
+	id := PathID(len(b.pathParent))
+	b.pathParent = append(b.pathParent, parent)
+	b.pathRegion = append(b.pathRegion, region)
+	b.pathChild[k] = id
+	return id
+}
+
+// Enter records entry into the named region at time t.
+// A nil Buffer ignores all recording calls, so tracing can be disabled
+// without changing the runtime code paths.
+func (b *Buffer) Enter(name string, t float64) {
+	if b == nil {
+		return
+	}
+	r := b.region(name)
+	b.stack = append(b.stack, b.cur)
+	b.cur = b.child(b.cur, r)
+	b.events = append(b.events, Event{
+		Time: t, Kind: KindEnter, Loc: b.Loc, Region: r, Path: b.cur,
+	})
+}
+
+// StackNames returns the names of the currently open regions, outermost
+// first — the dynamic call path of the executor.
+func (b *Buffer) StackNames() []string {
+	if b == nil {
+		return nil
+	}
+	var names []string
+	for p := b.cur; p > PathRoot; p = b.pathParent[p] {
+		names = append(names, b.regions[b.pathRegion[p]])
+	}
+	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+		names[i], names[j] = names[j], names[i]
+	}
+	return names
+}
+
+// Seed installs an inherited call-path prefix without recording events.
+// It is used when an executor forks sub-executors (OpenMP threads): the
+// children's events must carry the creating thread's dynamic call path,
+// as in EXPERT's call-tree model.  Seeded frames are not matched by Exit.
+func (b *Buffer) Seed(names []string) {
+	if b == nil {
+		return
+	}
+	if len(b.events) > 0 || len(b.stack) > 0 {
+		panic("trace: Seed on a non-fresh buffer")
+	}
+	for _, name := range names {
+		r := b.region(name)
+		b.stack = append(b.stack, b.cur)
+		b.cur = b.child(b.cur, r)
+	}
+	b.seeded = len(names)
+}
+
+// Exit records exit from the current region at time t.
+func (b *Buffer) Exit(t float64) {
+	if b == nil {
+		return
+	}
+	if len(b.stack) <= b.seeded {
+		panic("trace: Exit without matching Enter")
+	}
+	r := b.pathRegion[b.cur]
+	b.events = append(b.events, Event{
+		Time: t, Kind: KindExit, Loc: b.Loc, Region: r, Path: b.cur,
+	})
+	b.cur = b.stack[len(b.stack)-1]
+	b.stack = b.stack[:len(b.stack)-1]
+}
+
+// Depth returns the current region-stack depth, excluding seeded frames.
+func (b *Buffer) Depth() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.stack) - b.seeded
+}
+
+// Record appends ev, filling in Loc and the current call path.
+func (b *Buffer) Record(ev Event) {
+	if b == nil {
+		return
+	}
+	ev.Loc = b.Loc
+	ev.Path = b.cur
+	b.events = append(b.events, ev)
+}
+
+// Len reports the number of recorded events.
+func (b *Buffer) Len() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.events)
+}
+
+// Trace is a merged, analysis-ready trace: all locations' events ordered by
+// time, with globally interned region names and call paths.
+type Trace struct {
+	Events  []Event
+	Regions []string // region names indexed by RegionID
+
+	// Call-path tree, analogous to Buffer's.
+	PathParent []PathID
+	PathRegion []RegionID
+
+	Locations []Location // sorted distinct locations
+}
+
+// Merge combines per-location buffers into a single Trace.  Buffers may be
+// nil (ignored).  Events are ordered by (Time, Location); ties at equal
+// time are resolved by location for determinism.
+func Merge(buffers ...*Buffer) *Trace {
+	t := &Trace{
+		PathParent: []PathID{-1},
+		PathRegion: []RegionID{-1},
+	}
+	regionIDs := make(map[string]RegionID)
+	pathChild := make(map[pathKey]PathID)
+	intern := func(name string) RegionID {
+		if id, ok := regionIDs[name]; ok {
+			return id
+		}
+		id := RegionID(len(t.Regions))
+		t.Regions = append(t.Regions, name)
+		regionIDs[name] = id
+		return id
+	}
+	child := func(parent PathID, region RegionID) PathID {
+		k := pathKey{parent, region}
+		if id, ok := pathChild[k]; ok {
+			return id
+		}
+		id := PathID(len(t.PathParent))
+		t.PathParent = append(t.PathParent, parent)
+		t.PathRegion = append(t.PathRegion, region)
+		pathChild[k] = id
+		return id
+	}
+
+	var total int
+	for _, b := range buffers {
+		if b != nil {
+			total += len(b.events)
+		}
+	}
+	t.Events = make([]Event, 0, total)
+
+	for _, b := range buffers {
+		if b == nil {
+			continue
+		}
+		// Remap this buffer's region and path ids to global ids.
+		regionMap := make([]RegionID, len(b.regions))
+		for i, name := range b.regions {
+			regionMap[i] = intern(name)
+		}
+		pathMap := make([]PathID, len(b.pathParent))
+		pathMap[0] = PathRoot
+		for i := 1; i < len(b.pathParent); i++ {
+			// Parents always precede children in the local table.
+			pathMap[i] = child(pathMap[b.pathParent[i]], regionMap[b.pathRegion[i]])
+		}
+		for _, ev := range b.events {
+			if ev.Kind == KindEnter || ev.Kind == KindExit {
+				ev.Region = regionMap[ev.Region]
+			}
+			ev.Path = pathMap[ev.Path]
+			t.Events = append(t.Events, ev)
+		}
+		t.Locations = append(t.Locations, b.Loc)
+	}
+	sort.SliceStable(t.Events, func(i, j int) bool {
+		if t.Events[i].Time != t.Events[j].Time {
+			return t.Events[i].Time < t.Events[j].Time
+		}
+		return t.Events[i].Loc.less(t.Events[j].Loc)
+	})
+	sort.Slice(t.Locations, func(i, j int) bool { return t.Locations[i].less(t.Locations[j]) })
+	return t
+}
+
+// RegionName returns the name for id, or a placeholder for invalid ids.
+func (t *Trace) RegionName(id RegionID) string {
+	if id < 0 || int(id) >= len(t.Regions) {
+		return "?"
+	}
+	return t.Regions[id]
+}
+
+// PathString renders a call path as "a/b/c".  The root path renders as "".
+func (t *Trace) PathString(p PathID) string {
+	if p <= PathRoot || int(p) >= len(t.PathParent) {
+		return ""
+	}
+	var parts []string
+	for p > PathRoot {
+		parts = append(parts, t.RegionName(t.PathRegion[p]))
+		p = t.PathParent[p]
+	}
+	// Reverse.
+	for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+		parts[i], parts[j] = parts[j], parts[i]
+	}
+	out := parts[0]
+	for _, s := range parts[1:] {
+		out += "/" + s
+	}
+	return out
+}
+
+// PathLeaf returns the leaf region name of path p ("" for the root).
+func (t *Trace) PathLeaf(p PathID) string {
+	if p <= PathRoot || int(p) >= len(t.PathParent) {
+		return ""
+	}
+	return t.RegionName(t.PathRegion[p])
+}
+
+// Duration returns the time span covered by the trace.
+func (t *Trace) Duration() float64 {
+	if len(t.Events) == 0 {
+		return 0
+	}
+	return t.Events[len(t.Events)-1].Time - t.Events[0].Time
+}
+
+// Start returns the earliest event time (0 for an empty trace).
+func (t *Trace) Start() float64 {
+	if len(t.Events) == 0 {
+		return 0
+	}
+	return t.Events[0].Time
+}
+
+// End returns the latest event time.
+func (t *Trace) End() float64 {
+	if len(t.Events) == 0 {
+		return 0
+	}
+	return t.Events[len(t.Events)-1].Time
+}
+
+// FilterLocation returns the events of a single location, in time order.
+func (t *Trace) FilterLocation(loc Location) []Event {
+	var out []Event
+	for _, ev := range t.Events {
+		if ev.Loc == loc {
+			out = append(out, ev)
+		}
+	}
+	return out
+}

@@ -1,0 +1,630 @@
+// Package validate implements the validation-suite layer of the paper's
+// Chapter 2: a self-contained suite of semantic checks for the MPI-like
+// and OpenMP-like substrates, runnable with and without instrumentation.
+//
+// The paper's procedure for testing that a performance tool is
+// semantics-preserving is: run a validation suite on the target system;
+// run it again with the tool's instrumentation added; the results must be
+// identical.  Each check here therefore computes a deterministic result
+// digest, so the two runs can be compared bit-for-bit, not just
+// pass/fail.
+package validate
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/distr"
+	"repro/internal/mpi"
+	"repro/internal/omp"
+	"repro/internal/xctx"
+)
+
+// Check is one validation test: it runs a small parallel program and
+// returns a digest of the data it computed.  traced selects whether the
+// run is instrumented (event tracing on) — the digest must not depend on
+// it.
+type Check struct {
+	Name string
+	Run  func(traced bool) (uint64, error)
+}
+
+// Outcome records one check's result.
+type Outcome struct {
+	Name   string
+	Passed bool
+	Digest uint64
+	Err    error
+}
+
+// digest hashes a byte stream.
+type digest struct{ h uint64 }
+
+func newDigest() *digest { return &digest{h: fnv.New64a().Sum64()} }
+
+func (d *digest) add(p []byte) {
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(d.h >> (8 * i))
+	}
+	h.Write(buf[:])
+	h.Write(p)
+	d.h = h.Sum64()
+}
+
+func (d *digest) addInt(v int64) {
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(uint64(v) >> (8 * i))
+	}
+	d.add(buf[:])
+}
+
+// mpiOpts builds the world options for a check.
+func mpiOpts(procs int, traced bool) mpi.Options {
+	return mpi.Options{
+		Procs:    procs,
+		Untraced: !traced,
+		Timeout:  30 * time.Second,
+		Seed:     12345,
+	}
+}
+
+// gatherDigest collects every rank's local digest at rank 0 and combines
+// them in rank order, producing a single world digest.
+func gatherDigest(c *mpi.Comm, local uint64) uint64 {
+	s := mpi.AllocBuf(mpi.TypeInt, 1)
+	s.SetInt64(0, int64(local))
+	var r *mpi.Buf
+	if c.Rank() == 0 {
+		r = mpi.AllocBuf(mpi.TypeInt, c.Size())
+	}
+	c.Gather(s, r, 0)
+	if c.Rank() != 0 {
+		return 0
+	}
+	d := newDigest()
+	for i := 0; i < c.Size(); i++ {
+		d.addInt(r.Int64(i))
+	}
+	return d.h
+}
+
+// runMPICheck runs body on a fresh world and returns rank 0's digest.
+func runMPICheck(procs int, traced bool, body func(c *mpi.Comm, d *digest)) (uint64, error) {
+	result := make([]uint64, procs)
+	_, err := mpi.Run(mpiOpts(procs, traced), func(c *mpi.Comm) {
+		d := newDigest()
+		body(c, d)
+		result[c.WorldRank()] = gatherDigest(c, d.h)
+	})
+	return result[0], err
+}
+
+// Checks returns the full validation suite.
+func Checks() []Check {
+	return []Check{
+		{"mpi_p2p_roundtrip", checkP2PRoundtrip},
+		{"mpi_p2p_ordering", checkP2POrdering},
+		{"mpi_p2p_tags", checkP2PTags},
+		{"mpi_sendrecv_ring", checkSendrecvRing},
+		{"mpi_bcast", checkBcast},
+		{"mpi_reduce_allreduce", checkReduce},
+		{"mpi_scatter_gather", checkScatterGather},
+		{"mpi_scatterv_gatherv", checkScattervGatherv},
+		{"mpi_alltoall", checkAlltoall},
+		{"mpi_scan", checkScan},
+		{"mpi_comm_split", checkCommSplit},
+		{"mpi_nonblocking", checkNonblocking},
+		{"mpi_allgatherv", checkAllgatherv},
+		{"mpi_probe_bsend", checkProbeBsend},
+		{"mpi_vector_datatype", checkVectorDatatype},
+		{"omp_loop_coverage", checkOMPLoopCoverage},
+		{"omp_reduction_critical", checkOMPCritical},
+		{"omp_single_sections", checkOMPSingleSections},
+		{"hybrid_phases", checkHybridPhases},
+	}
+}
+
+func checkP2PRoundtrip(traced bool) (uint64, error) {
+	return runMPICheck(4, traced, func(c *mpi.Comm, d *digest) {
+		b := mpi.AllocBuf(mpi.TypeInt, 16)
+		if c.Rank() == 0 {
+			for i := 0; i < 16; i++ {
+				b.SetInt64(i, int64(i*i+1))
+			}
+			for dst := 1; dst < c.Size(); dst++ {
+				c.Send(b, dst, 1)
+			}
+			acc := mpi.AllocBuf(mpi.TypeInt, 16)
+			for dst := 1; dst < c.Size(); dst++ {
+				c.Recv(acc, dst, 2)
+				d.add(acc.Data)
+			}
+		} else {
+			c.Recv(b, 0, 1)
+			for i := 0; i < 16; i++ {
+				b.SetInt64(i, b.Int64(i)*int64(c.Rank()))
+			}
+			c.Send(b, 0, 2)
+			d.add(b.Data)
+		}
+	})
+}
+
+func checkP2POrdering(traced bool) (uint64, error) {
+	return runMPICheck(2, traced, func(c *mpi.Comm, d *digest) {
+		const n = 32
+		b := mpi.AllocBuf(mpi.TypeInt, 1)
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				b.SetInt64(0, int64(i))
+				c.Send(b, 1, 0)
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				c.Recv(b, 0, 0)
+				if b.Int64(0) != int64(i) {
+					panic(fmt.Sprintf("ordering violated: got %d at %d", b.Int64(0), i))
+				}
+				d.addInt(b.Int64(0))
+			}
+		}
+	})
+}
+
+func checkP2PTags(traced bool) (uint64, error) {
+	return runMPICheck(2, traced, func(c *mpi.Comm, d *digest) {
+		b := mpi.AllocBuf(mpi.TypeInt, 1)
+		if c.Rank() == 0 {
+			for _, tag := range []int{5, 3, 9} {
+				b.SetInt64(0, int64(tag*100))
+				c.Send(b, 1, tag)
+			}
+		} else {
+			for _, tag := range []int{9, 5, 3} { // out of send order
+				c.Recv(b, 0, tag)
+				if b.Int64(0) != int64(tag*100) {
+					panic("tag selectivity violated")
+				}
+				d.addInt(b.Int64(0))
+			}
+		}
+	})
+}
+
+func checkSendrecvRing(traced bool) (uint64, error) {
+	return runMPICheck(5, traced, func(c *mpi.Comm, d *digest) {
+		s := mpi.AllocBuf(mpi.TypeDouble, 8)
+		r := mpi.AllocBuf(mpi.TypeDouble, 8)
+		s.FillSeq(c.Rank())
+		next, prev := (c.Rank()+1)%c.Size(), (c.Rank()+c.Size()-1)%c.Size()
+		for step := 0; step < c.Size(); step++ {
+			c.Sendrecv(s, next, 7, r, prev, 7)
+			s, r = r, s
+		}
+		// After size steps the original data returns.
+		want := mpi.AllocBuf(mpi.TypeDouble, 8)
+		want.FillSeq(c.Rank())
+		if !s.Equal(want) {
+			panic("ring shift did not return original data")
+		}
+		d.add(s.Data)
+	})
+}
+
+func checkBcast(traced bool) (uint64, error) {
+	return runMPICheck(6, traced, func(c *mpi.Comm, d *digest) {
+		for root := 0; root < c.Size(); root++ {
+			b := mpi.AllocBuf(mpi.TypeDouble, 10)
+			if c.Rank() == root {
+				b.FillSeq(root + 100)
+			}
+			c.Bcast(b, root)
+			want := mpi.AllocBuf(mpi.TypeDouble, 10)
+			want.FillSeq(root + 100)
+			if !b.Equal(want) {
+				panic(fmt.Sprintf("bcast from root %d corrupted data", root))
+			}
+			d.add(b.Data)
+		}
+	})
+}
+
+func checkReduce(traced bool) (uint64, error) {
+	return runMPICheck(5, traced, func(c *mpi.Comm, d *digest) {
+		s := mpi.AllocBuf(mpi.TypeInt, 4)
+		for i := 0; i < 4; i++ {
+			s.SetInt64(i, int64((c.Rank()+1)*(i+1)))
+		}
+		r := mpi.AllocBuf(mpi.TypeInt, 4)
+		for _, op := range []mpi.Op{mpi.OpSum, mpi.OpMax, mpi.OpMin, mpi.OpProd} {
+			c.Reduce(s, r, op, 2)
+			if c.Rank() == 2 {
+				d.add(r.Data)
+			}
+			c.Allreduce(s, r, op)
+			d.add(r.Data)
+		}
+		// Cross-check allreduce sum against the closed form.
+		c.Allreduce(s, r, mpi.OpSum)
+		n := int64(c.Size())
+		for i := 0; i < 4; i++ {
+			want := n * (n + 1) / 2 * int64(i+1)
+			if r.Int64(i) != want {
+				panic(fmt.Sprintf("allreduce sum element %d = %d, want %d", i, r.Int64(i), want))
+			}
+		}
+	})
+}
+
+func checkScatterGather(traced bool) (uint64, error) {
+	return runMPICheck(4, traced, func(c *mpi.Comm, d *digest) {
+		const cnt = 5
+		var sb, gb *mpi.Buf
+		if c.Rank() == 1 {
+			sb = mpi.AllocBuf(mpi.TypeInt, cnt*c.Size())
+			for i := 0; i < cnt*c.Size(); i++ {
+				sb.SetInt64(i, int64(3*i+7))
+			}
+			gb = mpi.AllocBuf(mpi.TypeInt, cnt*c.Size())
+		}
+		part := mpi.AllocBuf(mpi.TypeInt, cnt)
+		c.Scatter(sb, part, 1)
+		for i := 0; i < cnt; i++ {
+			part.SetInt64(i, part.Int64(i)+1)
+		}
+		c.Gather(part, gb, 1)
+		if c.Rank() == 1 {
+			for i := 0; i < cnt*c.Size(); i++ {
+				if gb.Int64(i) != int64(3*i+8) {
+					panic("scatter/gather round trip corrupted data")
+				}
+			}
+			d.add(gb.Data)
+		}
+	})
+}
+
+func checkScattervGatherv(traced bool) (uint64, error) {
+	return runMPICheck(4, traced, func(c *mpi.Comm, d *digest) {
+		v := mpi.AllocVBuf(c, mpi.TypeInt, distr.Linear, distr.Val2{Low: 1, High: 7}, 1.0, 0)
+		if c.Rank() == 0 {
+			for i := 0; i < v.Total; i++ {
+				v.RootBuf.SetInt64(i, int64(i))
+			}
+		}
+		c.Scatterv(v)
+		for i := 0; i < v.Buf.Count; i++ {
+			v.Buf.SetInt64(i, v.Buf.Int64(i)*10)
+		}
+		c.Gatherv(v)
+		if c.Rank() == 0 {
+			for i := 0; i < v.Total; i++ {
+				if v.RootBuf.Int64(i) != int64(10*i) {
+					panic("scatterv/gatherv round trip corrupted data")
+				}
+			}
+			d.add(v.RootBuf.Data)
+		}
+	})
+}
+
+func checkAlltoall(traced bool) (uint64, error) {
+	return runMPICheck(4, traced, func(c *mpi.Comm, d *digest) {
+		P := c.Size()
+		s := mpi.AllocBuf(mpi.TypeInt, P)
+		r := mpi.AllocBuf(mpi.TypeInt, P)
+		for j := 0; j < P; j++ {
+			s.SetInt64(j, int64(c.Rank()*1000+j))
+		}
+		c.Alltoall(s, r)
+		for j := 0; j < P; j++ {
+			if r.Int64(j) != int64(j*1000+c.Rank()) {
+				panic("alltoall misrouted data")
+			}
+		}
+		d.add(r.Data)
+	})
+}
+
+func checkScan(traced bool) (uint64, error) {
+	return runMPICheck(6, traced, func(c *mpi.Comm, d *digest) {
+		s := mpi.AllocBuf(mpi.TypeInt, 1)
+		r := mpi.AllocBuf(mpi.TypeInt, 1)
+		s.SetInt64(0, int64(c.Rank()+1))
+		c.Scan(s, r, mpi.OpSum)
+		want := int64((c.Rank() + 1) * (c.Rank() + 2) / 2)
+		if r.Int64(0) != want {
+			panic("scan prefix wrong")
+		}
+		d.addInt(r.Int64(0))
+	})
+}
+
+func checkCommSplit(traced bool) (uint64, error) {
+	return runMPICheck(8, traced, func(c *mpi.Comm, d *digest) {
+		sub := c.Split(c.Rank()%3, c.Rank())
+		s := mpi.AllocBuf(mpi.TypeInt, 1)
+		r := mpi.AllocBuf(mpi.TypeInt, 1)
+		s.SetInt64(0, int64(c.Rank()))
+		sub.Allreduce(s, r, mpi.OpSum)
+		// Sum of world ranks with the same color.
+		var want int64
+		for i := c.Rank() % 3; i < c.Size(); i += 3 {
+			want += int64(i)
+		}
+		if r.Int64(0) != want {
+			panic("split communicator reduced wrong group")
+		}
+		d.addInt(r.Int64(0))
+		d.addInt(int64(sub.Rank()))
+		d.addInt(int64(sub.Size()))
+	})
+}
+
+func checkNonblocking(traced bool) (uint64, error) {
+	return runMPICheck(4, traced, func(c *mpi.Comm, d *digest) {
+		P := c.Size()
+		// Everyone isends its rank to everyone else, then receives.
+		var reqs []*mpi.Request
+		bufs := make([]*mpi.Buf, P)
+		for dst := 0; dst < P; dst++ {
+			if dst == c.Rank() {
+				continue
+			}
+			b := mpi.AllocBuf(mpi.TypeInt, 1)
+			b.SetInt64(0, int64(c.Rank()*10+dst))
+			reqs = append(reqs, c.Isend(b, dst, 4))
+		}
+		for src := 0; src < P; src++ {
+			if src == c.Rank() {
+				continue
+			}
+			bufs[src] = mpi.AllocBuf(mpi.TypeInt, 1)
+			reqs = append(reqs, c.Irecv(bufs[src], src, 4))
+		}
+		c.WaitAll(reqs...)
+		for src := 0; src < P; src++ {
+			if src == c.Rank() {
+				continue
+			}
+			if bufs[src].Int64(0) != int64(src*10+c.Rank()) {
+				panic("nonblocking exchange misrouted data")
+			}
+			d.addInt(bufs[src].Int64(0))
+		}
+	})
+}
+
+func checkAllgatherv(traced bool) (uint64, error) {
+	return runMPICheck(4, traced, func(c *mpi.Comm, d *digest) {
+		counts := []int{1, 3, 2, 4}
+		s := mpi.AllocBuf(mpi.TypeInt, counts[c.Rank()])
+		for i := 0; i < s.Count; i++ {
+			s.SetInt64(i, int64(c.Rank()*100+i))
+		}
+		total := 0
+		for _, n := range counts {
+			total += n
+		}
+		r := mpi.AllocBuf(mpi.TypeInt, total)
+		c.Allgatherv(s, r, counts)
+		off := 0
+		for rank, n := range counts {
+			for i := 0; i < n; i++ {
+				if r.Int64(off) != int64(rank*100+i) {
+					panic("allgatherv misplaced data")
+				}
+				off++
+			}
+		}
+		d.add(r.Data)
+	})
+}
+
+func checkProbeBsend(traced bool) (uint64, error) {
+	return runMPICheck(2, traced, func(c *mpi.Comm, d *digest) {
+		if c.Rank() == 0 {
+			// Bsend of a large message must not block without a receiver.
+			big := mpi.AllocBuf(mpi.TypeDouble, 4096)
+			big.FillSeq(7)
+			c.Bsend(big, 1, 3)
+			small := mpi.AllocBuf(mpi.TypeInt, 2)
+			small.SetInt64(0, 11)
+			small.SetInt64(1, 22)
+			c.Send(small, 1, 4)
+			d.addInt(11)
+		} else {
+			// Probe learns the size before allocating, as real MPI code
+			// does with MPI_Probe + MPI_Get_count.
+			st := c.Probe(0, 3)
+			buf := mpi.AllocBuf(mpi.TypeDouble, st.Count)
+			c.Recv(buf, 0, 3)
+			want := mpi.AllocBuf(mpi.TypeDouble, 4096)
+			want.FillSeq(7)
+			if !buf.Equal(want) {
+				panic("probed message corrupted")
+			}
+			st2 := c.Probe(mpi.AnySource, mpi.AnyTag)
+			if st2.Tag != 4 || st2.Count != 2 {
+				panic(fmt.Sprintf("second probe got %+v", st2))
+			}
+			small := mpi.AllocBuf(mpi.TypeInt, st2.Count)
+			c.Recv(small, st2.Source, st2.Tag)
+			d.addInt(small.Int64(0) + small.Int64(1))
+		}
+	})
+}
+
+func checkVectorDatatype(traced bool) (uint64, error) {
+	return runMPICheck(2, traced, func(c *mpi.Comm, d *digest) {
+		v := mpi.Vector{Count: 5, BlockLen: 2, Stride: 4}
+		if c.Rank() == 0 {
+			buf := mpi.AllocBuf(mpi.TypeInt, 20)
+			for i := 0; i < 20; i++ {
+				buf.SetInt64(i, int64(i*i))
+			}
+			c.SendVector(buf, v, 1, 6)
+		} else {
+			buf := mpi.AllocBuf(mpi.TypeInt, 20)
+			c.RecvVector(buf, v, 0, 6)
+			for b := 0; b < v.Count; b++ {
+				for j := 0; j < v.BlockLen; j++ {
+					idx := b*v.Stride + j
+					if buf.Int64(idx) != int64(idx*idx) {
+						panic("vector transfer misplaced data")
+					}
+				}
+			}
+			d.add(buf.Data)
+		}
+	})
+}
+
+func checkOMPLoopCoverage(traced bool) (uint64, error) {
+	var errOut error
+	var dig uint64
+	_, err := omp.Run(omp.RunOptions{Threads: 4, Untraced: !traced, Seed: 7},
+		func(ctx *xctx.Ctx, opt omp.Options) {
+			const n = 200
+			var hits [n]atomic.Int32
+			for _, sched := range []omp.Schedule{omp.Static, omp.Dynamic, omp.Guided} {
+				for i := range hits {
+					hits[i].Store(0)
+				}
+				omp.Parallel(ctx, opt, func(tc *omp.TC) {
+					tc.For(n, omp.ForOpt{Sched: sched, Chunk: 3}, func(i int) {
+						hits[i].Add(1)
+					})
+				})
+				d := newDigest()
+				for i := range hits {
+					if hits[i].Load() != 1 {
+						errOut = fmt.Errorf("schedule %v: iteration %d ran %d times", sched, i, hits[i].Load())
+						return
+					}
+					d.addInt(int64(hits[i].Load()))
+				}
+				dig ^= d.h
+			}
+		})
+	if err != nil {
+		return 0, err
+	}
+	return dig, errOut
+}
+
+func checkOMPCritical(traced bool) (uint64, error) {
+	var total int64
+	_, err := omp.Run(omp.RunOptions{Threads: 6, Untraced: !traced, Seed: 7},
+		func(ctx *xctx.Ctx, opt omp.Options) {
+			sum := 0
+			omp.Parallel(ctx, opt, func(tc *omp.TC) {
+				for i := 0; i < 50; i++ {
+					tc.Critical("sum", func() {
+						sum++
+					})
+				}
+			})
+			total = int64(sum)
+		})
+	if err != nil {
+		return 0, err
+	}
+	if total != 6*50 {
+		return 0, fmt.Errorf("critical-protected counter = %d, want %d", total, 6*50)
+	}
+	d := newDigest()
+	d.addInt(total)
+	return d.h, nil
+}
+
+func checkOMPSingleSections(traced bool) (uint64, error) {
+	var singles, secs atomic.Int32
+	_, err := omp.Run(omp.RunOptions{Threads: 4, Untraced: !traced, Seed: 7},
+		func(ctx *xctx.Ctx, opt omp.Options) {
+			omp.Parallel(ctx, opt, func(tc *omp.TC) {
+				tc.Single(func() { singles.Add(1) })
+				tc.Sections(
+					func() { secs.Add(1) },
+					func() { secs.Add(10) },
+					func() { secs.Add(100) },
+				)
+			})
+		})
+	if err != nil {
+		return 0, err
+	}
+	if singles.Load() != 1 || secs.Load() != 111 {
+		return 0, fmt.Errorf("single=%d sections=%d", singles.Load(), secs.Load())
+	}
+	d := newDigest()
+	d.addInt(int64(singles.Load()))
+	d.addInt(int64(secs.Load()))
+	return d.h, nil
+}
+
+func checkHybridPhases(traced bool) (uint64, error) {
+	return runMPICheck(3, traced, func(c *mpi.Comm, d *digest) {
+		local := int64(0)
+		omp.Parallel(c.Ctx(), omp.Options{Threads: 3}, func(tc *omp.TC) {
+			tc.Critical("acc", func() {
+				local += int64(tc.ThreadNum() + 1)
+			})
+		})
+		s := mpi.AllocBuf(mpi.TypeInt, 1)
+		r := mpi.AllocBuf(mpi.TypeInt, 1)
+		s.SetInt64(0, local*int64(c.Rank()+1))
+		c.Allreduce(s, r, mpi.OpSum)
+		// local = 1+2+3 = 6 per rank; weighted sum = 6*(1+2+3) = 36.
+		if r.Int64(0) != 36 {
+			panic(fmt.Sprintf("hybrid phase result %d, want 36", r.Int64(0)))
+		}
+		d.addInt(r.Int64(0))
+	})
+}
+
+// RunSuite runs every check and returns the outcomes.
+func RunSuite(traced bool) []Outcome {
+	var out []Outcome
+	for _, ck := range Checks() {
+		dig, err := ck.Run(traced)
+		out = append(out, Outcome{
+			Name:   ck.Name,
+			Passed: err == nil,
+			Digest: dig,
+			Err:    err,
+		})
+	}
+	return out
+}
+
+// Compare verifies the semantics-preservation property of Chapter 2: the
+// uninstrumented and instrumented runs must both pass every check with
+// identical result digests.
+func Compare(plain, instrumented []Outcome) error {
+	if len(plain) != len(instrumented) {
+		return fmt.Errorf("validate: outcome counts differ: %d vs %d", len(plain), len(instrumented))
+	}
+	for i := range plain {
+		p, q := plain[i], instrumented[i]
+		if p.Name != q.Name {
+			return fmt.Errorf("validate: check order differs at %d: %s vs %s", i, p.Name, q.Name)
+		}
+		if !p.Passed {
+			return fmt.Errorf("validate: %s failed uninstrumented: %v", p.Name, p.Err)
+		}
+		if !q.Passed {
+			return fmt.Errorf("validate: %s failed instrumented: %v", q.Name, q.Err)
+		}
+		if p.Digest != q.Digest {
+			return fmt.Errorf("validate: %s: instrumentation changed the result digest (%x vs %x)",
+				p.Name, p.Digest, q.Digest)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package validate
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSuitePassesUninstrumented(t *testing.T) {
+	for _, o := range RunSuite(false) {
+		if !o.Passed {
+			t.Errorf("%s failed: %v", o.Name, o.Err)
+		}
+	}
+}
+
+func TestSuitePassesInstrumented(t *testing.T) {
+	for _, o := range RunSuite(true) {
+		if !o.Passed {
+			t.Errorf("%s failed: %v", o.Name, o.Err)
+		}
+	}
+}
+
+// TestSemanticsPreservation is the paper's Chapter-2 procedure end to end:
+// identical results with and without instrumentation.
+func TestSemanticsPreservation(t *testing.T) {
+	plain := RunSuite(false)
+	instrumented := RunSuite(true)
+	if err := Compare(plain, instrumented); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDigestsDeterministic(t *testing.T) {
+	a := RunSuite(false)
+	b := RunSuite(false)
+	for i := range a {
+		if a[i].Digest != b[i].Digest {
+			t.Errorf("%s: digest varies between identical runs", a[i].Name)
+		}
+	}
+}
+
+func TestCompareDetectsDivergence(t *testing.T) {
+	a := RunSuite(false)
+	b := RunSuite(false)
+	b[3].Digest ^= 1
+	if err := Compare(a, b); err == nil || !strings.Contains(err.Error(), a[3].Name) {
+		t.Errorf("digest divergence not detected: %v", err)
+	}
+	c := RunSuite(false)
+	c[0].Passed = false
+	if err := Compare(a, c); err == nil {
+		t.Error("failed check not detected")
+	}
+	if err := Compare(a, a[:5]); err == nil {
+		t.Error("length mismatch not detected")
+	}
+}
+
+func TestCheckNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, ck := range Checks() {
+		if seen[ck.Name] {
+			t.Errorf("duplicate check %q", ck.Name)
+		}
+		seen[ck.Name] = true
+	}
+	if len(seen) < 15 {
+		t.Errorf("only %d checks in the suite", len(seen))
+	}
+}

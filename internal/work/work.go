@@ -1,0 +1,160 @@
+// Package work implements the ATS work-specification layer (paper §3.1.1).
+//
+// The lowest module of the ATS framework is a function to specify "the
+// amount of generic work to be executed by the individual threads or
+// processes of a parallel program", expressed as a desired execution time.
+// The original prototype implements this as a loop of random read and write
+// accesses over two arrays large enough to defeat the cache, calibrated at
+// installation time.
+//
+// This reproduction provides the same API in both clock modes: in Virtual
+// mode Do advances the executor's logical clock exactly; in Real mode it
+// performs genuine random-access memory work using the lock-free parallel
+// random generator below.  The paper specifically recounts that using the
+// libc rand() implicitly serialized the OpenMP version because of the lock
+// around the shared seed, motivating a per-executor lock-free generator —
+// RNG is exactly that.
+package work
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/vtime"
+)
+
+// RNG is a small, fast, lock-free pseudo-random generator (splitmix64).
+// Each executor (process or thread) owns its own RNG so that parallel work
+// functions never contend on shared state — the fix for the rand()
+// serialization problem described in the paper.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded deterministically from seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d}
+}
+
+// Fork derives an independent stream for a child executor, keyed by the
+// child's id.  Streams with distinct ids are (for ATS purposes) independent.
+func (r *RNG) Fork(id uint64) *RNG {
+	return NewRNG(r.state ^ (id+1)*0xbf58476d1ce4e5b9)
+}
+
+// Next returns the next 64 pseudo-random bits.
+func (r *RNG) Next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a pseudo-random int in [0, n).  n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("work: Intn with non-positive n")
+	}
+	return int(r.Next() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Next()>>11) / (1 << 53)
+}
+
+// arraySize is the working-set size of the real-mode work loop, in uint64
+// elements per array.  Two such arrays (16 MiB total) comfortably exceed
+// typical last-level caches, so — as in the original ATS — the loop's
+// execution time is dominated by memory access and largely independent of
+// cache state.
+const arraySize = 1 << 20
+
+// workArrays is the shared pair of arrays for real-mode work.  Reads and
+// writes race benignly between executors: the values are never interpreted,
+// only the memory traffic matters.  To keep `go test -race` clean we give
+// each executor its own array pair, pooled for reuse.
+type workArrays struct {
+	a, b []uint64
+}
+
+var arrayPool = sync.Pool{
+	New: func() any {
+		return &workArrays{
+			a: make([]uint64, arraySize),
+			b: make([]uint64, arraySize),
+		}
+	},
+}
+
+// realCal holds the calibrated iterations-per-second of the random-access
+// loop, measured once per process (the ATS "configuration phase").
+var (
+	realCalOnce sync.Once
+	itersPerSec float64
+)
+
+func randomAccessChunk(w *workArrays, rng *RNG, iters int) {
+	mask := uint64(arraySize - 1)
+	for i := 0; i < iters; i++ {
+		j := rng.Next() & mask
+		k := rng.Next() & mask
+		w.b[k] = w.a[j] + w.b[k]
+		w.a[j] = w.b[k] ^ uint64(i)
+	}
+}
+
+// CalibrateReal measures the random-access loop rate.  Called automatically
+// on first use; may be called explicitly at world start so calibration cost
+// is not attributed to the first property function.
+func CalibrateReal() {
+	realCalOnce.Do(func() {
+		w := arrayPool.Get().(*workArrays)
+		defer arrayPool.Put(w)
+		rng := NewRNG(12345)
+		const probe = 1 << 18
+		randomAccessChunk(w, rng, probe/8) // warm-up
+		start := time.Now()
+		randomAccessChunk(w, rng, probe)
+		el := time.Since(start).Seconds()
+		if el <= 0 {
+			el = 1e-9
+		}
+		itersPerSec = float64(probe) / el
+		if itersPerSec <= 0 {
+			itersPerSec = 1
+		}
+	})
+}
+
+// Do executes secs seconds of generic sequential work on the executor that
+// owns clock and rng.  This is the Go form of the ATS do_work(double secs).
+//
+// Virtual mode: the logical clock advances by exactly secs.
+// Real mode: a calibrated random-access loop runs for approximately secs
+// (millisecond-level accuracy, matching the paper's characterization).
+// Negative or zero durations are no-ops.
+func Do(clock *vtime.Clock, rng *RNG, secs float64) {
+	if secs <= 0 {
+		return
+	}
+	if clock.Mode() == vtime.Virtual {
+		clock.Advance(secs)
+		return
+	}
+	CalibrateReal()
+	w := arrayPool.Get().(*workArrays)
+	defer arrayPool.Put(w)
+	deadline := time.Now().Add(time.Duration(secs * float64(time.Second)))
+	remaining := secs
+	for remaining > 0 {
+		chunk := remaining
+		const maxChunk = 2e-3 // re-check wall clock every ~2ms
+		if chunk > maxChunk {
+			chunk = maxChunk
+		}
+		randomAccessChunk(w, rng, int(chunk*itersPerSec))
+		remaining = time.Until(deadline).Seconds()
+	}
+}

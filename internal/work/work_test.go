@@ -1,0 +1,167 @@
+package work
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/vtime"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same-seed streams diverge")
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds produced %d identical values", same)
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	parent := NewRNG(1)
+	c1, c2 := parent.Fork(1), parent.Fork(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if c1.Next() == c2.Next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("forked streams overlap: %d identical values", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(17); v < 0 || v >= 17 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(5)
+	var sum float64
+	const n = 10000
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("mean = %v, want ≈ 0.5", mean)
+	}
+}
+
+func TestRNGUniformity(t *testing.T) {
+	// Chi-squared-ish sanity over 16 buckets.
+	r := NewRNG(11)
+	var buckets [16]int
+	const n = 16000
+	for i := 0; i < n; i++ {
+		buckets[r.Intn(16)]++
+	}
+	for i, c := range buckets {
+		if c < n/16-250 || c > n/16+250 {
+			t.Errorf("bucket %d = %d, want ≈ %d", i, c, n/16)
+		}
+	}
+}
+
+// Lock-free property: concurrent use of per-executor RNGs must be clean
+// under the race detector (this is the paper's rand() anecdote).
+func TestRNGParallelNoContention(t *testing.T) {
+	parent := NewRNG(1)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		r := parent.Fork(uint64(i))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 10000; j++ {
+				r.Next()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestDoVirtualExact(t *testing.T) {
+	clock := vtime.NewClock(vtime.Virtual, time.Now())
+	rng := NewRNG(1)
+	Do(clock, rng, 1.5)
+	if clock.Now() != 1.5 {
+		t.Errorf("virtual clock = %v, want 1.5", clock.Now())
+	}
+	Do(clock, rng, -1) // no-op
+	Do(clock, rng, 0)
+	if clock.Now() != 1.5 {
+		t.Errorf("negative/zero work moved the clock: %v", clock.Now())
+	}
+}
+
+func TestDoRealApproximate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time work in -short mode")
+	}
+	if runtime.NumCPU() < 2 {
+		// With the whole test suite (or the race detector) contending
+		// for one core, the calibrated loop overshoots arbitrarily —
+		// the paper's "not stable under heavy work load" caveat.
+		t.Skip("needs an uncontended CPU for timing accuracy")
+	}
+	CalibrateReal()
+	clock := vtime.NewClock(vtime.Real, time.Now())
+	rng := NewRNG(1)
+	const want = 0.05
+	start := time.Now()
+	Do(clock, rng, want)
+	got := time.Since(start).Seconds()
+	// The paper promises only "approx. milliseconds" accuracy; allow a
+	// generous band for loaded CI machines.
+	if got < want*0.8 || got > want*3 {
+		t.Errorf("real work took %v, want ≈ %v", got, want)
+	}
+}
+
+func TestQuickVirtualWorkAdds(t *testing.T) {
+	inv := func(parts []uint16) bool {
+		clock := vtime.NewClock(vtime.Virtual, time.Now())
+		rng := NewRNG(1)
+		var want float64
+		for _, p := range parts {
+			d := float64(p) / 1e4
+			Do(clock, rng, d)
+			want += d
+		}
+		return math.Abs(clock.Now()-want) < 1e-9*float64(len(parts)+1)
+	}
+	if err := quick.Check(inv, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,89 @@
+// Package xctx defines the per-executor execution context shared by the MPI
+// and OpenMP substrates: a clock, a trace buffer, and a lock-free random
+// generator.  An MPI process owns one context; an OpenMP fork derives one
+// child context per thread and folds the clocks back at the join.
+package xctx
+
+import (
+	"sync/atomic"
+
+	"repro/internal/trace"
+	"repro/internal/vtime"
+	"repro/internal/work"
+)
+
+// Ctx is the state of one executor (process or thread).  It is owned by a
+// single goroutine and is not safe for concurrent use (the shared fields
+// ThreadSeq and Adopt are themselves concurrency-safe).
+type Ctx struct {
+	Clock *vtime.Clock
+	TB    *trace.Buffer // nil when tracing is disabled
+	RNG   *work.RNG
+	Loc   trace.Location
+
+	// ThreadSeq allocates unique thread numbers within this rank, shared
+	// by all contexts forked from the same root (nested OpenMP teams get
+	// fresh, non-colliding thread ids).
+	ThreadSeq *atomic.Int32
+	// Adopt registers a sub-executor's trace buffer with the run so it
+	// is included in the final merge; nil when tracing is disabled.
+	Adopt func(*trace.Buffer)
+}
+
+// New creates a root context for the given location.  The clock must be
+// freshly constructed for this executor; tb may be nil to disable tracing.
+func New(clock *vtime.Clock, tb *trace.Buffer, rng *work.RNG, loc trace.Location) *Ctx {
+	seq := &atomic.Int32{}
+	seq.Store(loc.Thread)
+	return &Ctx{Clock: clock, TB: tb, RNG: rng, Loc: loc, ThreadSeq: seq}
+}
+
+// Now returns the executor's current time.
+func (c *Ctx) Now() float64 { return c.Clock.Now() }
+
+// Mode returns the clock mode.
+func (c *Ctx) Mode() vtime.Mode { return c.Clock.Mode() }
+
+// Work executes secs seconds of generic sequential work (ATS do_work).
+func (c *Ctx) Work(secs float64) {
+	work.Do(c.Clock, c.RNG, secs)
+}
+
+// Enter opens a trace region at the current time.
+func (c *Ctx) Enter(name string) {
+	c.TB.Enter(name, c.Now())
+}
+
+// Exit closes the current trace region at the current time.
+func (c *Ctx) Exit() {
+	c.TB.Exit(c.Now())
+}
+
+// Record appends a trace event stamped with the current location/path.
+func (c *Ctx) Record(ev trace.Event) {
+	c.TB.Record(ev)
+}
+
+// Fork derives a child context for a new thread, starting at the parent's
+// current time with an independent random stream and its own trace buffer
+// (nil if the parent is untraced).  The thread number is allocated from the
+// rank-wide ThreadSeq counter, so concurrent and nested teams never share a
+// location.
+func (c *Ctx) Fork() *Ctx {
+	thread := c.ThreadSeq.Add(1)
+	loc := trace.Location{Rank: c.Loc.Rank, Thread: thread}
+	child := &Ctx{
+		Clock:     c.Clock.Fork(),
+		RNG:       c.RNG.Fork(uint64(thread) + 1),
+		Loc:       loc,
+		ThreadSeq: c.ThreadSeq,
+		Adopt:     c.Adopt,
+	}
+	if c.TB != nil {
+		child.TB = trace.NewBuffer(loc)
+		// The child's events carry the parent's dynamic call path, as in
+		// EXPERT's call-tree model.
+		child.TB.Seed(c.TB.StackNames())
+	}
+	return child
+}
