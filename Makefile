@@ -1,0 +1,40 @@
+# Developer / CI entry points for the ATS-Go reproduction.
+#
+#   make check   — everything CI runs: vet, build, tests (incl. -race),
+#                  and the regression smoke against the committed seed
+#                  baseline under testdata/regress-store.
+#   make smoke   — just the regression smoke: regenerate the Fig 3.5
+#                  profile and diff it against the committed baseline
+#                  (non-zero exit on drift).
+#   make baseline— re-seed testdata/regress-store from a fresh run (only
+#                  after an intentional severity change; commit the result).
+
+GO ?= go
+STORE := testdata/regress-store
+FIG35 := fig35_two_communicators.json
+
+.PHONY: check vet build test race smoke baseline
+
+check: vet build test race smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) run ./cmd/atsbench -only fig35 -profiles "$$tmp" >/dev/null && \
+	$(GO) run ./cmd/atsregress check -store $(STORE) "$$tmp/$(FIG35)"
+
+baseline:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) run ./cmd/atsbench -only fig35 -profiles "$$tmp" >/dev/null && \
+	$(GO) run ./cmd/atsregress save -store $(STORE) "$$tmp/$(FIG35)"

@@ -12,6 +12,8 @@
 //	atsbench                 # everything, virtual clock only
 //	atsbench -real           # include real-clock (wall time) experiments
 //	atsbench -only fig35     # one experiment
+//	atsbench -profiles DIR   # also emit one canonical profile per run,
+//	                         # ready for `atsregress save` / `check`
 package main
 
 import (
@@ -19,12 +21,15 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 
 	"repro/internal/analyzer"
 	"repro/internal/experiments"
 	"repro/internal/grindstone"
 	"repro/internal/microbench"
 	"repro/internal/mpi"
+	"repro/internal/profile"
+	"repro/internal/trace"
 	"repro/internal/vtime"
 )
 
@@ -36,9 +41,30 @@ func main() {
 		threads = flag.Int("threads", 4, "OpenMP threads")
 		real    = flag.Bool("real", false, "include real-clock experiments")
 		only    = flag.String("only", "", "run a single experiment (fig32, fig33, fig35, positive, negative, ch2, ch4, micro, grind, work, ablation)")
+		profDir = flag.String("profiles", "", "emit canonical profiles (one JSON per analyzed run) into this directory")
 	)
 	flag.Parse()
 	w := os.Stdout
+
+	// With -profiles, every analyzed run is captured as a canonical
+	// profile file named after its experiment — the raw material for
+	// atsregress baselines.
+	emit := func(name string, tr *trace.Trace, rep *analyzer.Report) {}
+	profileCount := 0
+	if *profDir != "" {
+		if err := os.MkdirAll(*profDir, 0o755); err != nil {
+			log.Fatalf("profiles: %v", err)
+		}
+		emit = func(name string, tr *trace.Trace, rep *analyzer.Report) {
+			p := profile.FromRun(name, tr, rep, profile.RunInfo{Clock: vtime.Virtual.String()})
+			path := filepath.Join(*profDir, name+".json")
+			if err := p.WriteFile(path); err != nil {
+				log.Fatalf("profiles: %s: %v", name, err)
+			}
+			profileCount++
+		}
+		experiments.SetProfileSink(experiments.ProfileFunc(emit))
+	}
 
 	run := func(name string, f func() error) {
 		if *only != "" && *only != name {
@@ -109,6 +135,7 @@ func main() {
 				return fmt.Errorf("%s: %w", p.Name, err)
 			}
 			rep := analyzer.Analyze(tr, analyzer.Options{})
+			emit("grind_"+p.Name, tr, rep)
 			top := "(clean)"
 			if t := rep.Top(); t != nil {
 				top = fmt.Sprintf("%s %.1f%%", t.Property, t.Severity*100)
@@ -126,4 +153,7 @@ func main() {
 		_, err := experiments.Ablations(w, *real)
 		return err
 	})
+	if *profDir != "" {
+		fmt.Fprintf(w, "\nwrote %d profiles to %s\n", profileCount, *profDir)
+	}
 }

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analyzer"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/omp"
+	"repro/internal/profile"
+)
+
+// writeBarrierProfile runs imbalance_at_mpi_barrier with the given
+// distribution High and writes its profile JSON to path.
+func writeBarrierProfile(t *testing.T, path string, high float64) {
+	t.Helper()
+	spec, ok := core.Get("imbalance_at_mpi_barrier")
+	if !ok {
+		t.Fatal("imbalance_at_mpi_barrier not registered")
+	}
+	a := spec.Defaults()
+	ds := a.Distr["distr"]
+	ds.High = high
+	a.Distr["distr"] = ds
+	tr, err := mpi.Run(mpi.Options{Procs: 4}, func(c *mpi.Comm) {
+		spec.Run(core.Env{Comm: c, Ctx: c.Ctx(), OMP: omp.Options{Threads: 1}}, a)
+	})
+	if err != nil {
+		t.Fatalf("barrier run: %v", err)
+	}
+	p := profile.FromRun("barrier_cli", tr, analyzer.Analyze(tr, analyzer.Options{}), profile.RunInfo{})
+	if err := p.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// cli invokes the command in-process and returns (exit code, stdout+stderr).
+func cli(args ...string) (int, string) {
+	var out bytes.Buffer
+	code := run(args, &out, &out)
+	return code, out.String()
+}
+
+// TestSaveCheckLifecycle drives the acceptance scenario end to end:
+// save a baseline, check an identical rerun (exit 0, zero drift), then
+// check a run with a doubled severity (exit 1, naming the property and
+// the worst-outlier location).
+func TestSaveCheckLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	store := filepath.Join(dir, "store")
+	baseFile := filepath.Join(dir, "base.json")
+	rerunFile := filepath.Join(dir, "rerun.json")
+	driftFile := filepath.Join(dir, "drift.json")
+	writeBarrierProfile(t, baseFile, 0.06)
+	writeBarrierProfile(t, rerunFile, 0.06) // identical rerun
+	writeBarrierProfile(t, driftFile, 0.12) // doubled imbalance
+
+	code, out := cli("save", "-store", store, baseFile)
+	if code != 0 {
+		t.Fatalf("save exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "barrier_cli") {
+		t.Errorf("save output:\n%s", out)
+	}
+
+	code, out = cli("check", "-store", store, rerunFile)
+	if code != 0 {
+		t.Fatalf("check of identical rerun exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "zero drift") || !strings.Contains(out, "CHECK OK") {
+		t.Errorf("clean check output:\n%s", out)
+	}
+
+	code, out = cli("check", "-store", store, driftFile)
+	if code != 1 {
+		t.Fatalf("check of drifted run exit %d, want 1:\n%s", code, out)
+	}
+	if !strings.Contains(out, "CHECK FAILED") ||
+		!strings.Contains(out, analyzer.PropWaitAtBarrier) ||
+		!strings.Contains(out, "worst location") {
+		t.Errorf("drift check must name the property and worst location:\n%s", out)
+	}
+}
+
+func TestListAndDiff(t *testing.T) {
+	dir := t.TempDir()
+	store := filepath.Join(dir, "store")
+	baseFile := filepath.Join(dir, "base.json")
+	driftFile := filepath.Join(dir, "drift.json")
+	writeBarrierProfile(t, baseFile, 0.06)
+	writeBarrierProfile(t, driftFile, 0.12)
+
+	if code, out := cli("list", "-store", store); code != 0 || !strings.Contains(out, "no baselines") {
+		t.Errorf("empty list: exit %d\n%s", code, out)
+	}
+	if code, out := cli("save", "-store", store, baseFile); code != 0 {
+		t.Fatalf("save exit %d:\n%s", code, out)
+	}
+	code, out := cli("list", "-store", store)
+	if code != 0 || !strings.Contains(out, "barrier_cli") ||
+		!strings.Contains(out, analyzer.PropWaitAtBarrier) {
+		t.Errorf("list: exit %d\n%s", code, out)
+	}
+
+	// File-vs-file diff needs no store.
+	code, out = cli("diff", baseFile, driftFile)
+	if code != 1 || !strings.Contains(out, "DRIFT") {
+		t.Errorf("diff of drifted profiles: exit %d\n%s", code, out)
+	}
+	code, _ = cli("diff", baseFile, baseFile)
+	if code != 0 {
+		t.Errorf("self-diff exit %d", code)
+	}
+
+	// Baseline-vs-file diff via -name.
+	code, out = cli("diff", "-store", store, "-name", "barrier_cli", driftFile)
+	if code != 1 || !strings.Contains(out, analyzer.PropWaitAtBarrier) {
+		t.Errorf("diff -name: exit %d\n%s", code, out)
+	}
+}
+
+func TestCheckTolerancesFlag(t *testing.T) {
+	dir := t.TempDir()
+	store := filepath.Join(dir, "store")
+	baseFile := filepath.Join(dir, "base.json")
+	driftFile := filepath.Join(dir, "drift.json")
+	writeBarrierProfile(t, baseFile, 0.06)
+	writeBarrierProfile(t, driftFile, 0.12)
+	if code, out := cli("save", "-store", store, baseFile); code != 0 {
+		t.Fatalf("save exit %d:\n%s", code, out)
+	}
+	// Loose enough tolerances accept even the doubled severity.
+	code, out := cli("check", "-store", store, "-rel", "5", "-outlier", "1", driftFile)
+	if code != 0 {
+		t.Errorf("check with huge tolerances exit %d:\n%s", code, out)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	dir := t.TempDir()
+	store := filepath.Join(dir, "store")
+	okFile := filepath.Join(dir, "ok.json")
+	writeBarrierProfile(t, okFile, 0.06)
+
+	if code, _ := cli(); code != 2 {
+		t.Error("no args should exit 2")
+	}
+	if code, _ := cli("bogus"); code != 2 {
+		t.Error("unknown command should exit 2")
+	}
+	if code, _ := cli("save", "-store", store); code != 2 {
+		t.Error("save without files should exit 2")
+	}
+	if code, _ := cli("check", "-store", store); code != 2 {
+		t.Error("check without files should exit 2")
+	}
+	// check without a stored baseline is an error, with a hint.
+	code, out := cli("check", "-store", store, okFile)
+	if code != 2 || !strings.Contains(out, "atsregress save") {
+		t.Errorf("missing-baseline check: exit %d\n%s", code, out)
+	}
+	if code, _ := cli("diff", okFile); code != 2 {
+		t.Error("diff with one file and no -name should exit 2")
+	}
+	if code, _ := cli("help"); code != 0 {
+		t.Error("help should exit 0")
+	}
+}

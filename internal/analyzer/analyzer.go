@@ -165,8 +165,27 @@ type Report struct {
 	Threshold float64
 }
 
+// IsInfo reports whether prop is an info metric: a cost measure (MPI
+// init/finalize overhead, MPI time fraction) rather than a wait state.
+// Info metrics are reported separately and never count as findings.
+func IsInfo(prop string) bool {
+	return prop == PropInitFinalize || prop == PropMPITimeFraction
+}
+
 // Get returns the result for a property (nil if nothing was detected).
 func (rep *Report) Get(prop string) *Result { return rep.Results[prop] }
+
+// Properties returns the names of all detected properties (including info
+// metrics) in sorted order — the stable iteration order external tooling
+// (profile extraction, regression diffing) relies on.
+func (rep *Report) Properties() []string {
+	names := make([]string, 0, len(rep.Results))
+	for name := range rep.Results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
 
 // Wait returns the accumulated waiting time for a property (0 if none).
 func (rep *Report) Wait(prop string) float64 {
@@ -191,7 +210,7 @@ func (rep *Report) Severity(prop string) float64 {
 func (rep *Report) Significant() []*Result {
 	var out []*Result
 	for _, r := range rep.Results {
-		if r.Property == PropInitFinalize || r.Property == PropMPITimeFraction {
+		if IsInfo(r.Property) {
 			continue
 		}
 		if r.Severity >= rep.Threshold {
@@ -286,7 +305,17 @@ func detectP2P(tr *trace.Trace, add addFunc) {
 			recvs[ev.Match] = ev
 		}
 	}
-	for m, s := range sends {
+	// Iterate matches in sorted order: wait times are accumulated with
+	// floating-point additions, so map-order iteration would make the
+	// low bits of Result.Wait run-dependent and break the profile
+	// store's content-addressed identity.
+	matches := make([]uint64, 0, len(sends))
+	for m := range sends {
+		matches = append(matches, m)
+	}
+	sort.Slice(matches, func(i, j int) bool { return matches[i] < matches[j] })
+	for _, m := range matches {
+		s := sends[m]
 		r, ok := recvs[m]
 		if !ok {
 			continue // message never received (truncated trace)
@@ -321,7 +350,20 @@ func detectCollectives(tr *trace.Trace, add addFunc) {
 			groups[k] = append(groups[k], ev)
 		}
 	}
-	for k, evs := range groups {
+	// Sorted instance order for deterministic float accumulation (see
+	// detectP2P).
+	keys := make([]key, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].coll != keys[j].coll {
+			return keys[i].coll < keys[j].coll
+		}
+		return keys[i].match < keys[j].match
+	})
+	for _, k := range keys {
+		evs := groups[k]
 		switch k.coll {
 		case trace.CollBarrier:
 			nxnWaits(tr, evs, PropWaitAtBarrier, add)
@@ -446,12 +488,10 @@ func detectCostMetrics(tr *trace.Trace, stats *trace.Stats, rep *Report) {
 	}
 	var mpiTime float64
 	var mpiCount int
-	for region, byLoc := range stats.Regions {
+	for _, region := range stats.RegionNames() {
 		if len(region) > 4 && region[:4] == "MPI_" {
-			for _, rs := range byLoc {
-				mpiTime += rs.Inclusive
-				mpiCount += rs.Count
-			}
+			mpiTime += stats.RegionInclusive(region)
+			mpiCount += stats.RegionCount(region)
 		}
 	}
 	if mpiTime > 0 {

@@ -53,10 +53,11 @@ func depth(prop string) int {
 // rollup computes aggregated waits for inner tree nodes.
 func (rep *Report) rollup() map[string]float64 {
 	agg := make(map[string]float64)
-	for prop, r := range rep.Results {
-		if prop == PropInitFinalize || prop == PropMPITimeFraction {
+	for _, prop := range rep.Properties() {
+		if IsInfo(prop) {
 			continue
 		}
+		r := rep.Results[prop]
 		node := prop
 		agg[node] += r.Wait
 		for {

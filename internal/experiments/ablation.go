@@ -150,6 +150,7 @@ func Ch4Applications(w io.Writer, procs int) ([]Ch4Row, error) {
 			return nil, fmt.Errorf("%s/%v: %w", tc.app, tc.inject, err)
 		}
 		rep := analyzer.Analyze(tr, analyzer.Options{})
+		emitProfile(fmt.Sprintf("ch4_%s_%s", tc.app, tc.inject), tr, rep)
 		row := Ch4Row{App: tc.app, Inject: tc.inject}
 		if top := rep.Top(); top != nil {
 			row.Top, row.Severity = top.Property, top.Severity

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"repro/internal/analyzer"
+	"repro/internal/trace"
+)
+
+// ProfileFunc receives every (experiment, trace, report) triple produced
+// while experiments run.  Collectors typically convert the pair into a
+// profile.Profile and persist it (cmd/atsbench -profiles does exactly
+// that), turning each artifact of EXPERIMENTS.md into a
+// regression-checkable baseline.
+type ProfileFunc func(name string, tr *trace.Trace, rep *analyzer.Report)
+
+// profileSink is the installed collector; nil disables collection.
+var profileSink ProfileFunc
+
+// SetProfileSink installs (or, with nil, removes) the process-wide
+// profile collector.  Experiments are driven sequentially by a single
+// caller (atsbench, tests), so the sink is deliberately a plain package
+// variable; it is not safe to mutate while experiments are running.
+func SetProfileSink(f ProfileFunc) { profileSink = f }
+
+// emitProfile hands a finished run to the collector, if any.
+func emitProfile(name string, tr *trace.Trace, rep *analyzer.Report) {
+	if profileSink != nil && tr != nil && rep != nil {
+		profileSink(name, tr, rep)
+	}
+}
+
+// captureRun analyzes tr and hands the pair to the collector.  Without an
+// installed sink it is a no-op, so experiments that do not otherwise need
+// an analysis pay nothing.
+func captureRun(name string, tr *trace.Trace, opt analyzer.Options) {
+	if profileSink == nil || tr == nil {
+		return
+	}
+	emitProfile(name, tr, analyzer.Analyze(tr, opt))
+}

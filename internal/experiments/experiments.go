@@ -86,7 +86,8 @@ func Fig32(w io.Writer, procs int) (Fig32Result, error) {
 	fmt.Fprint(w, generator.FormatSweep(spec.Name, rs))
 
 	// Timelines of the two headline runs (the Vampir displays).
-	for _, cfg := range configs[:2] {
+	profileNames := []string{"fig32_block2", "fig32_linear"}
+	for i, cfg := range configs[:2] {
 		a := spec.Defaults()
 		a.Distr["distr"] = cfg.ds
 		a.Int["r"] = cfg.reps
@@ -96,6 +97,7 @@ func Fig32(w io.Writer, procs int) (Fig32Result, error) {
 		}
 		fmt.Fprintf(w, "\ntimeline (%s):\n%s", cfg.label,
 			trace.Timeline(tr, trace.TimelineOptions{Width: 96}))
+		captureRun(profileNames[i], tr, analyzer.Options{})
 	}
 
 	// Init/finalize overhead: tiny vs long program.
@@ -162,6 +164,7 @@ func Fig33(w io.Writer, procs int) (Fig33Result, error) {
 	}
 	res.Events = len(tr.Events)
 	rep := analyzer.Analyze(tr, analyzer.Options{Threshold: 0.001})
+	emitProfile("fig33_composite", tr, rep)
 	for _, prop := range []string{
 		analyzer.PropLateSender, analyzer.PropLateReceiver,
 		analyzer.PropWaitAtBarrier, analyzer.PropLateBroadcast,
@@ -221,6 +224,7 @@ func Fig34And35(w io.Writer, procs int) (Fig35Result, error) {
 	half := procs / 2
 	res.RootWorldRank = half + core.UpperHalfBcastRoot
 	rep := analyzer.Analyze(tr, analyzer.Options{Threshold: 0.001})
+	emitProfile("fig35_two_communicators", tr, rep)
 
 	fmt.Fprintln(w, "== Fig 3.4: two property sets in two communicators, concurrently ==")
 	fmt.Fprint(w, trace.Timeline(tr, trace.TimelineOptions{Width: 96}))
@@ -289,6 +293,7 @@ func PositiveCorrectness(w io.Writer, procs, threads int) ([]CorrectnessRow, err
 			return nil, fmt.Errorf("%s: %w", spec.Name, err)
 		}
 		rep := analyzer.Analyze(tr, analyzer.Options{})
+		emitProfile("positive_"+spec.Name, tr, rep)
 		want := analyzer.ExpectedDetection[spec.Name]
 		row := CorrectnessRow{Property: spec.Name, Expected: want}
 		if want == analyzer.PropMPITimeFraction {
@@ -344,6 +349,7 @@ func NegativeCorrectness(w io.Writer, procs, threads int) ([]NegativeResult, err
 			return err
 		}
 		rep := analyzer.Analyze(tr, analyzer.Options{})
+		emitProfile(name, tr, rep)
 		res := NegativeResult{Program: name, AnalyzedOK: true}
 		if top := rep.Top(); top != nil {
 			res.TopProperty, res.TopSeverity = top.Property, top.Severity

@@ -9,10 +9,16 @@ import (
 // Buf is a simple MPI message buffer (paper §3.1.3, mpi_buf_t): an element
 // type, a count, and the backing storage.  Data is stored little-endian;
 // use the typed accessors to read and write elements.
+//
+// Use after FreeBuf panics uniformly: every accessor — including Bytes —
+// checks the freed marker, so a use-after-free is caught at the first
+// touch instead of silently reading a zero size.
 type Buf struct {
 	Type  Datatype
 	Count int
 	Data  []byte
+
+	freed bool
 }
 
 // AllocBuf allocates a zeroed buffer of cnt elements of type t
@@ -26,24 +32,34 @@ func AllocBuf(t Datatype, cnt int) *Buf {
 
 // FreeBuf releases the buffer (free_mpi_buf).  Go's garbage collector makes
 // this a formality; it is provided for API parity with the original ATS and
-// resets the buffer so accidental use-after-free is caught.
+// marks the buffer so that any later access panics.  Freeing twice is
+// allowed, matching free_mpi_buf's idempotence on NULL.
 func FreeBuf(b *Buf) {
 	if b == nil {
 		return
 	}
 	b.Data = nil
 	b.Count = 0
+	b.freed = true
+}
+
+// checkLive panics if the buffer was released with FreeBuf.
+func (b *Buf) checkLive() {
+	if b.freed {
+		panic("mpi: use of freed buffer")
+	}
 }
 
 // Bytes returns the payload size in bytes.
-func (b *Buf) Bytes() int { return b.Count * b.Type.Size() }
+func (b *Buf) Bytes() int {
+	b.checkLive()
+	return b.Count * b.Type.Size()
+}
 
 func (b *Buf) checkIndex(i int) {
+	b.checkLive()
 	if i < 0 || i >= b.Count {
 		panic(fmt.Sprintf("mpi: buffer index %d out of range [0,%d)", i, b.Count))
-	}
-	if b.Data == nil {
-		panic("mpi: use of freed buffer")
 	}
 }
 
@@ -99,6 +115,7 @@ func (b *Buf) SetByte(i int, v byte) {
 // validation tests can check data movement end-to-end: element i of rank r
 // becomes f(r, i) for the canonical filler.
 func (b *Buf) FillSeq(rank int) {
+	b.checkLive()
 	for i := 0; i < b.Count; i++ {
 		switch b.Type {
 		case TypeDouble:
@@ -113,6 +130,7 @@ func (b *Buf) FillSeq(rank int) {
 
 // Clone returns a deep copy of the buffer.
 func (b *Buf) Clone() *Buf {
+	b.checkLive()
 	c := AllocBuf(b.Type, b.Count)
 	copy(c.Data, b.Data)
 	return c
@@ -120,6 +138,8 @@ func (b *Buf) Clone() *Buf {
 
 // Equal reports whether two buffers have identical type, count and data.
 func (b *Buf) Equal(o *Buf) bool {
+	b.checkLive()
+	o.checkLive()
 	if b.Type != o.Type || b.Count != o.Count {
 		return false
 	}

@@ -1,0 +1,66 @@
+package mpi
+
+import "testing"
+
+// mustPanic asserts that f panics with the given message.
+func mustPanic(t *testing.T, want string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Errorf("no panic, want %q", want)
+			return
+		}
+		if msg, ok := r.(string); !ok || msg != want {
+			t.Errorf("panic = %v, want %q", r, want)
+		}
+	}()
+	f()
+}
+
+// TestFreedBufferPanicsUniformly pins the use-after-free contract: every
+// accessor of a freed buffer — typed element access AND Bytes, which used
+// to return 0 silently — panics with the same message.
+func TestFreedBufferPanicsUniformly(t *testing.T) {
+	const want = "mpi: use of freed buffer"
+	fresh := func() *Buf {
+		b := AllocBuf(TypeDouble, 4)
+		FreeBuf(b)
+		return b
+	}
+	mustPanic(t, want, func() { fresh().Bytes() })
+	mustPanic(t, want, func() { fresh().Float64(0) })
+	mustPanic(t, want, func() { fresh().SetFloat64(0, 1) })
+	mustPanic(t, want, func() { fresh().Byte(0) })
+	mustPanic(t, want, func() { fresh().SetByte(0, 1) })
+	mustPanic(t, want, func() { fresh().FillSeq(0) })
+	mustPanic(t, want, func() { fresh().Clone() })
+	mustPanic(t, want, func() { fresh().Equal(AllocBuf(TypeDouble, 4)) })
+	mustPanic(t, want, func() { AllocBuf(TypeDouble, 4).Equal(fresh()) })
+
+	ib := AllocBuf(TypeInt, 2)
+	FreeBuf(ib)
+	mustPanic(t, want, func() { ib.Int64(0) })
+	mustPanic(t, want, func() { ib.SetInt64(0, 1) })
+}
+
+func TestFreeBufIdempotentAndNilSafe(t *testing.T) {
+	FreeBuf(nil) // must not panic
+	b := AllocBuf(TypeDouble, 4)
+	FreeBuf(b)
+	FreeBuf(b) // double free stays legal, like free_mpi_buf(NULL)
+}
+
+// TestLiveBufferStillWorks guards against the freed check tripping on
+// legal zero-count buffers.
+func TestLiveBufferStillWorks(t *testing.T) {
+	b := AllocBuf(TypeDouble, 0)
+	if b.Bytes() != 0 {
+		t.Errorf("empty live buffer Bytes() = %d", b.Bytes())
+	}
+	c := AllocBuf(TypeDouble, 2)
+	c.SetFloat64(1, 3.5)
+	if c.Float64(1) != 3.5 || c.Bytes() != 16 {
+		t.Errorf("live buffer access broken: %v %d", c.Float64(1), c.Bytes())
+	}
+}

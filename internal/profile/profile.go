@@ -1,0 +1,308 @@
+// Package profile defines the canonical, versioned performance profile of
+// one test-suite run — the persistent record the paper's methodology is
+// missing when analysis results are printed and forgotten.
+//
+// A Profile is extracted from an analyzer.Report plus the trace.Trace it
+// was computed from.  It captures, per detected property, the accumulated
+// waiting time, the severity, the call-path breakdown, and the
+// per-location wait distribution, together with run metadata (experiment
+// name, config hash, ranks × threads, clock mode).  The encoding is
+// deliberately canonical: every collection is a sorted slice rather than
+// a map and every float is rounded to a fixed quantum, so that two
+// identical runs marshal to byte-identical JSON and hash to the same
+// content address.  That stable identity is what the regression store
+// (package regress) is built on, in the spirit of Perun's version-indexed
+// performance profiles.
+package profile
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"repro/internal/analyzer"
+	"repro/internal/trace"
+)
+
+// SchemaVersion identifies the profile wire format.  Decoding rejects
+// other versions; bump it on any breaking change to the structs below.
+const SchemaVersion = 1
+
+// quantum is the canonical rounding applied to every float in a profile
+// (one nanosecond for times; the same grid is fine for severities and
+// rates).  Rounding removes the last-bit noise that different
+// float-accumulation orders could otherwise leave in equal-valued runs,
+// which would break content-addressed identity.
+const quantum = 1e-9
+
+// quantize rounds v to the canonical grid.
+func quantize(v float64) float64 {
+	q := math.Round(v/quantum) * quantum
+	if q == 0 {
+		return 0 // normalize -0
+	}
+	return q
+}
+
+// RunInfo is the configuration metadata recorded with a profile.  It is
+// the identity of the *setup*; two profiles are only comparable when
+// their RunInfo hashes match.
+type RunInfo struct {
+	// Clock is the vtime mode the run used ("virtual" or "real").
+	Clock string `json:"clock"`
+	// Procs and Threads are the MPI rank and OpenMP thread counts.
+	Procs   int `json:"procs"`
+	Threads int `json:"threads"`
+	// Params holds free-form experiment parameters (severity scales,
+	// repetition counts, …) that distinguish otherwise-identical runs.
+	Params map[string]string `json:"params,omitempty"`
+}
+
+// PathWait is one call path's share of a property's waiting time.
+type PathWait struct {
+	Path string  `json:"path"`
+	Wait float64 `json:"wait_s"`
+}
+
+// LocationWait is one location's share of a property's waiting time.
+type LocationWait struct {
+	Rank   int32   `json:"rank"`
+	Thread int32   `json:"thread"`
+	Wait   float64 `json:"wait_s"`
+}
+
+// Key renders the location as the analyzer's "rank.thread" form.
+func (l LocationWait) Key() string { return fmt.Sprintf("%d.%d", l.Rank, l.Thread) }
+
+// Property is the persisted form of one analyzer result.
+type Property struct {
+	Name string `json:"name"`
+	// Wait is the accumulated waiting time in seconds (for info metrics:
+	// the accumulated cost).
+	Wait float64 `json:"wait_s"`
+	// Severity is Wait normalized by the run's total resource time.
+	Severity  float64 `json:"severity"`
+	Instances int     `json:"instances"`
+	// Significant records whether the property cleared the analyzer's
+	// threshold — the bit whose flips are positive/negative correctness
+	// changes under regression diffing.
+	Significant bool `json:"significant"`
+	// Info marks cost metrics (init/finalize overhead, MPI time
+	// fraction) that are never "findings".
+	Info bool `json:"info,omitempty"`
+	// Paths is the call-path breakdown, sorted by wait (desc), then path.
+	Paths []PathWait `json:"paths,omitempty"`
+	// Locations is the per-location wait distribution in rank-major
+	// order — the wait vector regression diffing compares for outliers.
+	Locations []LocationWait `json:"locations,omitempty"`
+}
+
+// LocationMap returns the wait distribution keyed by "rank.thread".
+func (p *Property) LocationMap() map[string]float64 {
+	m := make(map[string]float64, len(p.Locations))
+	for _, l := range p.Locations {
+		m[l.Key()] = l.Wait
+	}
+	return m
+}
+
+// Profile is the canonical record of one analyzed run.
+type Profile struct {
+	Schema     int     `json:"schema"`
+	Experiment string  `json:"experiment"`
+	Run        RunInfo `json:"run"`
+	// ConfigHash is the short content hash of (Experiment, Run,
+	// Threshold): the comparability key of the profile.
+	ConfigHash string  `json:"config_hash"`
+	Duration   float64 `json:"duration_s"`
+	TotalTime  float64 `json:"total_time_s"`
+	Threshold  float64 `json:"threshold"`
+	Events     int     `json:"events"`
+	// Messages carries the analyzer's p2p traffic summary.
+	Messages analyzer.MessageStats `json:"messages"`
+	// Properties holds every detected property, sorted by name.
+	Properties []Property `json:"properties"`
+}
+
+// FromRun extracts the canonical profile of one analyzed run.  Zero
+// fields of run are filled from the trace (Procs/Threads from the
+// location grid, Clock defaulting to "virtual").
+func FromRun(experiment string, tr *trace.Trace, rep *analyzer.Report, run RunInfo) *Profile {
+	ranks, threads := tr.Shape()
+	if run.Procs == 0 {
+		run.Procs = ranks
+	}
+	if run.Threads == 0 {
+		run.Threads = threads
+	}
+	if run.Clock == "" {
+		run.Clock = "virtual"
+	}
+	p := &Profile{
+		Schema:     SchemaVersion,
+		Experiment: experiment,
+		Run:        run,
+		Duration:   quantize(rep.Duration),
+		TotalTime:  quantize(rep.TotalTime),
+		Threshold:  quantize(rep.Threshold),
+		Events:     len(tr.Events),
+		Messages:   rep.Messages,
+	}
+	p.Messages.AvgBytes = quantize(p.Messages.AvgBytes)
+	p.Messages.Rate = quantize(p.Messages.Rate)
+	p.ConfigHash = p.configHash()
+
+	for _, name := range rep.Properties() {
+		r := rep.Results[name]
+		prop := Property{
+			Name:        name,
+			Wait:        quantize(r.Wait),
+			Severity:    quantize(r.Severity),
+			Instances:   r.Instances,
+			Info:        analyzer.IsInfo(name),
+			Significant: !analyzer.IsInfo(name) && r.Severity >= rep.Threshold,
+		}
+		for path, w := range r.ByPath {
+			prop.Paths = append(prop.Paths, PathWait{Path: path, Wait: quantize(w)})
+		}
+		sort.Slice(prop.Paths, func(i, j int) bool {
+			if prop.Paths[i].Wait != prop.Paths[j].Wait {
+				return prop.Paths[i].Wait > prop.Paths[j].Wait
+			}
+			return prop.Paths[i].Path < prop.Paths[j].Path
+		})
+		for loc, w := range r.ByLocation {
+			prop.Locations = append(prop.Locations, LocationWait{
+				Rank: loc.Rank, Thread: loc.Thread, Wait: quantize(w),
+			})
+		}
+		sort.Slice(prop.Locations, func(i, j int) bool {
+			if prop.Locations[i].Rank != prop.Locations[j].Rank {
+				return prop.Locations[i].Rank < prop.Locations[j].Rank
+			}
+			return prop.Locations[i].Thread < prop.Locations[j].Thread
+		})
+		p.Properties = append(p.Properties, prop)
+	}
+	return p
+}
+
+// Get returns the named property, or nil.
+func (p *Profile) Get(name string) *Property {
+	for i := range p.Properties {
+		if p.Properties[i].Name == name {
+			return &p.Properties[i]
+		}
+	}
+	return nil
+}
+
+// PropertyNames returns the names of all recorded properties, in order.
+func (p *Profile) PropertyNames() []string {
+	names := make([]string, len(p.Properties))
+	for i := range p.Properties {
+		names[i] = p.Properties[i].Name
+	}
+	return names
+}
+
+// Significant returns the recorded significant (non-info) properties.
+func (p *Profile) Significant() []Property {
+	var out []Property
+	for _, prop := range p.Properties {
+		if prop.Significant {
+			out = append(out, prop)
+		}
+	}
+	return out
+}
+
+// configHash computes the short comparability hash.
+func (p *Profile) configHash() string {
+	blob, err := json.Marshal(struct {
+		Experiment string  `json:"experiment"`
+		Run        RunInfo `json:"run"`
+		Threshold  float64 `json:"threshold"`
+	}{p.Experiment, p.Run, p.Threshold})
+	if err != nil {
+		panic(fmt.Sprintf("profile: config hash: %v", err)) // unreachable: plain structs
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:])[:12]
+}
+
+// Marshal renders the canonical JSON encoding (indented, trailing
+// newline) that both file storage and hashing are defined over.
+func (p *Profile) Marshal() ([]byte, error) {
+	blob, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("profile: marshal: %w", err)
+	}
+	return append(blob, '\n'), nil
+}
+
+// Hash returns the content address of the profile: the hex sha256 of its
+// canonical encoding.  Identical runs hash identically; any change in a
+// recorded severity, path, or distribution changes the hash.
+func (p *Profile) Hash() (string, error) {
+	blob, err := p.Marshal()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Encode writes the canonical encoding to w.
+func (p *Profile) Encode(w io.Writer) error {
+	blob, err := p.Marshal()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(blob)
+	return err
+}
+
+// WriteFile writes the canonical encoding to path.
+func (p *Profile) WriteFile(path string) error {
+	blob, err := p.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, blob, 0o644)
+}
+
+// Decode reads one profile and validates its schema version.
+func Decode(r io.Reader) (*Profile, error) {
+	var p Profile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("profile: decode: %w", err)
+	}
+	if p.Schema != SchemaVersion {
+		return nil, fmt.Errorf("profile: schema version %d (want %d)", p.Schema, SchemaVersion)
+	}
+	if p.Experiment == "" {
+		return nil, fmt.Errorf("profile: missing experiment name")
+	}
+	return &p, nil
+}
+
+// ReadFile loads a profile from path.
+func ReadFile(path string) (*Profile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	p, err := Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return p, nil
+}

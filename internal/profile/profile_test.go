@@ -1,0 +1,202 @@
+package profile_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analyzer"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/omp"
+	"repro/internal/profile"
+	"repro/internal/trace"
+)
+
+// -update regenerates the golden files instead of comparing against them.
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// runFig35 executes the Fig 3.4/3.5 two-communicator program and analyzes
+// it exactly as experiments.Fig34And35 does.
+func runFig35(t *testing.T, procs int) (*trace.Trace, *analyzer.Report) {
+	t.Helper()
+	tr, err := mpi.Run(mpi.Options{Procs: procs}, func(c *mpi.Comm) {
+		core.TwoCommunicators(c, core.DefaultComposite())
+	})
+	if err != nil {
+		t.Fatalf("two-communicator run: %v", err)
+	}
+	return tr, analyzer.Analyze(tr, analyzer.Options{Threshold: 0.001})
+}
+
+// runBarrier executes the imbalance_at_mpi_barrier property function with
+// the distribution's High parameter overridden — the knob the drift tests
+// use to inject a severity change.
+func runBarrier(t *testing.T, procs int, high float64) (*trace.Trace, *analyzer.Report) {
+	t.Helper()
+	spec, ok := core.Get("imbalance_at_mpi_barrier")
+	if !ok {
+		t.Fatal("imbalance_at_mpi_barrier not registered")
+	}
+	a := spec.Defaults()
+	ds := a.Distr["distr"]
+	ds.High = high
+	a.Distr["distr"] = ds
+	tr, err := mpi.Run(mpi.Options{Procs: procs}, func(c *mpi.Comm) {
+		spec.Run(core.Env{Comm: c, Ctx: c.Ctx(), OMP: omp.Options{Threads: 1}}, a)
+	})
+	if err != nil {
+		t.Fatalf("barrier run: %v", err)
+	}
+	return tr, analyzer.Analyze(tr, analyzer.Options{})
+}
+
+func TestFromRunFillsMetadata(t *testing.T) {
+	tr, rep := runBarrier(t, 4, 0.06)
+	p := profile.FromRun("barrier", tr, rep, profile.RunInfo{})
+	if p.Schema != profile.SchemaVersion {
+		t.Errorf("schema = %d", p.Schema)
+	}
+	if p.Run.Procs != 4 || p.Run.Threads != 1 {
+		t.Errorf("run shape = %dx%d, want 4x1", p.Run.Procs, p.Run.Threads)
+	}
+	if p.Run.Clock != "virtual" {
+		t.Errorf("clock = %q", p.Run.Clock)
+	}
+	if p.ConfigHash == "" || p.Events == 0 || p.TotalTime <= 0 {
+		t.Errorf("metadata incomplete: %+v", p)
+	}
+	bar := p.Get(analyzer.PropWaitAtBarrier)
+	if bar == nil || !bar.Significant || bar.Wait <= 0 {
+		t.Fatalf("wait_at_mpi_barrier not recorded as significant: %+v", bar)
+	}
+	if len(bar.Locations) == 0 || len(bar.Paths) == 0 {
+		t.Errorf("missing breakdowns: %d locations, %d paths", len(bar.Locations), len(bar.Paths))
+	}
+	if info := p.Get(analyzer.PropInitFinalize); info == nil || !info.Info || info.Significant {
+		t.Errorf("init/finalize should be a non-significant info metric: %+v", info)
+	}
+}
+
+// TestFig35RoundTripAndGolden is the determinism guard of the
+// content-addressed store: the Fig 3.5 two-communicator run must
+// serialize, reload, and re-hash identically, across independent runs,
+// and match the committed golden file byte for byte.
+func TestFig35RoundTripAndGolden(t *testing.T) {
+	tr, rep := runFig35(t, 8)
+	p := profile.FromRun("fig35_two_communicators", tr, rep, profile.RunInfo{})
+	hash1, err := p.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Serialize → reload → re-hash.
+	var buf bytes.Buffer
+	if err := p.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := profile.Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash2, err := reloaded.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hash1 != hash2 {
+		t.Errorf("reload changed hash: %s vs %s", hash1, hash2)
+	}
+
+	// An independent identical run must produce the identical profile.
+	tr2, rep2 := runFig35(t, 8)
+	p2 := profile.FromRun("fig35_two_communicators", tr2, rep2, profile.RunInfo{})
+	hash3, err := p2.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hash1 != hash3 {
+		t.Errorf("rerun changed hash: %s vs %s", hash1, hash3)
+	}
+
+	// Golden file.
+	golden := filepath.Join("testdata", "fig35_p8.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with: go test ./internal/profile -run Golden -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("profile drifted from golden file %s (regenerate with -update if intended)", golden)
+	}
+}
+
+func TestHashChangesWithContent(t *testing.T) {
+	tr, rep := runBarrier(t, 4, 0.06)
+	p1 := profile.FromRun("barrier", tr, rep, profile.RunInfo{})
+	tr2, rep2 := runBarrier(t, 4, 0.12)
+	p2 := profile.FromRun("barrier", tr2, rep2, profile.RunInfo{})
+	h1, _ := p1.Hash()
+	h2, _ := p2.Hash()
+	if h1 == h2 {
+		t.Error("doubling the imbalance did not change the content hash")
+	}
+	// Same setup → same config hash: content drift stays comparable.
+	if p1.ConfigHash != p2.ConfigHash {
+		t.Errorf("config hash should not depend on measured waits: %s vs %s",
+			p1.ConfigHash, p2.ConfigHash)
+	}
+}
+
+func TestConfigHashSeparatesSetups(t *testing.T) {
+	tr, rep := runBarrier(t, 4, 0.06)
+	a := profile.FromRun("barrier", tr, rep, profile.RunInfo{})
+	b := profile.FromRun("barrier", tr, rep, profile.RunInfo{Params: map[string]string{"high": "0.12"}})
+	c := profile.FromRun("other", tr, rep, profile.RunInfo{})
+	if a.ConfigHash == b.ConfigHash {
+		t.Error("params ignored by config hash")
+	}
+	if a.ConfigHash == c.ConfigHash {
+		t.Error("experiment name ignored by config hash")
+	}
+}
+
+func TestDecodeRejectsBadInput(t *testing.T) {
+	if _, err := profile.Decode(bytes.NewReader([]byte(`{"schema": 999, "experiment": "x"}`))); err == nil {
+		t.Error("wrong schema version accepted")
+	}
+	if _, err := profile.Decode(bytes.NewReader([]byte(`{"schema": 1}`))); err == nil {
+		t.Error("missing experiment name accepted")
+	}
+	if _, err := profile.Decode(bytes.NewReader([]byte(`not json`))); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	tr, rep := runBarrier(t, 4, 0.06)
+	p := profile.FromRun("barrier", tr, rep, profile.RunInfo{})
+	path := filepath.Join(t.TempDir(), "barrier.json")
+	if err := p.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := profile.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, _ := p.Hash()
+	h2, _ := got.Hash()
+	if h1 != h2 {
+		t.Errorf("file round trip changed hash")
+	}
+}

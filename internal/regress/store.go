@@ -1,0 +1,232 @@
+// Package regress implements performance-regression tracking over the
+// canonical profiles of package profile: an on-disk content-addressed
+// store with a ref index (experiment name → baseline profile), and a
+// comparison engine that diffs two profiles for severity drift,
+// detection-set changes, and per-location outliers.
+//
+// The shape follows Perun's version-indexed performance profiles: blobs
+// are immutable and named by content hash under objects/, while refs.json
+// carries the mutable experiment → baseline mapping plus per-experiment
+// history (newest first).
+package regress
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/profile"
+)
+
+// DefaultStoreDir is the conventional store location inside a repository.
+const DefaultStoreDir = ".ats/profiles"
+
+// refsVersion identifies the refs.json format.
+const refsVersion = 1
+
+// refsFile is the mutable index of a store.
+type refsFile struct {
+	Version int `json:"version"`
+	// Baselines maps experiment name → content hash of its baseline.
+	Baselines map[string]string `json:"baselines"`
+	// History maps experiment name → hashes ever saved, newest first.
+	History map[string][]string `json:"history"`
+}
+
+// Store is an on-disk profile store.
+type Store struct {
+	dir string
+}
+
+// Open opens (creating if necessary) the store rooted at dir.  An empty
+// dir selects DefaultStoreDir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		dir = DefaultStoreDir
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+		return nil, fmt.Errorf("regress: open store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store root.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) objectPath(hash string) string {
+	return filepath.Join(s.dir, "objects", hash+".json")
+}
+
+func (s *Store) refsPath() string { return filepath.Join(s.dir, "refs.json") }
+
+// loadRefs reads the index; a missing file yields an empty index.
+func (s *Store) loadRefs() (*refsFile, error) {
+	refs := &refsFile{
+		Version:   refsVersion,
+		Baselines: make(map[string]string),
+		History:   make(map[string][]string),
+	}
+	blob, err := os.ReadFile(s.refsPath())
+	if os.IsNotExist(err) {
+		return refs, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("regress: read refs: %w", err)
+	}
+	if err := json.Unmarshal(blob, refs); err != nil {
+		return nil, fmt.Errorf("regress: parse refs: %w", err)
+	}
+	if refs.Version != refsVersion {
+		return nil, fmt.Errorf("regress: refs version %d (want %d)", refs.Version, refsVersion)
+	}
+	if refs.Baselines == nil {
+		refs.Baselines = make(map[string]string)
+	}
+	if refs.History == nil {
+		refs.History = make(map[string][]string)
+	}
+	return refs, nil
+}
+
+// saveRefs writes the index atomically (temp file + rename).
+func (s *Store) saveRefs(refs *refsFile) error {
+	blob, err := json.MarshalIndent(refs, "", "  ")
+	if err != nil {
+		return fmt.Errorf("regress: marshal refs: %w", err)
+	}
+	blob = append(blob, '\n')
+	tmp := s.refsPath() + ".tmp"
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return fmt.Errorf("regress: write refs: %w", err)
+	}
+	return os.Rename(tmp, s.refsPath())
+}
+
+// Put stores p as an immutable object and returns its content hash.  An
+// object that already exists is left untouched (content addressing makes
+// the write idempotent).  Put does not move any baseline ref.
+func (s *Store) Put(p *profile.Profile) (string, error) {
+	hash, err := p.Hash()
+	if err != nil {
+		return "", err
+	}
+	path := s.objectPath(hash)
+	if _, err := os.Stat(path); err == nil {
+		return hash, nil
+	}
+	if err := p.WriteFile(path); err != nil {
+		return "", fmt.Errorf("regress: store object: %w", err)
+	}
+	return hash, nil
+}
+
+// Get loads the object with the given content hash.
+func (s *Store) Get(hash string) (*profile.Profile, error) {
+	p, err := profile.ReadFile(s.objectPath(hash))
+	if err != nil {
+		return nil, fmt.Errorf("regress: object %s: %w", shortHash(hash), err)
+	}
+	return p, nil
+}
+
+// SaveBaseline stores p and makes it the baseline for its experiment,
+// pushing the previous baseline (if any) into the history.
+func (s *Store) SaveBaseline(p *profile.Profile) (string, error) {
+	hash, err := s.Put(p)
+	if err != nil {
+		return "", err
+	}
+	refs, err := s.loadRefs()
+	if err != nil {
+		return "", err
+	}
+	name := p.Experiment
+	if refs.Baselines[name] != hash {
+		refs.Baselines[name] = hash
+		refs.History[name] = append([]string{hash}, refs.History[name]...)
+	}
+	return hash, s.saveRefs(refs)
+}
+
+// Baseline returns the baseline profile and hash for an experiment.
+func (s *Store) Baseline(name string) (*profile.Profile, string, error) {
+	refs, err := s.loadRefs()
+	if err != nil {
+		return nil, "", err
+	}
+	hash, ok := refs.Baselines[name]
+	if !ok {
+		return nil, "", fmt.Errorf("regress: no baseline for experiment %q", name)
+	}
+	p, err := s.Get(hash)
+	if err != nil {
+		return nil, "", err
+	}
+	return p, hash, nil
+}
+
+// History returns the hashes ever saved as baseline for an experiment,
+// newest first.
+func (s *Store) History(name string) ([]string, error) {
+	refs, err := s.loadRefs()
+	if err != nil {
+		return nil, err
+	}
+	return refs.History[name], nil
+}
+
+// Entry summarizes one baseline for listings.
+type Entry struct {
+	Experiment string
+	Hash       string
+	// Versions is the history depth of the experiment.
+	Versions int
+	// Significant is the number of significant properties recorded.
+	Significant int
+	// TopProperty and TopSeverity identify the worst recorded finding.
+	TopProperty string
+	TopSeverity float64
+	// Ranks and Threads echo the run shape.
+	Ranks, Threads int
+}
+
+// List returns one entry per baseline, sorted by experiment name.
+func (s *Store) List() ([]Entry, error) {
+	refs, err := s.loadRefs()
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(refs.Baselines))
+	for name := range refs.Baselines {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []Entry
+	for _, name := range names {
+		hash := refs.Baselines[name]
+		e := Entry{Experiment: name, Hash: hash, Versions: len(refs.History[name])}
+		p, err := s.Get(hash)
+		if err != nil {
+			return nil, err
+		}
+		e.Ranks, e.Threads = p.Run.Procs, p.Run.Threads
+		for _, prop := range p.Significant() {
+			e.Significant++
+			if prop.Severity > e.TopSeverity {
+				e.TopProperty, e.TopSeverity = prop.Name, prop.Severity
+			}
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// shortHash abbreviates a content hash for display.
+func shortHash(h string) string {
+	if len(h) > 12 {
+		return h[:12]
+	}
+	return h
+}

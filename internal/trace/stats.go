@@ -81,19 +81,41 @@ func ComputeStats(t *Trace) *Stats {
 			rs.Exclusive += excl
 		}
 	}
-	for loc, f := range first {
-		span := last[loc] - f
+	// Sum spans in location order: TotalTime normalizes every severity,
+	// so its float accumulation order must not depend on map iteration.
+	for _, loc := range sortedLocs(first) {
+		span := last[loc] - first[loc]
 		s.PerLocation[loc] = span
 		s.TotalTime += span
 	}
 	return s
 }
 
+// sortedLocs returns the keys of a per-location map in rank-major order.
+func sortedLocs[V any](m map[Location]V) []Location {
+	locs := make([]Location, 0, len(m))
+	for loc := range m {
+		locs = append(locs, loc)
+	}
+	sort.Slice(locs, func(i, j int) bool { return locs[i].less(locs[j]) })
+	return locs
+}
+
+// RegionNames returns all region names present in the profile, sorted.
+func (s *Stats) RegionNames() []string {
+	names := make([]string, 0, len(s.Regions))
+	for name := range s.Regions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // RegionInclusive sums the inclusive time of a region over all locations.
 func (s *Stats) RegionInclusive(region string) float64 {
 	var tot float64
-	for _, rs := range s.Regions[region] {
-		tot += rs.Inclusive
+	for _, loc := range sortedLocs(s.Regions[region]) {
+		tot += s.Regions[region][loc].Inclusive
 	}
 	return tot
 }
@@ -148,7 +170,7 @@ func ComputePathProfile(t *Trace) *PathProfile {
 			pp.Count[f.path]++
 		}
 	}
-	for loc := range first {
+	for _, loc := range sortedLocs(first) {
 		pp.Total += last[loc] - first[loc]
 	}
 	return pp

@@ -495,6 +495,23 @@ func (t *Trace) End() float64 {
 	return t.Events[len(t.Events)-1].Time
 }
 
+// Shape summarizes the location grid of the trace: the number of distinct
+// MPI ranks and the maximum thread count any rank ran with.  It is the run
+// metadata the profile store records alongside each baseline.
+func (t *Trace) Shape() (ranks, threads int) {
+	seen := make(map[int32]bool)
+	for _, loc := range t.Locations {
+		if !seen[loc.Rank] {
+			seen[loc.Rank] = true
+			ranks++
+		}
+		if n := int(loc.Thread) + 1; n > threads {
+			threads = n
+		}
+	}
+	return ranks, threads
+}
+
 // FilterLocation returns the events of a single location, in time order.
 func (t *Trace) FilterLocation(loc Location) []Event {
 	var out []Event
