@@ -6,14 +6,18 @@
 #   make smoke   — just the regression smoke: regenerate the Fig 3.5
 #                  profile and diff it against the committed baseline
 #                  (non-zero exit on drift).
+#   make fuzz    — conformance-fuzzer smoke: a fixed-seed atsfuzz run plus
+#                  a replay of the committed corpus (CI's second job).
 #   make baseline— re-seed testdata/regress-store from a fresh run (only
 #                  after an intentional severity change; commit the result).
 
 GO ?= go
 STORE := testdata/regress-store
 FIG35 := fig35_two_communicators.json
+CORPUS := testdata/conformance-corpus
+FUZZ_SEEDS ?= 100
 
-.PHONY: check vet build test race smoke baseline
+.PHONY: check vet build test race smoke fuzz baseline
 
 check: vet build test race smoke
 
@@ -33,6 +37,10 @@ smoke:
 	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
 	$(GO) run ./cmd/atsbench -only fig35 -profiles "$$tmp" >/dev/null && \
 	$(GO) run ./cmd/atsregress check -store $(STORE) "$$tmp/$(FIG35)"
+
+fuzz:
+	$(GO) run ./cmd/atsfuzz run -seeds $(FUZZ_SEEDS) -start 1
+	$(GO) run ./cmd/atsfuzz replay $(CORPUS)/*.json
 
 baseline:
 	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \

@@ -42,7 +42,17 @@ type (
 	Report = analyzer.Report
 	// Trace is a merged event trace.
 	Trace = trace.Trace
+	// Args carries property-function parameter values (see core.Args).
+	Args = core.Args
+	// DistrSpec is the serializable form of a distribution argument.
+	DistrSpec = core.DistrSpec
 )
+
+// NewArgs returns an empty property-argument set.  Generated
+// single-property programs build their flag values into it, so they only
+// need this facade package — the internal packages are not importable
+// from outside this module.
+func NewArgs() Args { return core.NewArgs() }
 
 // Clock modes.
 const (

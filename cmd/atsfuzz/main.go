@@ -1,0 +1,207 @@
+// Command atsfuzz drives the metamorphic conformance fuzzer from the
+// command line, sharing one engine (internal/conformance) with the Go
+// native fuzz harnesses and the quick-mode unit test.
+//
+//	atsfuzz run -seeds 100            # fuzz 100 seeded cases, shrink failures
+//	atsfuzz replay case.json ...      # re-check saved reproducers
+//	atsfuzz corpus                    # list the committed corpus
+//	atsfuzz gen -seeds 10 -out DIR    # write seed cases as corpus files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/conformance"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage: atsfuzz <command> [flags]
+
+commands:
+  run     -seeds N [-start S] [-procs P] [-threads T] [-corpus DIR] [-v]
+          generate and check N seeded cases; shrink and save failures
+  replay  <case.json> [...]
+          re-run saved cases through the oracle
+  corpus  [-dir DIR]
+          list the corpus cases
+  gen     -seeds N [-start S] [-out DIR]
+          write generated seed cases as corpus files`)
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		usage(stderr)
+		return 2
+	}
+	switch args[0] {
+	case "run":
+		return cmdRun(args[1:], stdout, stderr)
+	case "replay":
+		return cmdReplay(args[1:], stdout, stderr)
+	case "corpus":
+		return cmdCorpus(args[1:], stdout, stderr)
+	case "gen":
+		return cmdGen(args[1:], stdout, stderr)
+	case "-h", "--help", "help":
+		usage(stdout)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "atsfuzz: unknown command %q\n", args[0])
+		usage(stderr)
+		return 2
+	}
+}
+
+func cmdRun(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seeds := fs.Int("seeds", 50, "number of seeded cases to check")
+	start := fs.Uint64("start", 1, "first seed")
+	procs := fs.Int("procs", 0, "fix the rank count (0: random per case)")
+	threads := fs.Int("threads", 0, "fix the thread count (0: random per case)")
+	corpus := fs.String("corpus", "", "directory to save shrunken reproducers into")
+	verbose := fs.Bool("v", false, "print every case, not just failures")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	cfg := conformance.Config{}
+	if *procs > 0 {
+		cfg.Procs = []int{*procs}
+	}
+	if *threads > 0 {
+		cfg.Threads = []int{*threads}
+	}
+	opt := conformance.CheckOptions{}
+	failures := 0
+	for i := 0; i < *seeds; i++ {
+		seed := *start + uint64(i)
+		cs := conformance.Generate(seed, cfg)
+		out, err := conformance.Check(cs, opt)
+		if err != nil {
+			fmt.Fprintf(stderr, "atsfuzz: seed %d: %v\n", seed, err)
+			return 2
+		}
+		if out.OK() {
+			if *verbose {
+				fmt.Fprintf(stdout, "ok   %s (%d events, %d findings, %s)\n",
+					cs, out.Events, out.Findings, short(out.Hash))
+			}
+			continue
+		}
+		failures++
+		fmt.Fprintf(stdout, "FAIL %s\n", cs)
+		for _, v := range out.Violations {
+			fmt.Fprintf(stdout, "     %s\n", v)
+		}
+		min := conformance.Shrink(cs, opt)
+		fmt.Fprintf(stdout, "     shrunk to %s\n", min)
+		if *corpus != "" {
+			path := filepath.Join(*corpus, fmt.Sprintf("seed%d.json", seed))
+			if err := conformance.WriteCase(path, min); err != nil {
+				fmt.Fprintf(stderr, "atsfuzz: save %s: %v\n", path, err)
+				return 2
+			}
+			fmt.Fprintf(stdout, "     saved %s\n", path)
+		}
+	}
+	fmt.Fprintf(stdout, "checked %d cases: %d failing\n", *seeds, failures)
+	if failures > 0 {
+		return 1
+	}
+	return 0
+}
+
+func cmdReplay(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "atsfuzz replay: no case files given")
+		return 2
+	}
+	failures := 0
+	for _, path := range fs.Args() {
+		cs, err := conformance.ReadCase(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "atsfuzz: %v\n", err)
+			return 2
+		}
+		out, err := conformance.Check(cs, conformance.CheckOptions{})
+		if err != nil {
+			fmt.Fprintf(stderr, "atsfuzz: %s: %v\n", path, err)
+			return 2
+		}
+		if out.OK() {
+			fmt.Fprintf(stdout, "ok   %s: %s (%d events, %s)\n", path, cs, out.Events, short(out.Hash))
+			continue
+		}
+		failures++
+		fmt.Fprintf(stdout, "FAIL %s: %s\n", path, cs)
+		for _, v := range out.Violations {
+			fmt.Fprintf(stdout, "     %s\n", v)
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(stdout, "%d of %d cases failing\n", failures, fs.NArg())
+		return 1
+	}
+	return 0
+}
+
+func cmdCorpus(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("corpus", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", "testdata/conformance-corpus", "corpus directory")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	entries, err := conformance.LoadCorpus(*dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "atsfuzz: %v\n", err)
+		return 2
+	}
+	for _, e := range entries {
+		fmt.Fprintf(stdout, "%-24s %s\n", e.Name, e.Case)
+	}
+	fmt.Fprintf(stdout, "%d cases\n", len(entries))
+	return 0
+}
+
+func cmdGen(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seeds := fs.Int("seeds", 10, "number of cases to generate")
+	start := fs.Uint64("start", 1, "first seed")
+	out := fs.String("out", "testdata/conformance-corpus", "output directory")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	for i := 0; i < *seeds; i++ {
+		seed := *start + uint64(i)
+		cs := conformance.Generate(seed, conformance.Config{})
+		path := filepath.Join(*out, fmt.Sprintf("seed%03d.json", seed))
+		if err := conformance.WriteCase(path, cs); err != nil {
+			fmt.Fprintf(stderr, "atsfuzz: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "wrote %s: %s\n", path, cs)
+	}
+	return 0
+}
+
+func short(hash string) string {
+	if len(hash) > 12 {
+		return hash[:12]
+	}
+	return hash
+}

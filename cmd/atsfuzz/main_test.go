@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestRunFixedSeed(t *testing.T) {
+	code, out, errOut := runCmd(t, "run", "-seeds", "3", "-start", "1", "-v")
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out, errOut)
+	}
+	if !strings.Contains(out, "checked 3 cases: 0 failing") {
+		t.Fatalf("unexpected output: %s", out)
+	}
+	if strings.Count(out, "ok   ") != 3 {
+		t.Fatalf("-v did not print every case: %s", out)
+	}
+}
+
+func TestGenReplayCorpus(t *testing.T) {
+	dir := t.TempDir()
+	code, out, errOut := runCmd(t, "gen", "-seeds", "2", "-out", dir)
+	if code != 0 {
+		t.Fatalf("gen: exit %d\nstderr: %s", code, errOut)
+	}
+	if strings.Count(out, "wrote ") != 2 {
+		t.Fatalf("gen output: %s", out)
+	}
+
+	cases, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(cases) != 2 {
+		t.Fatalf("corpus files: %v (%v)", cases, err)
+	}
+	code, out, errOut = runCmd(t, append([]string{"replay"}, cases...)...)
+	if code != 0 {
+		t.Fatalf("replay: exit %d\nstdout: %s\nstderr: %s", code, out, errOut)
+	}
+
+	code, out, _ = runCmd(t, "corpus", "-dir", dir)
+	if code != 0 || !strings.Contains(out, "2 cases") {
+		t.Fatalf("corpus: exit %d, output: %s", code, out)
+	}
+}
+
+func TestReplayRejectsBadCase(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":1,"procs":2}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errOut := runCmd(t, "replay", bad)
+	if code != 2 {
+		t.Fatalf("replay of invalid case: exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "invalid shape") {
+		t.Fatalf("stderr: %s", errOut)
+	}
+}
+
+func TestUsageAndUnknown(t *testing.T) {
+	if code, _, _ := runCmd(t); code != 2 {
+		t.Fatal("no args should exit 2")
+	}
+	if code, _, _ := runCmd(t, "bogus"); code != 2 {
+		t.Fatal("unknown command should exit 2")
+	}
+	if code, out, _ := runCmd(t, "help"); code != 0 || !strings.Contains(out, "usage:") {
+		t.Fatal("help should print usage and exit 0")
+	}
+}

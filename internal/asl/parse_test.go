@@ -1,0 +1,100 @@
+package asl
+
+import (
+	"strings"
+	"testing"
+)
+
+// parseNoPanic runs Parse and converts any panic into a test failure, so
+// every malformed input in the table asserts "error, not panic".
+func parseNoPanic(t *testing.T, src string) (props []*Property, err error) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("Parse(%q) panicked: %v", src, r)
+		}
+	}()
+	return Parse(src)
+}
+
+// TestParseErrorPaths is the table-driven error-path suite for the ASL
+// parser: each malformed property expression must produce a diagnostic
+// containing the expected fragment.
+func TestParseErrorPaths(t *testing.T) {
+	tests := []struct {
+		name    string
+		src     string
+		wantErr string
+	}{
+		{"empty input", ``, "no property definitions"},
+		{"only comment", "# nothing here\n", "no property definitions"},
+		{"wrong keyword", `prop p { condition 1 > 0; }`, `expected "property"`},
+		{"numeric property name", `property 5 { condition 1 > 0; }`, "expected property name"},
+		{"truncated after keyword", `property`, "expected property name"},
+		{"missing open brace", `property p condition 1 > 0; }`, `expected "{"`},
+		{"unclosed body", `property p { condition 1 > 0;`, "expected clause"},
+		{"missing condition", `property p { severity 1; }`, "missing condition"},
+		{"empty body", `property p { }`, "missing condition"},
+		{"unknown clause", `property p { condition 1 > 0; bogus 1; }`, "unknown clause"},
+		{"duplicate condition", `property p { condition 1 > 0; condition 2 > 1; }`, "duplicate condition"},
+		{"duplicate severity", `property p { condition 1 > 0; severity 1; severity 2; }`, "duplicate severity"},
+		{"duplicate property", `property p { condition 1 > 0; } property p { condition 1 > 0; }`, "duplicate property"},
+		{"missing semicolon", `property p { condition 1 > 0 }`, `expected ";"`},
+		{"missing operand", `property p { condition 1 +; }`, "unexpected token"},
+		{"dangling unary", `property p { condition -; }`, "unexpected token"},
+		{"bare identifier", `property p { condition waiting; }`, "bare identifier"},
+		{"malformed call", `property p { condition wait(; }`, "unexpected token"},
+		{"unclosed call", `property p { condition wait("x" ; }`, `expected ")"`},
+		{"bad argument list", `property p { condition wait("x",; }`, "unexpected token"},
+		{"unclosed paren", `property p { condition (1 > 0; }`, `expected ")"`},
+		{"stray close paren", `property p { condition ); }`, "unexpected token"},
+		{"bad exponent", `property p { condition 1e > 0; }`, "bad number"},
+		{"double dot number", `property p { condition 1.2.3 > 0; }`, "bad number"},
+		{"unexpected character", `property p { condition 1 @ 2; }`, "unexpected character"},
+		{"unterminated string", `property p { condition "oops; }`, "unterminated string"},
+		{"string with newline", "property p { condition \"oops\n\"; }", "unterminated string"},
+		{"garbage after property", `property p { condition 1 > 0; } ;`, `expected "property"`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			props, err := parseNoPanic(t, tt.src)
+			if err == nil {
+				t.Fatalf("Parse(%q) accepted malformed input: %+v", tt.src, props)
+			}
+			if !strings.Contains(err.Error(), tt.wantErr) {
+				t.Fatalf("Parse(%q) error %q does not contain %q", tt.src, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+// TestParseErrorLineNumbers pins the line information in diagnostics.
+func TestParseErrorLineNumbers(t *testing.T) {
+	src := "property p {\n  condition 1 @ 2;\n}\n"
+	_, err := parseNoPanic(t, src)
+	if err == nil {
+		t.Fatal("malformed input accepted")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error %q does not name line 2", err)
+	}
+}
+
+// TestParseRecoversValidAfterComments ensures the error-path lexer fixes
+// do not reject well-formed inputs with comments and both comment styles.
+func TestParseRecoversValidAfterComments(t *testing.T) {
+	src := `
+# hash comment
+// slash comment
+property ok {
+	condition severity("late_sender") >= 0; // trailing comment
+}
+`
+	props, err := parseNoPanic(t, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(props) != 1 || props[0].Name != "ok" {
+		t.Fatalf("parsed %+v", props)
+	}
+}

@@ -1,0 +1,411 @@
+package conformance
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/analyzer"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/omp"
+	"repro/internal/profile"
+	"repro/internal/trace"
+)
+
+// Axis identifiers for violations.
+const (
+	// AxisRun: the case failed to execute (deadlock, timeout, crash).
+	AxisRun = "run"
+	// AxisPositive: an injected property was missed, mislocalized, or its
+	// measured wait diverged from the closed form.
+	AxisPositive = "positive"
+	// AxisNegative: a non-injected property rose above the noise floor.
+	AxisNegative = "negative"
+	// AxisDeterminism: the identical case produced a different profile hash.
+	AxisDeterminism = "determinism"
+)
+
+// Violation is one oracle failure.
+type Violation struct {
+	Axis     string `json:"axis"`
+	Property string `json:"property,omitempty"`
+	Detail   string `json:"detail"`
+}
+
+func (v Violation) String() string {
+	if v.Property == "" {
+		return fmt.Sprintf("[%s] %s", v.Axis, v.Detail)
+	}
+	return fmt.Sprintf("[%s] %s: %s", v.Axis, v.Property, v.Detail)
+}
+
+// Outcome is the oracle verdict for one case.
+type Outcome struct {
+	Case       Case
+	Hash       string // canonical profile content hash of the run
+	Events     int    // trace size
+	Findings   int    // significant findings reported
+	Violations []Violation
+}
+
+// OK reports whether every axis held.
+func (o Outcome) OK() bool { return len(o.Violations) == 0 }
+
+// CheckOptions tunes the oracle.
+type CheckOptions struct {
+	// NoiseFloor is the absolute waiting time (seconds) a non-injected
+	// property may accumulate before the negative axis fires; it absorbs
+	// the µs-scale cost-model skew at phase-separator barriers
+	// (default 0.002).
+	NoiseFloor float64
+	// RelTol and AbsTol bound the positive-axis wait mismatch:
+	// |measured − expected| ≤ AbsTol + RelTol·expected + cost-model slack
+	// (defaults 0.05 and 0.002).
+	RelTol, AbsTol float64
+	// SkipDeterminism skips the second run and hash comparison.
+	SkipDeterminism bool
+	// DropProperty removes an analyzer property from the report before
+	// checking — fault injection simulating a defective analyzer, used to
+	// validate that the oracle notices and that the shrinker minimizes.
+	DropProperty string
+}
+
+func (opt CheckOptions) withDefaults() CheckOptions {
+	if opt.NoiseFloor <= 0 {
+		opt.NoiseFloor = 0.002
+	}
+	if opt.RelTol <= 0 {
+		opt.RelTol = 0.05
+	}
+	if opt.AbsTol <= 0 {
+		opt.AbsTol = 0.002
+	}
+	return opt
+}
+
+// companions maps an injected core property to analyzer properties it
+// legitimately co-produces besides its expected detection; the negative
+// axis must not flag these.
+var companions = map[string][]string{
+	// The critical-section rounds are barrier-resynced, so the serialized
+	// exits also skew the resync barrier (documented in properties_omp.go).
+	"serialization_at_omp_critical": {analyzer.PropOMPBarrier},
+	// The sending ranks' teams are internally imbalanced by construction;
+	// the join wait inside the OMP region is the *cause* of the MPI-level
+	// late sender, not a spurious finding.
+	"hybrid_omp_imbalance_causes_late_sender": {analyzer.PropOMPRegion},
+}
+
+// NondeterministicWaits lists core properties whose per-thread wait
+// *attribution* legitimately varies between runs: virtual-mode lock entry
+// follows real arrival order at the lock (see internal/omp.Lock), so only
+// the aggregate serialization time is scheduling-independent.  Cases
+// containing one keep the positive and negative axes (which check
+// aggregates) but skip the byte-identical-hash determinism axis.
+var NondeterministicWaits = map[string]bool{
+	"serialization_at_omp_critical": true,
+}
+
+func hasNondeterministicWaits(cs Case) bool {
+	for _, p := range cs.Props {
+		if NondeterministicWaits[p.Name] {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks that a case is well-formed and replayable: known
+// properties, resolvable distributions, a sane shape.
+func (cs Case) Validate() error {
+	if cs.Schema != CaseSchema {
+		return fmt.Errorf("conformance: case schema %d, want %d", cs.Schema, CaseSchema)
+	}
+	if cs.Procs < 1 || cs.Threads < 1 {
+		return fmt.Errorf("conformance: invalid shape %dx%d", cs.Procs, cs.Threads)
+	}
+	if len(cs.Props) == 0 {
+		return fmt.Errorf("conformance: case has no properties")
+	}
+	for _, cp := range cs.Props {
+		spec, ok := core.Get(cp.Name)
+		if !ok {
+			return fmt.Errorf("conformance: unknown property %q", cp.Name)
+		}
+		for _, p := range spec.Params {
+			switch p.Kind {
+			case core.ParamFloat:
+				if _, ok := cp.Float[p.Name]; !ok {
+					return fmt.Errorf("conformance: %s: missing float arg %q", cp.Name, p.Name)
+				}
+			case core.ParamInt:
+				if _, ok := cp.Int[p.Name]; !ok {
+					return fmt.Errorf("conformance: %s: missing int arg %q", cp.Name, p.Name)
+				}
+			case core.ParamDistr:
+				ds, ok := cp.Distr[p.Name]
+				if !ok {
+					return fmt.Errorf("conformance: %s: missing distr arg %q", cp.Name, p.Name)
+				}
+				if _, _, err := ds.Resolve(); err != nil {
+					return fmt.Errorf("conformance: %s: %w", cp.Name, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// sepRegion names the harness's own phase-separator barrier region.  Some
+// property functions legitimately end with ranks skewed (e.g.
+// late_receiver on an odd world leaves the unpaired rank ahead); the
+// separator re-synchronizes before the next phase, and the wait it absorbs
+// belongs to the harness, not the program under test — the oracle excludes
+// waits localized under this region from the negative axis.
+const sepRegion = "conformance_separator"
+
+// runCase executes the composite: one MPI world, every injected property
+// in order, separated by barriers (the paper's composite-program shape,
+// cf. core.CompositeAllMPI).  Pure-OpenMP properties run per rank on the
+// rank's own thread team.
+func runCase(cs Case) (*trace.Trace, error) {
+	team := omp.Options{Threads: cs.Threads}
+	return mpi.Run(mpi.Options{Procs: cs.Procs}, func(c *mpi.Comm) {
+		c.Begin("conformance_case")
+		defer c.End()
+		for _, cp := range cs.Props {
+			spec, _ := core.Get(cp.Name)
+			spec.Run(core.Env{Comm: c, Ctx: c.Ctx(), OMP: team}, cp.Args())
+			c.Begin(sepRegion)
+			c.Barrier()
+			c.End()
+		}
+	})
+}
+
+// expectedWait returns the case-level closed-form wait for one injected
+// property: the spec's per-environment form, times the rank count for
+// pure-OpenMP properties (every rank runs its own team).
+func expectedWait(cs Case, cp CaseProp) float64 {
+	spec, _ := core.Get(cp.Name)
+	w := spec.ExpectedWait(cs.Procs, cs.Threads, cp.Args())
+	if w < 0 {
+		return w
+	}
+	if spec.Paradigm == core.ParadigmOMP {
+		w *= float64(cs.Procs)
+	}
+	return w
+}
+
+// containsSegment reports whether path, split on "/", contains region.
+func containsSegment(path, region string) bool {
+	for _, seg := range strings.Split(path, "/") {
+		if seg == region {
+			return true
+		}
+	}
+	return false
+}
+
+// pathWait sums a result's per-call-path waits over the paths passing
+// through the named trace region — detection *and* localization in one
+// number: wait attributed anywhere else does not count.
+func pathWait(r *analyzer.Result, region string) float64 {
+	if r == nil {
+		return 0
+	}
+	paths := make([]string, 0, len(r.ByPath))
+	for p := range r.ByPath {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths) // deterministic float accumulation
+	var sum float64
+	for _, p := range paths {
+		if containsSegment(p, region) {
+			sum += r.ByPath[p]
+		}
+	}
+	return sum
+}
+
+// Check runs the case and applies the three correctness axes.  The
+// returned error reports an ill-formed case; execution failures surface
+// as AxisRun violations so the fuzzer can shrink them.
+func Check(cs Case, opt CheckOptions) (Outcome, error) {
+	opt = opt.withDefaults()
+	out := Outcome{Case: cs}
+	if err := cs.Validate(); err != nil {
+		return out, err
+	}
+
+	tr, err := runCase(cs)
+	if err != nil {
+		out.Violations = append(out.Violations, Violation{
+			Axis: AxisRun, Detail: err.Error(),
+		})
+		return out, nil
+	}
+	out.Events = len(tr.Events)
+	rep := analyzer.Analyze(tr, analyzer.Options{Threshold: cs.Threshold})
+	out.Findings = len(rep.Significant())
+	out.Hash, err = caseHash(cs, tr, rep)
+	if err != nil {
+		return out, err
+	}
+
+	if opt.DropProperty != "" {
+		delete(rep.Results, opt.DropProperty)
+	}
+
+	out.Violations = append(out.Violations, checkPositive(cs, rep, opt)...)
+	out.Violations = append(out.Violations, checkNegative(cs, rep, opt)...)
+
+	if !opt.SkipDeterminism && !hasNondeterministicWaits(cs) {
+		tr2, err := runCase(cs)
+		if err != nil {
+			out.Violations = append(out.Violations, Violation{
+				Axis: AxisDeterminism, Detail: "rerun failed: " + err.Error(),
+			})
+			return out, nil
+		}
+		rep2 := analyzer.Analyze(tr2, analyzer.Options{Threshold: cs.Threshold})
+		hash2, err := caseHash(cs, tr2, rep2)
+		if err != nil {
+			return out, err
+		}
+		if hash2 != out.Hash {
+			out.Violations = append(out.Violations, Violation{
+				Axis:   AxisDeterminism,
+				Detail: fmt.Sprintf("profile hash changed across identical runs: %s != %s", out.Hash, hash2),
+			})
+		}
+	}
+	return out, nil
+}
+
+// caseHash builds the canonical profile of a run and returns its content
+// address — the determinism oracle.
+func caseHash(cs Case, tr *trace.Trace, rep *analyzer.Report) (string, error) {
+	prof := profile.FromRun("conformance", tr, rep, profile.RunInfo{
+		Procs: cs.Procs, Threads: cs.Threads,
+		Params: map[string]string{"seed": fmt.Sprintf("%d", cs.Seed)},
+	})
+	return prof.Hash()
+}
+
+// checkPositive verifies that every injected property is detected as its
+// expected analyzer property, localized to call paths inside the property
+// function's own trace region, with the closed-form magnitude.
+func checkPositive(cs Case, rep *analyzer.Report, opt CheckOptions) []Violation {
+	var vs []Violation
+	// Group by core property name: duplicate invocations share a trace
+	// region, so their closed forms sum over the same localized paths.
+	type inj struct {
+		want     string
+		expected float64
+		slack    float64
+	}
+	byName := make(map[string]*inj)
+	names := make([]string, 0, len(cs.Props))
+	wantSum := make(map[string]float64) // analyzer property -> total expected
+	for _, cp := range cs.Props {
+		w := expectedWait(cs, cp)
+		if w < 0 {
+			continue // no closed form; nothing mechanical to assert
+		}
+		g := byName[cp.Name]
+		if g == nil {
+			g = &inj{want: analyzer.ExpectedDetection[cp.Name]}
+			byName[cp.Name] = g
+			names = append(names, cp.Name)
+		}
+		g.expected += w
+		// Cost-model slack: per-operation protocol terms are µs-scale and
+		// grow with repetitions and group size (cf. the quick-check
+		// tolerance in core).
+		g.slack += 1e-4 * float64(cp.Int["r"]*cs.Procs*cs.Threads)
+		wantSum[g.want] += w
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		g := byName[name]
+		tol := opt.AbsTol + opt.RelTol*g.expected + g.slack
+		measured := pathWait(rep.Get(g.want), name)
+		if diff := measured - g.expected; diff > tol || -diff > tol {
+			vs = append(vs, Violation{
+				Axis: AxisPositive, Property: name,
+				Detail: fmt.Sprintf("%s localized at %s: wait %.6f, closed form %.6f (tol %.6f)",
+					g.want, name, measured, g.expected, tol),
+			})
+		}
+	}
+	// Ranking: an analyzer property whose expected wait is clearly above
+	// the significance threshold must appear in the significant findings.
+	wants := make([]string, 0, len(wantSum))
+	for w := range wantSum {
+		wants = append(wants, w)
+	}
+	sort.Strings(wants)
+	for _, want := range wants {
+		if rep.TotalTime <= 0 {
+			break
+		}
+		if wantSum[want] > 2*cs.Threshold*rep.TotalTime &&
+			rep.Severity(want) < rep.Threshold {
+			vs = append(vs, Violation{
+				Axis: AxisPositive, Property: want,
+				Detail: fmt.Sprintf("expected severity %.4f (wait %.6f) not reported significant (threshold %.4f)",
+					wantSum[want]/rep.TotalTime, wantSum[want], rep.Threshold),
+			})
+		}
+	}
+	return vs
+}
+
+// checkNegative verifies that no analyzer property outside the injected
+// set (plus documented companions and info metrics) accumulates waiting
+// above the noise floor.
+func checkNegative(cs Case, rep *analyzer.Report, opt CheckOptions) []Violation {
+	allowed := make(map[string]bool)
+	for _, cp := range cs.Props {
+		allowed[analyzer.ExpectedDetection[cp.Name]] = true
+		for _, c := range companions[cp.Name] {
+			allowed[c] = true
+		}
+	}
+	var vs []Violation
+	for _, prop := range rep.Properties() {
+		if analyzer.IsInfo(prop) || allowed[prop] {
+			continue
+		}
+		if w := waitOutsideSeparators(rep.Get(prop)); w > opt.NoiseFloor {
+			vs = append(vs, Violation{
+				Axis: AxisNegative, Property: prop,
+				Detail: fmt.Sprintf("spurious wait %.6f above noise floor %.6f", w, opt.NoiseFloor),
+			})
+		}
+	}
+	return vs
+}
+
+// waitOutsideSeparators sums a result's wait excluding call paths under
+// the harness's separator barriers (see sepRegion).
+func waitOutsideSeparators(r *analyzer.Result) float64 {
+	if r == nil {
+		return 0
+	}
+	paths := make([]string, 0, len(r.ByPath))
+	for p := range r.ByPath {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	var sum float64
+	for _, p := range paths {
+		if !containsSegment(p, sepRegion) {
+			sum += r.ByPath[p]
+		}
+	}
+	return sum
+}

@@ -1,0 +1,241 @@
+package conformance
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/analyzer"
+	"repro/internal/core"
+)
+
+// quickOpt skips nothing: the determinism axis is part of the quick run.
+var quickOpt = CheckOptions{}
+
+// TestQuickConformance is the quick-mode fuzz run wired into `go test`:
+// ≥ 50 seeded random composites, every axis checked (including the
+// same-seed → same-profile-hash determinism axis inside Check).
+func TestQuickConformance(t *testing.T) {
+	const seeds = 60
+	for seed := uint64(1); seed <= seeds; seed++ {
+		cs := Generate(seed, Config{})
+		out, err := Check(cs, quickOpt)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, v := range out.Violations {
+			t.Errorf("seed %d (%s): %s", seed, cs, v)
+		}
+		if t.Failed() {
+			min := Shrink(cs, quickOpt)
+			blob, _ := MarshalCase(min)
+			t.Fatalf("seed %d: shrunken reproducer:\n%s", seed, blob)
+		}
+	}
+}
+
+// TestGenerateDeterministic pins the generator: the same seed must yield
+// a deeply equal case, and distinct seeds must not all collapse onto one
+// shape.
+func TestGenerateDeterministic(t *testing.T) {
+	shapes := make(map[string]bool)
+	for seed := uint64(1); seed <= 20; seed++ {
+		a := Generate(seed, Config{})
+		b := Generate(seed, Config{})
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: generation not deterministic:\n%+v\n%+v", seed, a, b)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("seed %d: generated invalid case: %v", seed, err)
+		}
+		shapes[a.String()] = true
+	}
+	if len(shapes) < 10 {
+		t.Fatalf("20 seeds produced only %d distinct cases", len(shapes))
+	}
+}
+
+// defaultsCase builds a composite from registered defaults.
+func defaultsCase(procs, threads int, names ...string) Case {
+	cs := Case{Schema: CaseSchema, Procs: procs, Threads: threads, Threshold: 0.005}
+	for _, name := range names {
+		spec, ok := core.Get(name)
+		if !ok {
+			panic("unknown property " + name)
+		}
+		a := spec.Defaults()
+		cp := CaseProp{Name: name}
+		if len(a.Float) > 0 {
+			cp.Float = a.Float
+		}
+		if len(a.Int) > 0 {
+			cp.Int = a.Int
+		}
+		if len(a.Distr) > 0 {
+			cp.Distr = a.Distr
+		}
+		cs.Props = append(cs.Props, cp)
+	}
+	return cs
+}
+
+// TestShrinkerMinimizes injects a deliberate analyzer defect — the
+// wait_at_mpi_barrier pattern is dropped from the report — and asserts
+// the shrinker reduces the resulting 3-property failure to the single
+// property exposing the defect, with smaller parameters.
+func TestShrinkerMinimizes(t *testing.T) {
+	orig := defaultsCase(4, 1, "late_sender", "imbalance_at_mpi_barrier", "early_reduce")
+	opt := CheckOptions{SkipDeterminism: true, DropProperty: analyzer.PropWaitAtBarrier}
+
+	out, err := Check(orig, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.OK() {
+		t.Fatal("fault injection did not make the composite fail")
+	}
+
+	min := Shrink(orig, opt)
+	if len(min.Props) >= len(orig.Props) {
+		t.Fatalf("shrinker did not reduce property count: %d -> %d", len(orig.Props), len(min.Props))
+	}
+	if len(min.Props) != 1 || min.Props[0].Name != "imbalance_at_mpi_barrier" {
+		t.Fatalf("expected minimal reproducer [imbalance_at_mpi_barrier], got %s", min)
+	}
+	if r := min.Props[0].Int["r"]; r >= orig.Props[1].Int["r"] {
+		t.Fatalf("shrinker did not reduce repetitions: %d -> %d", orig.Props[1].Int["r"], r)
+	}
+	// The minimized case must still reproduce the failure...
+	mout, err := Check(min, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mout.OK() {
+		t.Fatal("minimized case no longer fails under the injected defect")
+	}
+	// ...and pass against the healthy analyzer.
+	hout, err := Check(min, CheckOptions{SkipDeterminism: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hout.OK() {
+		t.Fatalf("minimized case fails without the defect: %v", hout.Violations)
+	}
+}
+
+// TestCorpusReplay replays every committed corpus case through the full
+// oracle — the same files `atsfuzz replay` consumes.
+func TestCorpusReplay(t *testing.T) {
+	entries, err := LoadCorpus(filepath.Join("..", "..", "testdata", "conformance-corpus"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 10 {
+		t.Fatalf("committed corpus has %d cases, want >= 10", len(entries))
+	}
+	for _, e := range entries {
+		out, err := Check(e.Case, quickOpt)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		for _, v := range out.Violations {
+			t.Errorf("%s (%s): %s", e.Name, e.Case, v)
+		}
+	}
+}
+
+// TestCorpusRoundTrip pins the case wire format.
+func TestCorpusRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cs := Generate(7, Config{})
+	path := filepath.Join(dir, "case.json")
+	if err := WriteCase(path, cs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCase(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cs, got) {
+		t.Fatalf("case changed across write/read:\n%+v\n%+v", cs, got)
+	}
+}
+
+// TestValidateErrors covers the ill-formed-case paths.
+func TestValidateErrors(t *testing.T) {
+	good := Generate(1, Config{})
+	tests := []struct {
+		name   string
+		mutate func(*Case)
+	}{
+		{"wrong schema", func(c *Case) { c.Schema = 99 }},
+		{"zero procs", func(c *Case) { c.Procs = 0 }},
+		{"zero threads", func(c *Case) { c.Threads = 0 }},
+		{"no props", func(c *Case) { c.Props = nil }},
+		{"unknown property", func(c *Case) { c.Props[0].Name = "no_such_property" }},
+		{"missing args", func(c *Case) {
+			c.Props[0].Float, c.Props[0].Int, c.Props[0].Distr = nil, nil, nil
+		}},
+	}
+	for _, tt := range tests {
+		cs := good.clone()
+		tt.mutate(&cs)
+		if err := cs.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted the case", tt.name)
+		}
+		if _, err := Check(cs, quickOpt); err == nil {
+			t.Errorf("%s: Check accepted the case", tt.name)
+		}
+	}
+	bad := good.clone()
+	for k, ds := range bad.Props[0].Distr {
+		ds.Name = "no_such_distribution"
+		bad.Props[0].Distr[k] = ds
+	}
+	if len(bad.Props[0].Distr) > 0 {
+		if err := bad.Validate(); err == nil {
+			t.Error("unresolvable distribution: Validate accepted the case")
+		}
+	}
+}
+
+// FuzzConformance is the native-fuzzing entry point over seeds: any seed
+// the engine can generate must satisfy all three axes.  Run long sessions
+// with `go test -fuzz FuzzConformance ./internal/conformance`.
+func FuzzConformance(f *testing.F) {
+	for _, seed := range []uint64{1, 42, 1 << 32} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		cs := Generate(seed, Config{})
+		out, err := Check(cs, CheckOptions{SkipDeterminism: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !out.OK() {
+			min := Shrink(cs, CheckOptions{SkipDeterminism: true})
+			blob, _ := MarshalCase(min)
+			t.Fatalf("seed %d (%s): %v\nshrunken reproducer:\n%s", seed, cs, out.Violations, blob)
+		}
+	})
+}
+
+// FuzzCaseJSON hardens the replay path: arbitrary bytes must decode or
+// error, never panic, and anything that validates must run.
+func FuzzCaseJSON(f *testing.F) {
+	blob, err := MarshalCase(Generate(1, Config{MaxProps: 1, MinProps: 1}))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	f.Add([]byte(`{"schema":1}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var cs Case
+		if err := json.Unmarshal(data, &cs); err != nil {
+			return
+		}
+		_ = cs.Validate()
+	})
+}

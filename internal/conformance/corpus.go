@@ -1,0 +1,75 @@
+package conformance
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Corpus I/O: failing (or seed) cases live as one JSON file each under a
+// corpus directory — testdata/conformance-corpus/ in this repository —
+// and replay byte-identically through ReadCase + Check.
+
+// CorpusEntry is one named case of a corpus directory.
+type CorpusEntry struct {
+	Name string
+	Case Case
+}
+
+// MarshalCase renders the canonical JSON form of a case.
+func MarshalCase(cs Case) ([]byte, error) {
+	blob, err := json.MarshalIndent(cs, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("conformance: marshal case: %w", err)
+	}
+	return append(blob, '\n'), nil
+}
+
+// WriteCase writes a case file, creating the directory if needed.
+func WriteCase(path string, cs Case) error {
+	blob, err := MarshalCase(cs)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, blob, 0o644)
+}
+
+// ReadCase loads and validates one case file.
+func ReadCase(path string) (Case, error) {
+	var cs Case
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return cs, err
+	}
+	if err := json.Unmarshal(blob, &cs); err != nil {
+		return cs, fmt.Errorf("conformance: %s: %w", path, err)
+	}
+	if err := cs.Validate(); err != nil {
+		return cs, fmt.Errorf("conformance: %s: %w", path, err)
+	}
+	return cs, nil
+}
+
+// LoadCorpus reads every *.json case under dir, sorted by file name.  A
+// missing directory is an empty corpus, not an error.
+func LoadCorpus(dir string) ([]CorpusEntry, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	var out []CorpusEntry
+	for _, p := range paths {
+		cs, err := ReadCase(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, CorpusEntry{Name: filepath.Base(p), Case: cs})
+	}
+	return out, nil
+}

@@ -125,7 +125,7 @@ func registerMPIProps() {
 		Params: []Param{
 			fparam("basework", DefaultBasework, "base work per iteration [s]"),
 			fparam("rootextrawork", DefaultExtrawork, "extra work of the root [s]"),
-			iparam("root", 0, "root rank"),
+			rankparam("root", 0, "root rank"),
 			iparam("r", DefaultReps, "repetitions"),
 		},
 		Run: func(env Env, a Args) {
@@ -141,7 +141,7 @@ func registerMPIProps() {
 		Params: []Param{
 			fparam("basework", DefaultBasework, "base work per iteration [s]"),
 			fparam("rootextrawork", DefaultExtrawork, "extra work of the root [s]"),
-			iparam("root", 0, "root rank"),
+			rankparam("root", 0, "root rank"),
 			iparam("r", DefaultReps, "repetitions"),
 		},
 		Run: func(env Env, a Args) {
@@ -157,7 +157,7 @@ func registerMPIProps() {
 		Params: []Param{
 			fparam("basework", DefaultBasework, "base work per iteration [s]"),
 			fparam("rootextrawork", DefaultExtrawork, "extra work of the root [s]"),
-			iparam("root", 0, "root rank"),
+			rankparam("root", 0, "root rank"),
 			iparam("r", DefaultReps, "repetitions"),
 		},
 		Run: func(env Env, a Args) {
@@ -173,7 +173,7 @@ func registerMPIProps() {
 		Params: []Param{
 			fparam("rootwork", DefaultBasework, "work of the root per iteration [s]"),
 			fparam("baseextrawork", DefaultExtrawork, "extra work of the non-root ranks [s]"),
-			iparam("root", 0, "root rank"),
+			rankparam("root", 0, "root rank"),
 			iparam("r", DefaultReps, "repetitions"),
 		},
 		Run: func(env Env, a Args) {
@@ -190,7 +190,7 @@ func registerMPIProps() {
 		Params: []Param{
 			fparam("rootwork", DefaultBasework, "work of the root per iteration [s]"),
 			fparam("baseextrawork", DefaultExtrawork, "extra work of the non-root ranks [s]"),
-			iparam("root", 0, "root rank"),
+			rankparam("root", 0, "root rank"),
 			iparam("r", DefaultReps, "repetitions"),
 		},
 		Run: func(env Env, a Args) {
@@ -206,7 +206,7 @@ func registerMPIProps() {
 		Params: []Param{
 			fparam("rootwork", DefaultBasework, "work of the root per iteration [s]"),
 			fparam("baseextrawork", DefaultExtrawork, "extra work of the non-root ranks [s]"),
-			iparam("root", 0, "root rank"),
+			rankparam("root", 0, "root rank"),
 			iparam("r", DefaultReps, "repetitions"),
 		},
 		Run: func(env Env, a Args) {
@@ -371,7 +371,13 @@ func registerHybridProps() {
 			HybridOMPImbalanceCausesLateSender(env.Comm, env.OMP,
 				a.F("basework"), a.F("ompextra"), a.I("r"))
 		},
-		ExpectedWait: func(p, t int, a Args) float64 { return -1 },
+		ExpectedWait: func(p, t int, a Args) float64 {
+			// The sender's team joins ompextra late each iteration (one
+			// thread is overloaded by ompextra; fork/join overheads are
+			// identical on both sides), so the MPI-level late-sender wait
+			// is pairs × ompextra × reps — same shape as plain late_sender.
+			return float64(p/2) * a.F("ompextra") * float64(a.I("r"))
+		},
 	})
 	mustRegister(&Spec{
 		Name: "hybrid_barrier_after_omp_regions", Paradigm: ParadigmHybrid,
@@ -384,6 +390,12 @@ func registerHybridProps() {
 			df, dd := a.D("distr")
 			HybridBarrierAfterOMPRegions(env.Comm, env.OMP, df, dd, a.I("r"))
 		},
-		ExpectedWait: func(p, _ int, a Args) float64 { return -1 },
+		ExpectedWait: func(p, _ int, a Args) float64 {
+			// Each rank's team is internally balanced (every thread works
+			// df(rank)), so the whole thread-level imbalance surfaces as
+			// rank-level wait at the closing MPI barrier: the plain
+			// imbalance closed form over ranks.
+			return imbalanceWait(a.Distr["distr"], p, a.I("r"))
+		},
 	})
 }

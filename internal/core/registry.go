@@ -53,13 +53,14 @@ const (
 
 // DistrSpec is the serializable form of a distribution argument: the
 // function name plus the descriptor parameters, mirroring what a generated
-// test program accepts on its command line.
+// test program accepts on its command line.  The JSON encoding is the wire
+// form used by replayable conformance cases.
 type DistrSpec struct {
-	Name string  // distribution function name, e.g. "block2"
-	Low  float64 // first descriptor value (Val for "same")
-	High float64
-	Med  float64
-	N    int // peak rank for "peak"
+	Name string  `json:"name"`          // distribution function name, e.g. "block2"
+	Low  float64 `json:"low"`           // first descriptor value (Val for "same")
+	High float64 `json:"high,omitempty"`
+	Med  float64 `json:"med,omitempty"`
+	N    int     `json:"n,omitempty"` // peak rank for "peak"
 }
 
 // Resolve looks the function up and builds its descriptor.
@@ -78,7 +79,12 @@ func (ds DistrSpec) Resolve() (distr.Func, distr.Desc, error) {
 
 // Param describes one parameter of a property function, with its default —
 // the information the test-program generator turns into command-line
-// flags (paper §3.2).
+// flags (paper §3.2).  The Min/Max fields bound the *in-range* values a
+// randomized conformance test may draw for the parameter: within them the
+// property function is well defined and its closed-form expected wait
+// (Spec.ExpectedWait) holds.  They are metadata for test generation, not
+// runtime constraints — the property functions themselves accept any
+// value.
 type Param struct {
 	Name     string
 	Kind     ParamKind
@@ -86,6 +92,14 @@ type Param struct {
 	DefInt   int
 	DefDistr DistrSpec
 	Help     string
+	// MinFloat/MaxFloat bound in-range ParamFloat draws (inclusive).
+	MinFloat, MaxFloat float64
+	// MinInt/MaxInt bound in-range ParamInt draws (inclusive).
+	MinInt, MaxInt int
+	// Rank marks a ParamInt that indexes a member of the executing group
+	// (a root rank); its in-range interval is [0, group size) at draw
+	// time, so MinInt/MaxInt are left zero.
+	Rank bool
 }
 
 // Args carries concrete parameter values for one invocation.
@@ -250,14 +264,30 @@ func All() []*Spec {
 	return out
 }
 
-// common parameter constructors.
+// common parameter constructors.  The derived in-range intervals keep the
+// default centered: work amounts fuzz between a tenth and twice their
+// default (small enough to stay fast, large enough to move severities
+// across the significance threshold), repetition counts between 1 and the
+// default.
 
 func fparam(name string, def float64, help string) Param {
-	return Param{Name: name, Kind: ParamFloat, DefFloat: def, Help: help}
+	return Param{Name: name, Kind: ParamFloat, DefFloat: def, Help: help,
+		MinFloat: def / 10, MaxFloat: def * 2}
 }
 
 func iparam(name string, def int, help string) Param {
-	return Param{Name: name, Kind: ParamInt, DefInt: def, Help: help}
+	max := def
+	if max < 1 {
+		max = 1
+	}
+	return Param{Name: name, Kind: ParamInt, DefInt: def, Help: help,
+		MinInt: 1, MaxInt: max}
+}
+
+// rankparam declares an int parameter that names a rank of the executing
+// group; conformance draws it uniformly from [0, group size).
+func rankparam(name string, def int, help string) Param {
+	return Param{Name: name, Kind: ParamInt, DefInt: def, Help: help, Rank: true}
 }
 
 func dparam(name string, def DistrSpec, help string) Param {

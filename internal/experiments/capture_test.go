@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/analyzer"
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// TestProfileSinkReceivesOnePerRun installs a sink and asserts the
+// negative-correctness experiment emits exactly one (name, trace, report)
+// triple per analyzed run, in order.
+func TestProfileSinkReceivesOnePerRun(t *testing.T) {
+	var got []string
+	SetProfileSink(func(name string, tr *trace.Trace, rep *analyzer.Report) {
+		if tr == nil || rep == nil {
+			t.Errorf("sink received nil trace/report for %q", name)
+		}
+		if len(tr.Events) == 0 {
+			t.Errorf("sink received empty trace for %q", name)
+		}
+		got = append(got, name)
+	})
+	defer SetProfileSink(nil)
+
+	results, err := NegativeCorrectness(io.Discard, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"negative_balanced_mpi", "negative_balanced_omp", "negative_balanced_hybrid"}
+	if len(results) != len(want) {
+		t.Fatalf("experiment produced %d results, want %d", len(results), len(want))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("sink received %d profiles, want %d: %v", len(got), len(want), got)
+	}
+	for i, name := range want {
+		if got[i] != name {
+			t.Errorf("profile %d: got %q, want %q", i, got[i], name)
+		}
+	}
+}
+
+// TestProfileSinkPositiveCorrectness asserts the per-property experiment
+// emits one profile per registered property function.
+func TestProfileSinkPositiveCorrectness(t *testing.T) {
+	count := 0
+	SetProfileSink(func(name string, tr *trace.Trace, rep *analyzer.Report) {
+		count++
+	})
+	defer SetProfileSink(nil)
+
+	rows, err := PositiveCorrectness(io.Discard, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(core.All()); len(rows) != want || count != want {
+		t.Fatalf("rows %d, profiles %d, want %d each", len(rows), count, want)
+	}
+}
+
+// TestNilSinkPaths exercises the disabled-collector fast paths directly:
+// with no sink installed (and with nil inputs) nothing may run or panic.
+func TestNilSinkPaths(t *testing.T) {
+	SetProfileSink(nil)
+	// No sink: both helpers are no-ops even with real inputs absent.
+	captureRun("x", nil, analyzer.Options{})
+	emitProfile("x", nil, nil)
+
+	fired := false
+	SetProfileSink(func(string, *trace.Trace, *analyzer.Report) { fired = true })
+	defer SetProfileSink(nil)
+	// Nil trace/report must be filtered before reaching the sink.
+	captureRun("x", nil, analyzer.Options{})
+	emitProfile("x", nil, nil)
+	if fired {
+		t.Fatal("sink fired for nil trace/report")
+	}
+}

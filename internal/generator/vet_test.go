@@ -1,0 +1,83 @@
+package generator
+
+import (
+	"bytes"
+	"fmt"
+	"go/format"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestGeneratedProgramsGofmtClean asserts every generated program is in
+// canonical gofmt form — formatting a second time must be a no-op, so any
+// template drift (stray whitespace, misaligned declarations) fails here.
+func TestGeneratedProgramsGofmtClean(t *testing.T) {
+	for _, spec := range core.All() {
+		src, err := Generate(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		formatted, err := format.Source(src)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if !bytes.Equal(src, formatted) {
+			t.Errorf("%s: generated program is not gofmt-clean:\n%s", spec.Name, src)
+		}
+	}
+}
+
+// TestGeneratedProgramsVet compiles representative generated programs with
+// `go vet` in a throwaway module that replaces the repro dependency with
+// this repository — the strongest template-drift gate short of running
+// them: vet type-checks every call against the real ats/core packages.
+func TestGeneratedProgramsVet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("go vet of generated programs is not short")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go binary not available")
+	}
+	repoRoot, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	gomod := fmt.Sprintf("module genprobe\n\ngo 1.22\n\nrequire repro v0.0.0\n\nreplace repro => %s\n", repoRoot)
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte(gomod), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// One program per parameter shape: floats+rank int, distribution, and
+	// a pure-OpenMP property.
+	for _, name := range []string{"late_broadcast", "imbalance_at_mpi_barrier", "serialization_at_omp_critical"} {
+		spec, ok := core.Get(name)
+		if !ok {
+			t.Fatalf("unknown property %q", name)
+		}
+		src, err := Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub := filepath.Join(dir, name)
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(sub, "main.go"), src, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cmd := exec.Command(goBin, "vet", "./...")
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOWORK=off", "GOFLAGS=-mod=mod")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet on generated programs failed: %v\n%s", err, out)
+	}
+}
