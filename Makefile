@@ -10,14 +10,18 @@
 #                  a replay of the committed corpus (CI's second job).
 #   make baseline— re-seed testdata/regress-store from a fresh run (only
 #                  after an intentional severity change; commit the result).
+#   make bench-json — run the Runtime/Scale benchmark suite and drop a
+#                  machine-readable snapshot at testdata/bench/BENCH_<date>.json
+#                  (commit it to extend the perf trajectory).
 
 GO ?= go
 STORE := testdata/regress-store
 FIG35 := fig35_two_communicators.json
 CORPUS := testdata/conformance-corpus
 FUZZ_SEEDS ?= 100
+BENCH_DIR := testdata/bench
 
-.PHONY: check vet build test race smoke fuzz baseline
+.PHONY: check vet build test race smoke fuzz baseline bench-json
 
 check: vet build test race smoke
 
@@ -46,3 +50,8 @@ baseline:
 	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
 	$(GO) run ./cmd/atsbench -only fig35 -profiles "$$tmp" >/dev/null && \
 	$(GO) run ./cmd/atsregress save -store $(STORE) "$$tmp/$(FIG35)"
+
+bench-json:
+	@mkdir -p $(BENCH_DIR)
+	$(GO) test -run '^$$' -bench '^Benchmark(Runtime|Scale)_' -benchtime 3x . \
+		| $(GO) run ./cmd/benchjson -out $(BENCH_DIR)/BENCH_$$(date +%Y%m%d).json

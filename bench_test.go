@@ -353,16 +353,19 @@ func BenchmarkRuntime_TraceSerialize(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.ResetTimer()
-	var n int64
-	for i := 0; i < b.N; i++ {
-		m, err := tr.Write(io.Discard)
-		if err != nil {
-			b.Fatal(err)
-		}
-		n = m
+	// Size the MB/s metric from one untimed write up front: SetBytes must
+	// be in effect for the whole timed loop, not applied after the fact.
+	n, err := tr.Write(io.Discard)
+	if err != nil {
+		b.Fatal(err)
 	}
 	b.SetBytes(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Write(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkGenerator_AllPrograms measures single-property program

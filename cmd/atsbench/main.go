@@ -14,6 +14,10 @@
 //	atsbench -only fig35     # one experiment
 //	atsbench -profiles DIR   # also emit one canonical profile per run,
 //	                         # ready for `atsregress save` / `check`
+//	atsbench -j 8            # run experiment campaigns 8 jobs at a time
+//	                         # (output and profiles identical for any -j)
+//	atsbench -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
+//	                         # pprof profiles of the bench run itself
 package main
 
 import (
@@ -22,8 +26,11 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/analyzer"
+	"repro/internal/campaign"
 	"repro/internal/experiments"
 	"repro/internal/grindstone"
 	"repro/internal/microbench"
@@ -42,9 +49,41 @@ func main() {
 		real    = flag.Bool("real", false, "include real-clock experiments")
 		only    = flag.String("only", "", "run a single experiment (fig32, fig33, fig35, positive, negative, ch2, ch4, micro, grind, work, ablation)")
 		profDir = flag.String("profiles", "", "emit canonical profiles (one JSON per analyzed run) into this directory")
+		jobs    = flag.Int("j", 0, "concurrent campaign jobs inside experiments (0: one per CPU)")
+		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+		memProf = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
 	w := os.Stdout
+
+	// -j flows to every campaign.Run/Stream in the experiment layer
+	// through the process-wide default, so the experiment signatures stay
+	// free of concurrency plumbing.  Output is identical for any value.
+	campaign.SetDefaultWorkers(*jobs)
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				log.Fatalf("memprofile: %v", err)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatalf("memprofile: %v", err)
+			}
+		}()
+	}
 
 	// With -profiles, every analyzed run is captured as a canonical
 	// profile file named after its experiment — the raw material for

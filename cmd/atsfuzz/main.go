@@ -9,12 +9,14 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 
+	"repro/internal/campaign"
 	"repro/internal/conformance"
 )
 
@@ -26,8 +28,9 @@ func usage(w io.Writer) {
 	fmt.Fprintln(w, `usage: atsfuzz <command> [flags]
 
 commands:
-  run     -seeds N [-start S] [-procs P] [-threads T] [-corpus DIR] [-v]
+  run     -seeds N [-start S] [-procs P] [-threads T] [-corpus DIR] [-j N] [-v]
           generate and check N seeded cases; shrink and save failures
+          (-j runs cases concurrently; output is identical for any -j)
   replay  <case.json> [...]
           re-run saved cases through the oracle
   corpus  [-dir DIR]
@@ -69,6 +72,7 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 	threads := fs.Int("threads", 0, "fix the thread count (0: random per case)")
 	corpus := fs.String("corpus", "", "directory to save shrunken reproducers into")
 	verbose := fs.Bool("v", false, "print every case, not just failures")
+	jobs := fs.Int("j", 0, "concurrent cases (0: one per CPU)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -80,37 +84,63 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 		cfg.Threads = []int{*threads}
 	}
 	opt := conformance.CheckOptions{}
+
+	// Each seed is one campaign job: generate, check, and (only on
+	// failure) shrink — all deterministic functions of the seed.  The
+	// sink owns every output byte and all corpus writes, and runs in seed
+	// order, so the output stream is byte-identical for any -j.
+	type outcome struct {
+		cs  conformance.Case
+		out conformance.Outcome
+		min conformance.Case // shrunken reproducer, valid when !out.OK()
+	}
 	failures := 0
-	for i := 0; i < *seeds; i++ {
-		seed := *start + uint64(i)
-		cs := conformance.Generate(seed, cfg)
-		out, err := conformance.Check(cs, opt)
-		if err != nil {
-			fmt.Fprintf(stderr, "atsfuzz: seed %d: %v\n", seed, err)
-			return 2
-		}
-		if out.OK() {
-			if *verbose {
-				fmt.Fprintf(stdout, "ok   %s (%d events, %d findings, %s)\n",
-					cs, out.Events, out.Findings, short(out.Hash))
+	err := campaign.Stream(*seeds,
+		campaign.Options{Workers: *jobs},
+		func(i int) (outcome, error) {
+			seed := *start + uint64(i)
+			cs := conformance.Generate(seed, cfg)
+			out, err := conformance.Check(cs, opt)
+			if err != nil {
+				return outcome{}, fmt.Errorf("seed %d: %v", seed, err)
 			}
-			continue
-		}
-		failures++
-		fmt.Fprintf(stdout, "FAIL %s\n", cs)
-		for _, v := range out.Violations {
-			fmt.Fprintf(stdout, "     %s\n", v)
-		}
-		min := conformance.Shrink(cs, opt)
-		fmt.Fprintf(stdout, "     shrunk to %s\n", min)
-		if *corpus != "" {
-			path := filepath.Join(*corpus, fmt.Sprintf("seed%d.json", seed))
-			if err := conformance.WriteCase(path, min); err != nil {
-				fmt.Fprintf(stderr, "atsfuzz: save %s: %v\n", path, err)
-				return 2
+			oc := outcome{cs: cs, out: out}
+			if !out.OK() {
+				oc.min = conformance.Shrink(cs, opt)
 			}
-			fmt.Fprintf(stdout, "     saved %s\n", path)
+			return oc, nil
+		},
+		func(i int, oc outcome) error {
+			seed := *start + uint64(i)
+			if oc.out.OK() {
+				if *verbose {
+					fmt.Fprintf(stdout, "ok   %s (%d events, %d findings, %s)\n",
+						oc.cs, oc.out.Events, oc.out.Findings, short(oc.out.Hash))
+				}
+				return nil
+			}
+			failures++
+			fmt.Fprintf(stdout, "FAIL %s\n", oc.cs)
+			for _, v := range oc.out.Violations {
+				fmt.Fprintf(stdout, "     %s\n", v)
+			}
+			fmt.Fprintf(stdout, "     shrunk to %s\n", oc.min)
+			if *corpus != "" {
+				path := filepath.Join(*corpus, fmt.Sprintf("seed%d.json", seed))
+				if err := conformance.WriteCase(path, oc.min); err != nil {
+					return fmt.Errorf("save %s: %v", path, err)
+				}
+				fmt.Fprintf(stdout, "     saved %s\n", path)
+			}
+			return nil
+		})
+	if err != nil {
+		var ce *campaign.Error
+		if errors.As(err, &ce) {
+			err = ce.Err
 		}
+		fmt.Fprintf(stderr, "atsfuzz: %v\n", err)
+		return 2
 	}
 	fmt.Fprintf(stdout, "checked %d cases: %d failing\n", *seeds, failures)
 	if failures > 0 {

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/conformance"
 )
 
 func runCmd(t *testing.T, args ...string) (int, string, string) {
@@ -25,6 +27,59 @@ func TestRunFixedSeed(t *testing.T) {
 	}
 	if strings.Count(out, "ok   ") != 3 {
 		t.Fatalf("-v did not print every case: %s", out)
+	}
+}
+
+// normalizeNondetHashes masks the profile hash on case lines whose
+// property set contains a conformance.NondeterministicWaits property.
+// Those hashes are scheduling-dependent by design — the engine skips the
+// byte-identical determinism axis for them, and two *sequential* runs
+// already disagree on them under a perturbed scheduler (e.g. -race) — so
+// they say nothing about the parallel runner.
+func normalizeNondetHashes(out string) string {
+	lines := strings.Split(out, "\n")
+	for i, ln := range lines {
+		open, clos := strings.Index(ln, "["), strings.Index(ln, "]")
+		if !strings.HasPrefix(strings.TrimSpace(ln), "ok ") || open < 0 || clos < open {
+			continue
+		}
+		nondet := false
+		for _, name := range strings.Fields(ln[open+1 : clos]) {
+			if conformance.NondeterministicWaits[name] {
+				nondet = true
+				break
+			}
+		}
+		if c := strings.LastIndex(ln, ", "); nondet && c >= 0 && strings.HasSuffix(ln, ")") {
+			lines[i] = ln[:c] + ", <nondet>)"
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+// TestRunParallelOutputMatchesSequential asserts the campaign contract at
+// the CLI surface: `atsfuzz run -j 8` must produce byte-identical output
+// (same cases, same hashes, same failure set, same order) as `-j 1`, up to
+// the hashes of cases the engine itself documents as nondeterministic.
+func TestRunParallelOutputMatchesSequential(t *testing.T) {
+	seeds := "120"
+	if testing.Short() {
+		seeds = "25"
+	}
+	outputs := make(map[string]string)
+	for _, j := range []string{"1", "8"} {
+		code, out, errOut := runCmd(t, "run", "-seeds", seeds, "-v", "-j", j)
+		if code != 0 {
+			t.Fatalf("-j %s: exit %d, stderr:\n%s", j, code, errOut)
+		}
+		if errOut != "" {
+			t.Fatalf("-j %s: unexpected stderr:\n%s", j, errOut)
+		}
+		outputs[j] = normalizeNondetHashes(out)
+	}
+	if outputs["1"] != outputs["8"] {
+		t.Fatalf("parallel output diverges from sequential:\n-j 1:\n%s\n-j 8:\n%s",
+			outputs["1"], outputs["8"])
 	}
 }
 

@@ -1,0 +1,132 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON document, making the repository's performance trajectory
+// machine-readable: each `make bench-json` run drops a BENCH_<stamp>.json
+// snapshot that later PRs (and the regression tooling) can diff without
+// re-parsing benchmark text.
+//
+//	go test -run '^$' -bench . . | benchjson -out testdata/bench/BENCH_20260805.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Iterations is b.N of the final run.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the headline ns/op figure.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds every other reported unit (MB/s, allocs/op, custom
+	// b.ReportMetric units such as "events").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Doc is the emitted snapshot.
+type Doc struct {
+	Schema     int         `json:"schema"`
+	Stamp      string      `json:"stamp"`
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := flag.String("out", "", "output path (default: stdout)")
+	stamp := flag.String("stamp", time.Now().Format("20060102"), "snapshot stamp")
+	flag.Parse()
+
+	doc := Doc{Schema: 1, Stamp: *stamp}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			doc.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseLine(line)
+			if ok {
+				doc.Benchmarks = append(doc.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatalf("read: %v", err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		log.Fatal("no benchmark result lines on stdin")
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatalf("encode: %v", err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatalf("write: %v", err)
+	}
+	fmt.Printf("wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+}
+
+// parseLine parses one result line:
+//
+//	BenchmarkScale_CompositeRanks/procs=16   3   306581 ns/op   288.0 events
+//
+// i.e. name, iteration count, then (value, unit) pairs.
+func parseLine(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Benchmark{}, false
+	}
+	name := f[0]
+	// Strip the -GOMAXPROCS suffix (absent when GOMAXPROCS=1).
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(f); i += 2 {
+		val, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		if f[i+1] == "ns/op" {
+			b.NsPerOp = val
+			continue
+		}
+		if b.Metrics == nil {
+			b.Metrics = make(map[string]float64)
+		}
+		b.Metrics[f[i+1]] = val
+	}
+	return b, true
+}

@@ -236,16 +236,24 @@ func (rep *Report) Top() *Result {
 }
 
 // Analyze runs the full pattern search over a trace.
+//
+// The search is a single sweep over the event slab: one pass feeds the
+// flat profile, the p2p matcher, the collective grouper, the lock detector
+// and the message statistics, where the original implementation walked the
+// slab five times.  Fusing the sweeps is safe for the content-addressed
+// profile identity because every floating-point accumulation keeps its
+// order: the p2p and collective reductions still run over sorted match
+// keys after the sweep, lock waits are the only contributor to their
+// property so moving them into the sweep reorders nothing within a Result,
+// and the profile arithmetic is shared with trace.ComputeStats via
+// trace.StatsBuilder.
 func Analyze(tr *trace.Trace, opt Options) *Report {
 	if opt.Threshold <= 0 {
 		opt.Threshold = 0.005
 	}
-	stats := trace.ComputeStats(tr)
 	rep := &Report{
-		TotalTime: stats.TotalTime,
 		Duration:  tr.Duration(),
 		Results:   make(map[string]*Result),
-		Stats:     stats,
 		Threshold: opt.Threshold,
 	}
 
@@ -264,17 +272,36 @@ func Analyze(tr *trace.Trace, opt Options) *Report {
 		r.ByLocation[loc] += wait
 	}
 
-	detectP2P(tr, add)
-	detectCollectives(tr, add)
-	detectLocks(tr, add)
-	detectCostMetrics(tr, stats, rep)
+	sb := trace.NewStatsBuilder(tr)
+	sends := make(map[uint64]*trace.Event)
+	recvs := make(map[uint64]*trace.Event)
+	groups := make(map[collKey][]*trace.Event)
 	for i := range tr.Events {
 		ev := &tr.Events[i]
-		if ev.Kind == trace.KindSend {
+		sb.Add(ev)
+		switch ev.Kind {
+		case trace.KindSend:
+			sends[ev.Match] = ev
 			rep.Messages.Count++
 			rep.Messages.Bytes += ev.Bytes
+		case trace.KindRecv:
+			recvs[ev.Match] = ev
+		case trace.KindColl:
+			k := collKey{ev.Coll, ev.Match}
+			groups[k] = append(groups[k], ev)
+		case trace.KindLock:
+			if ev.Aux > 0 {
+				add(PropOMPCritical, ev.Aux, tr.PathString(ev.Path), ev.Loc)
+			}
 		}
 	}
+	stats := sb.Finish()
+	rep.TotalTime = stats.TotalTime
+	rep.Stats = stats
+
+	reduceP2P(tr, sends, recvs, add)
+	reduceCollectives(tr, groups, add)
+	detectCostMetrics(tr, stats, rep)
 	if rep.Messages.Count > 0 {
 		rep.Messages.AvgBytes = float64(rep.Messages.Bytes) / float64(rep.Messages.Count)
 		if rep.Duration > 0 {
@@ -292,19 +319,16 @@ func Analyze(tr *trace.Trace, opt Options) *Report {
 
 type addFunc func(prop string, wait float64, path string, loc trace.Location)
 
-// detectP2P pairs message events and derives Late Sender / Late Receiver.
-func detectP2P(tr *trace.Trace, add addFunc) {
-	sends := make(map[uint64]*trace.Event)
-	recvs := make(map[uint64]*trace.Event)
-	for i := range tr.Events {
-		ev := &tr.Events[i]
-		switch ev.Kind {
-		case trace.KindSend:
-			sends[ev.Match] = ev
-		case trace.KindRecv:
-			recvs[ev.Match] = ev
-		}
-	}
+// collKey identifies one collective instance: the operation and its match
+// id.
+type collKey struct {
+	coll  trace.CollKind
+	match uint64
+}
+
+// reduceP2P pairs message events collected during the sweep and derives
+// Late Sender / Late Receiver.
+func reduceP2P(tr *trace.Trace, sends, recvs map[uint64]*trace.Event, add addFunc) {
 	// Iterate matches in sorted order: wait times are accumulated with
 	// floating-point additions, so map-order iteration would make the
 	// low bits of Result.Wait run-dependent and break the profile
@@ -335,24 +359,12 @@ func detectP2P(tr *trace.Trace, add addFunc) {
 	}
 }
 
-// detectCollectives groups collective events by instance and derives the
-// wait-state properties of each collective class.
-func detectCollectives(tr *trace.Trace, add addFunc) {
-	type key struct {
-		coll  trace.CollKind
-		match uint64
-	}
-	groups := make(map[key][]*trace.Event)
-	for i := range tr.Events {
-		ev := &tr.Events[i]
-		if ev.Kind == trace.KindColl {
-			k := key{ev.Coll, ev.Match}
-			groups[k] = append(groups[k], ev)
-		}
-	}
+// reduceCollectives takes the collective instances grouped during the
+// sweep and derives the wait-state properties of each collective class.
+func reduceCollectives(tr *trace.Trace, groups map[collKey][]*trace.Event, add addFunc) {
 	// Sorted instance order for deterministic float accumulation (see
-	// detectP2P).
-	keys := make([]key, 0, len(groups))
+	// reduceP2P).
+	keys := make([]collKey, 0, len(groups))
 	for k := range groups {
 		keys = append(keys, k)
 	}
@@ -460,16 +472,6 @@ func nxnWaits(tr *trace.Trace, evs []*trace.Event, prop string, add addFunc) {
 	for _, ev := range evs {
 		if wait := maxEnter - ev.Aux; wait > 0 {
 			add(prop, wait, tr.PathString(ev.Path), ev.Loc)
-		}
-	}
-}
-
-// detectLocks sums lock/critical waiting times.
-func detectLocks(tr *trace.Trace, add addFunc) {
-	for i := range tr.Events {
-		ev := &tr.Events[i]
-		if ev.Kind == trace.KindLock && ev.Aux > 0 {
-			add(PropOMPCritical, ev.Aux, tr.PathString(ev.Path), ev.Loc)
 		}
 	}
 }

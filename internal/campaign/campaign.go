@@ -1,0 +1,252 @@
+// Package campaign is the throughput-oriented execution layer of the test
+// suite.  Every paper-facing procedure — the Fig 3.2–3.5 sweeps, the §1
+// positive/negative correctness tables, the conformance fuzzer, regression
+// baselining — is a campaign: many independent world→trace→analyze jobs
+// whose *aggregate* wall-clock time, not single-run latency, is what the
+// ROADMAP's "as fast as the hardware allows" target means at production
+// scale.
+//
+// The package runs such job sets on a bounded worker pool while keeping
+// the sequential contract callers rely on:
+//
+//   - Results are collected (Run) or delivered (Stream) in job-index
+//     order, so output bytes, profile-sink emission order, and therefore
+//     content-addressed profile hashes are identical for any worker count.
+//   - The first failure is reported as the failure of the *lowest* failing
+//     index, matching what a sequential loop that stops at the first error
+//     would have surfaced.
+//   - A panic in one job is confined to that job (converted into its
+//     error); it does not poison the pool or abort sibling jobs.
+//
+// Jobs must be independent: they may not communicate, and their work must
+// not depend on execution order.  Everything the suite runs through this
+// pool satisfies that by construction — each job owns a fresh mpi/omp
+// world in virtual time.
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Options tunes a campaign.
+type Options struct {
+	// Workers bounds the number of concurrently running jobs.  Zero (the
+	// common case) selects the process-wide default (DefaultWorkers);
+	// negative values are treated as 1.
+	Workers int
+}
+
+func (o Options) workers(n int) int {
+	w := o.Workers
+	if w == 0 {
+		w = DefaultWorkers()
+	}
+	if w < 1 {
+		w = 1
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// defaultWorkers holds the process-wide default worker count; zero means
+// "derive from GOMAXPROCS at call time".
+var defaultWorkers atomic.Int64
+
+// DefaultWorkers returns the worker count used when Options.Workers is
+// zero: the value installed with SetDefaultWorkers, or GOMAXPROCS.
+func DefaultWorkers() int {
+	if n := defaultWorkers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetDefaultWorkers installs the process-wide default concurrency used by
+// every campaign that does not set Options.Workers explicitly.  CLIs wire
+// their -j flag here once instead of threading it through every layer;
+// n <= 0 restores the GOMAXPROCS-derived default.
+func SetDefaultWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// Error is a job failure, annotated with the index of the job that failed.
+type Error struct {
+	// Index is the failing job's index in [0, n).
+	Index int
+	// Err is the job's error (for a panicking job, a PanicError).
+	Err error
+}
+
+// Error implements error.
+func (e *Error) Error() string { return fmt.Sprintf("campaign: job %d: %v", e.Index, e.Err) }
+
+// Unwrap exposes the underlying job error.
+func (e *Error) Unwrap() error { return e.Err }
+
+// PanicError wraps a recovered job panic.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+}
+
+// Error implements error.
+func (e *PanicError) Error() string { return fmt.Sprintf("job panicked: %v", e.Value) }
+
+// result carries one finished job through the collection stage.
+type result[T any] struct {
+	value T
+	err   error
+	done  bool
+}
+
+// runPool executes jobs 0..n-1 on w workers and invokes deliver(i, res)
+// in strict index order as a contiguous prefix of jobs completes.  deliver
+// runs on the collecting goroutine only, never concurrently.  When a job
+// fails, indices above the lowest known failure are abandoned (workers
+// stop claiming them), matching the prefix a sequential loop would have
+// executed; in-flight jobs run to completion but their results past the
+// failure are discarded.
+func runPool[T any](n int, opt Options, job func(int) (T, error), deliver func(int, T) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := opt.workers(n)
+
+	// next is the dispatch cursor; stopAt is an exclusive upper bound on
+	// indices worth starting, lowered to the first failing index so a
+	// campaign does not keep burning CPU on work whose results are
+	// already unreachable.
+	var next atomic.Int64
+	stopAt := atomic.Int64{}
+	stopAt.Store(int64(n))
+
+	results := make([]result[T], n)
+	var mu sync.Mutex
+	cond := sync.NewCond(&mu)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n || int64(i) >= stopAt.Load() {
+					return
+				}
+				v, err := runJob(job, i)
+				if err != nil {
+					// Lower stopAt to this failure if it is the lowest
+					// seen so far.
+					for {
+						cur := stopAt.Load()
+						if int64(i) >= cur || stopAt.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+				}
+				mu.Lock()
+				results[i] = result[T]{value: v, err: err, done: true}
+				cond.Broadcast()
+				mu.Unlock()
+			}
+		}()
+	}
+	// Wake the collector when all workers have exited (covers the
+	// abandoned-suffix case, where no completion signal would arrive for
+	// indices that were never started).
+	workersDone := atomic.Bool{}
+	go func() {
+		wg.Wait()
+		mu.Lock()
+		workersDone.Store(true)
+		cond.Broadcast()
+		mu.Unlock()
+	}()
+
+	// Collect in index order.
+	var firstErr *Error
+	mu.Lock()
+	for i := 0; i < n; i++ {
+		for !results[i].done {
+			if workersDone.Load() {
+				break // abandoned suffix: job was never started
+			}
+			cond.Wait()
+		}
+		if !results[i].done {
+			break
+		}
+		r := &results[i]
+		if r.err != nil {
+			// The lowest failing index wins; anything the workers
+			// completed beyond it is discarded unseen.
+			firstErr = &Error{Index: i, Err: r.err}
+			break
+		}
+		mu.Unlock()
+		err := deliver(i, r.value)
+		mu.Lock()
+		if err != nil {
+			firstErr = &Error{Index: i, Err: err}
+			break
+		}
+	}
+	// Let any straggling workers finish before returning so no job is
+	// still touching caller state after the campaign reports completion.
+	stopAt.Store(-1)
+	mu.Unlock()
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return nil
+}
+
+// runJob invokes one job with panic confinement.
+func runJob[T any](job func(int) (T, error), i int) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r}
+		}
+	}()
+	return job(i)
+}
+
+// Run executes n independent jobs on a bounded pool and returns their
+// results indexed by job — element i is job i's value, regardless of
+// completion order.  On failure it returns the error of the lowest
+// failing index (wrapped in *Error); the returned slice is nil.
+func Run[T any](n int, opt Options, job func(int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := runPool(n, opt, job, func(i int, v T) error {
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Stream executes n independent jobs on a bounded pool and calls sink in
+// strict job-index order with each result — the streaming analogue of a
+// sequential loop, with the loop bodies overlapped.  sink is never called
+// concurrently and never out of order, so writers that produce
+// byte-identical sequential output stay byte-identical at any worker
+// count.  A sink error stops the campaign and is returned wrapped in
+// *Error with the job index it occurred at.
+func Stream[T any](n int, opt Options, job func(int) (T, error), sink func(int, T) error) error {
+	return runPool(n, opt, job, sink)
+}

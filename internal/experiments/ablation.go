@@ -7,9 +7,11 @@ import (
 
 	"repro/internal/analyzer"
 	"repro/internal/apps"
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/microbench"
 	"repro/internal/mpi"
+	"repro/internal/trace"
 	"repro/internal/validate"
 	"repro/internal/vtime"
 )
@@ -142,27 +144,44 @@ func Ch4Applications(w io.Writer, procs int) ([]Ch4Row, error) {
 				CellCost: 1e-4, Inject: in})
 		}, detected},
 	}
-	for _, tc := range cases {
-		tr, err := mpi.Run(mpi.Options{Procs: procs}, func(c *mpi.Comm) {
-			tc.run(c, tc.inject)
+	// The application runs are independent worlds: execute them on the
+	// campaign pool, with analysis folded into each job and the ordered
+	// sink owning the profile emission and table printing.
+	type outcome struct {
+		tr  *trace.Trace
+		rep *analyzer.Report
+	}
+	err := campaign.Stream(len(cases),
+		campaign.Options{},
+		func(i int) (outcome, error) {
+			tc := cases[i]
+			tr, err := mpi.Run(mpi.Options{Procs: procs}, func(c *mpi.Comm) {
+				tc.run(c, tc.inject)
+			})
+			if err != nil {
+				return outcome{}, fmt.Errorf("%s/%v: %w", tc.app, tc.inject, err)
+			}
+			return outcome{tr: tr, rep: analyzer.Analyze(tr, analyzer.Options{})}, nil
+		},
+		func(i int, oc outcome) error {
+			tc := cases[i]
+			emitProfile(fmt.Sprintf("ch4_%s_%s", tc.app, tc.inject), oc.tr, oc.rep)
+			row := Ch4Row{App: tc.app, Inject: tc.inject}
+			if top := oc.rep.Top(); top != nil {
+				row.Top, row.Severity = top.Property, top.Severity
+			}
+			row.AsDesired = tc.verify(oc.rep, row)
+			top := row.Top
+			if top == "" {
+				top = "(clean)"
+			}
+			fmt.Fprintf(w, "%-14s %-11s %-28s %8.2f%% %v\n",
+				row.App, row.Inject, top, row.Severity*100, row.AsDesired)
+			rows = append(rows, row)
+			return nil
 		})
-		if err != nil {
-			return nil, fmt.Errorf("%s/%v: %w", tc.app, tc.inject, err)
-		}
-		rep := analyzer.Analyze(tr, analyzer.Options{})
-		emitProfile(fmt.Sprintf("ch4_%s_%s", tc.app, tc.inject), tr, rep)
-		row := Ch4Row{App: tc.app, Inject: tc.inject}
-		if top := rep.Top(); top != nil {
-			row.Top, row.Severity = top.Property, top.Severity
-		}
-		row.AsDesired = tc.verify(rep, row)
-		top := row.Top
-		if top == "" {
-			top = "(clean)"
-		}
-		fmt.Fprintf(w, "%-14s %-11s %-28s %8.2f%% %v\n",
-			row.App, row.Inject, top, row.Severity*100, row.AsDesired)
-		rows = append(rows, row)
+	if err != nil {
+		return nil, unwrapCampaign(err)
 	}
 	return rows, nil
 }

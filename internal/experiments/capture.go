@@ -16,9 +16,12 @@ type ProfileFunc func(name string, tr *trace.Trace, rep *analyzer.Report)
 var profileSink ProfileFunc
 
 // SetProfileSink installs (or, with nil, removes) the process-wide
-// profile collector.  Experiments are driven sequentially by a single
-// caller (atsbench, tests), so the sink is deliberately a plain package
-// variable; it is not safe to mutate while experiments are running.
+// profile collector.  Experiments are driven by a single caller (atsbench,
+// tests), and even when their runs execute concurrently on the campaign
+// pool, emission happens only from the pool's ordered delivery callback —
+// so the sink stays a plain package variable, is never called
+// concurrently, and sees profiles in the same order as a sequential run.
+// It is not safe to mutate while experiments are running.
 func SetProfileSink(f ProfileFunc) { profileSink = f }
 
 // emitProfile hands a finished run to the collector, if any.

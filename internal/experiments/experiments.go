@@ -13,12 +13,14 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	"time"
 
 	"repro/internal/analyzer"
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/generator"
 	"repro/internal/mpi"
@@ -280,55 +282,84 @@ type CorrectnessRow struct {
 }
 
 // PositiveCorrectness runs every registered property with defaults and
-// tabulates detection plus measured-vs-theoretical waiting time.
+// tabulates detection plus measured-vs-theoretical waiting time.  The
+// property programs run concurrently on the campaign pool; rows, table
+// lines and profile-sink emissions keep the registry order (the sink is
+// only ever touched from the ordered delivery callback).
 func PositiveCorrectness(w io.Writer, procs, threads int) ([]CorrectnessRow, error) {
 	var rows []CorrectnessRow
 	fmt.Fprintln(w, "== positive correctness: every property function, defaults ==")
 	fmt.Fprintf(w, "%-42s %-28s %-10s %12s %12s %8s\n",
 		"property function", "detected (top)", "correct", "wait(s)", "theory(s)", "err")
-	for _, spec := range core.All() {
-		a := spec.Defaults()
-		tr, err := runSpec(spec, a, procs, threads)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", spec.Name, err)
-		}
-		rep := analyzer.Analyze(tr, analyzer.Options{})
-		emitProfile("positive_"+spec.Name, tr, rep)
-		want := analyzer.ExpectedDetection[spec.Name]
-		row := CorrectnessRow{Property: spec.Name, Expected: want}
-		if want == analyzer.PropMPITimeFraction {
-			r := rep.Get(want)
-			row.Top = want
-			row.Correct = r != nil && r.Severity > 0.5
-			row.Wait = rep.Wait(want)
-			row.Theory = -1
-		} else {
-			if top := rep.Top(); top != nil {
-				row.Top = top.Property
+	specs := core.All()
+	type outcome struct {
+		tr  *trace.Trace
+		rep *analyzer.Report
+	}
+	err := campaign.Stream(len(specs),
+		campaign.Options{},
+		func(i int) (outcome, error) {
+			spec := specs[i]
+			tr, err := runSpec(spec, spec.Defaults(), procs, threads)
+			if err != nil {
+				return outcome{}, fmt.Errorf("%s: %w", spec.Name, err)
 			}
-			row.Wait = rep.Wait(want)
-			row.Theory = spec.ExpectedWait(procs, threads, a)
-			switch {
-			case spec.Paradigm == core.ParadigmHybrid,
-				spec.Name == "serialization_at_omp_critical":
-				// Presence suffices (companion findings may dominate).
-				row.Correct = rep.Severity(want) >= rep.Threshold
-			default:
-				row.Correct = row.Top == want
+			return outcome{tr: tr, rep: analyzer.Analyze(tr, analyzer.Options{})}, nil
+		},
+		func(i int, oc outcome) error {
+			spec := specs[i]
+			a := spec.Defaults()
+			rep := oc.rep
+			emitProfile("positive_"+spec.Name, oc.tr, rep)
+			want := analyzer.ExpectedDetection[spec.Name]
+			row := CorrectnessRow{Property: spec.Name, Expected: want}
+			if want == analyzer.PropMPITimeFraction {
+				r := rep.Get(want)
+				row.Top = want
+				row.Correct = r != nil && r.Severity > 0.5
+				row.Wait = rep.Wait(want)
+				row.Theory = -1
+			} else {
+				if top := rep.Top(); top != nil {
+					row.Top = top.Property
+				}
+				row.Wait = rep.Wait(want)
+				row.Theory = spec.ExpectedWait(procs, threads, a)
+				switch {
+				case spec.Paradigm == core.ParadigmHybrid,
+					spec.Name == "serialization_at_omp_critical":
+					// Presence suffices (companion findings may dominate).
+					row.Correct = rep.Severity(want) >= rep.Threshold
+				default:
+					row.Correct = row.Top == want
+				}
+				if row.Theory > 0 {
+					row.RelErr = math.Abs(row.Wait-row.Theory) / row.Theory
+				}
 			}
-			if row.Theory > 0 {
-				row.RelErr = math.Abs(row.Wait-row.Theory) / row.Theory
+			theory := "n/a"
+			if row.Theory >= 0 {
+				theory = fmt.Sprintf("%.6f", row.Theory)
 			}
-		}
-		theory := "n/a"
-		if row.Theory >= 0 {
-			theory = fmt.Sprintf("%.6f", row.Theory)
-		}
-		fmt.Fprintf(w, "%-42s %-28s %-10v %12.6f %12s %7.1f%%\n",
-			row.Property, row.Top, row.Correct, row.Wait, theory, row.RelErr*100)
-		rows = append(rows, row)
+			fmt.Fprintf(w, "%-42s %-28s %-10v %12.6f %12s %7.1f%%\n",
+				row.Property, row.Top, row.Correct, row.Wait, theory, row.RelErr*100)
+			rows = append(rows, row)
+			return nil
+		})
+	if err != nil {
+		return nil, unwrapCampaign(err)
 	}
 	return rows, nil
+}
+
+// unwrapCampaign strips the campaign's job-index wrapper so experiment
+// errors read exactly as their sequential versions did.
+func unwrapCampaign(err error) error {
+	var ce *campaign.Error
+	if errors.As(err, &ce) {
+		return ce.Err
+	}
+	return err
 }
 
 // NegativeResult summarizes the negative-correctness experiment.
@@ -339,48 +370,62 @@ type NegativeResult struct {
 	AnalyzedOK  bool
 }
 
-// NegativeCorrectness runs the well-tuned programs; a correct tool stays
-// silent on all of them.
+// NegativeCorrectness runs the well-tuned programs concurrently; a correct
+// tool stays silent on all of them.
 func NegativeCorrectness(w io.Writer, procs, threads int) ([]NegativeResult, error) {
 	fmt.Fprintln(w, "== negative correctness: well-tuned programs ==")
+	programs := []struct {
+		name string
+		run  func() (*trace.Trace, error)
+	}{
+		{"negative_balanced_mpi", func() (*trace.Trace, error) {
+			return mpi.Run(mpi.Options{Procs: procs}, func(c *mpi.Comm) {
+				core.NegativeBalancedMPI(c, 0.02, 10)
+			})
+		}},
+		{"negative_balanced_omp", func() (*trace.Trace, error) {
+			return omp.Run(omp.RunOptions{Threads: threads}, func(ctx *xctx.Ctx, opt omp.Options) {
+				core.NegativeBalancedOMP(ctx, opt, 0.02, 10)
+			})
+		}},
+		{"negative_balanced_hybrid", func() (*trace.Trace, error) {
+			return mpi.Run(mpi.Options{Procs: procs}, func(c *mpi.Comm) {
+				core.NegativeBalancedHybrid(c, omp.Options{Threads: threads}, 0.02, 5)
+			})
+		}},
+	}
 	var out []NegativeResult
-	record := func(name string, tr *trace.Trace, err error) error {
-		if err != nil {
-			return err
-		}
-		rep := analyzer.Analyze(tr, analyzer.Options{})
-		emitProfile(name, tr, rep)
-		res := NegativeResult{Program: name, AnalyzedOK: true}
-		if top := rep.Top(); top != nil {
-			res.TopProperty, res.TopSeverity = top.Property, top.Severity
-			res.AnalyzedOK = false
-		}
-		verdict := "clean"
-		if !res.AnalyzedOK {
-			verdict = fmt.Sprintf("SPURIOUS %s %.2f%%", res.TopProperty, res.TopSeverity*100)
-		}
-		fmt.Fprintf(w, "%-30s %s\n", name, verdict)
-		out = append(out, res)
-		return nil
+	type outcome struct {
+		tr  *trace.Trace
+		rep *analyzer.Report
 	}
-
-	tr, err := mpi.Run(mpi.Options{Procs: procs}, func(c *mpi.Comm) {
-		core.NegativeBalancedMPI(c, 0.02, 10)
-	})
-	if err := record("negative_balanced_mpi", tr, err); err != nil {
-		return nil, err
-	}
-	tr, err = omp.Run(omp.RunOptions{Threads: threads}, func(ctx *xctx.Ctx, opt omp.Options) {
-		core.NegativeBalancedOMP(ctx, opt, 0.02, 10)
-	})
-	if err := record("negative_balanced_omp", tr, err); err != nil {
-		return nil, err
-	}
-	tr, err = mpi.Run(mpi.Options{Procs: procs}, func(c *mpi.Comm) {
-		core.NegativeBalancedHybrid(c, omp.Options{Threads: threads}, 0.02, 5)
-	})
-	if err := record("negative_balanced_hybrid", tr, err); err != nil {
-		return nil, err
+	err := campaign.Stream(len(programs),
+		campaign.Options{},
+		func(i int) (outcome, error) {
+			tr, err := programs[i].run()
+			if err != nil {
+				return outcome{}, err
+			}
+			return outcome{tr: tr, rep: analyzer.Analyze(tr, analyzer.Options{})}, nil
+		},
+		func(i int, oc outcome) error {
+			name := programs[i].name
+			emitProfile(name, oc.tr, oc.rep)
+			res := NegativeResult{Program: name, AnalyzedOK: true}
+			if top := oc.rep.Top(); top != nil {
+				res.TopProperty, res.TopSeverity = top.Property, top.Severity
+				res.AnalyzedOK = false
+			}
+			verdict := "clean"
+			if !res.AnalyzedOK {
+				verdict = fmt.Sprintf("SPURIOUS %s %.2f%%", res.TopProperty, res.TopSeverity*100)
+			}
+			fmt.Fprintf(w, "%-30s %s\n", name, verdict)
+			out = append(out, res)
+			return nil
+		})
+	if err != nil {
+		return nil, unwrapCampaign(err)
 	}
 	return out, nil
 }

@@ -1,10 +1,12 @@
 package generator
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
 	"repro/internal/analyzer"
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/mpi"
 	"repro/internal/omp"
@@ -41,17 +43,19 @@ type SweepResult struct {
 // Sweep runs a property function over a series of experiment points —
 // the "more extensive experiments … executed through scripting languages
 // or automatic experiment management systems such as ZENTURIO" of §3.2.
+// Points run concurrently on the campaign pool (each owns a fresh world in
+// virtual time); results keep the order of points.
 func Sweep(name string, points []SweepPoint) ([]SweepResult, error) {
 	spec, ok := core.Get(name)
 	if !ok {
 		return nil, fmt.Errorf("generator: unknown property %q", name)
 	}
 	want := analyzer.ExpectedDetection[name]
-	var out []SweepResult
-	for _, pt := range points {
+	out, err := campaign.Run(len(points), campaign.Options{}, func(i int) (SweepResult, error) {
+		pt := points[i]
 		tr, err := runPoint(spec, pt)
 		if err != nil {
-			return nil, fmt.Errorf("generator: point %q: %w", pt.Label, err)
+			return SweepResult{}, fmt.Errorf("generator: point %q: %w", pt.Label, err)
 		}
 		rep := analyzer.Analyze(tr, analyzer.Options{})
 		res := SweepResult{
@@ -64,7 +68,14 @@ func Sweep(name string, points []SweepPoint) ([]SweepResult, error) {
 		if top := rep.Top(); top != nil {
 			res.TopProperty = top.Property
 		}
-		out = append(out, res)
+		return res, nil
+	})
+	if err != nil {
+		var ce *campaign.Error
+		if errors.As(err, &ce) {
+			return nil, ce.Err // surface the point's own error text
+		}
+		return nil, err
 	}
 	return out, nil
 }

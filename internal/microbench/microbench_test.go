@@ -89,7 +89,14 @@ func TestIntrusivenessMeasurable(t *testing.T) {
 	if res.PlainWall <= 0 || res.TracedWall <= 0 {
 		t.Error("wall times not measured")
 	}
-	// Tracing must not blow the run up by an order of magnitude.
+	// Tracing must not blow the run up by an order of magnitude.  The
+	// measurement is real wall-clock and a descheduled instant on a loaded
+	// 1-CPU CI box can cross the line, so re-measure before failing.
+	for attempt := 0; res.Overhead > 10 && attempt < 2; attempt++ {
+		if res, err = Intrusiveness(4, 50); err != nil {
+			t.Fatal(err)
+		}
+	}
 	if res.Overhead > 10 {
 		t.Errorf("tracing overhead %.1fx looks pathological", res.Overhead+1)
 	}

@@ -22,22 +22,26 @@ type Buf struct {
 }
 
 // AllocBuf allocates a zeroed buffer of cnt elements of type t
-// (alloc_mpi_buf).
+// (alloc_mpi_buf).  Backing arrays are drawn from a size-classed free list
+// replenished by FreeBuf; recycled storage is re-zeroed so the zeroed
+// promise holds either way.
 func AllocBuf(t Datatype, cnt int) *Buf {
 	if cnt < 0 {
 		panic(fmt.Sprintf("mpi: AllocBuf with negative count %d", cnt))
 	}
-	return &Buf{Type: t, Count: cnt, Data: make([]byte, cnt*t.Size())}
+	return &Buf{Type: t, Count: cnt, Data: getBytes(cnt*t.Size(), true)}
 }
 
-// FreeBuf releases the buffer (free_mpi_buf).  Go's garbage collector makes
-// this a formality; it is provided for API parity with the original ATS and
-// marks the buffer so that any later access panics.  Freeing twice is
-// allowed, matching free_mpi_buf's idempotence on NULL.
+// FreeBuf releases the buffer (free_mpi_buf): the backing array returns to
+// the allocation free list and any later access through the Buf panics.
+// Freeing twice is allowed, matching free_mpi_buf's idempotence on NULL.
+// Do not retain a direct alias of Data across FreeBuf — the storage is
+// reused by later allocations.
 func FreeBuf(b *Buf) {
 	if b == nil {
 		return
 	}
+	putBytes(b.Data)
 	b.Data = nil
 	b.Count = 0
 	b.freed = true

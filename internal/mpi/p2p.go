@@ -239,13 +239,18 @@ func (c *Comm) postSend(buf *Buf, dest, tag int, mode sendMode, enter float64, f
 	w := c.p.w
 	bytes := buf.Bytes()
 	isSync := mode == sendSync || (mode == sendStandard && bytes > w.opt.Cost.EagerThreshold)
+	// The payload copy comes from the free list (no zeroing: copy
+	// overwrites every byte) and is recycled by completeRecv once the
+	// receiver has copied it out.
+	payload := getBytes(bytes, false)
+	copy(payload, buf.Data)
 	m := &message{
 		cid:       c.core.cid,
 		src:       c.myRank,
 		tag:       tag,
 		dtype:     buf.Type,
 		count:     buf.Count,
-		data:      append([]byte(nil), buf.Data...),
+		data:      payload,
 		sendEnter: enter,
 		sync:      isSync,
 		match:     w.matchCounter.Add(1),
@@ -321,6 +326,10 @@ func (c *Comm) completeRecv(buf *Buf, m *message, enter float64, flags uint8) St
 		panic(fmt.Sprintf("mpi: datatype mismatch: sent %v, receiving into %v", m.dtype, buf.Type))
 	}
 	copy(buf.Data, m.data)
+	// The message is off the queue for good (Probe never reaches here);
+	// its payload can carry the next send.
+	putBytes(m.data)
+	m.data = nil
 	ctx := c.p.ctx
 	w := c.p.w
 	bytes := m.count * m.dtype.Size()

@@ -1,0 +1,49 @@
+package mpi
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// bytePools recycles the two []byte allocation-churn sources of a run —
+// Buf backing arrays and in-flight message payloads — in power-of-two size
+// classes: class c serves lengths in (2^(c-1), 2^c] from slabs of capacity
+// 2^c.  At fuzzer scale a campaign allocates and drops these slices
+// millions of times; recycling them keeps the garbage collector out of the
+// hot path.
+var bytePools [31]sync.Pool
+
+// getBytes returns a slice of length n.  A recycled slab holds arbitrary
+// stale bytes; pass zero to clear it (AllocBuf's zeroed-buffer promise) or
+// false when every byte is about to be overwritten (payload copies).
+func getBytes(n int, zero bool) []byte {
+	if n <= 0 {
+		// Non-nil so empty buffers stay sendable (checkBuf treats nil
+		// Data as freed).
+		return make([]byte, 0)
+	}
+	c := bits.Len(uint(n - 1))
+	if c >= len(bytePools) {
+		return make([]byte, n)
+	}
+	if v, _ := bytePools[c].Get().(*[]byte); v != nil {
+		s := (*v)[:n]
+		if zero {
+			clear(s)
+		}
+		return s
+	}
+	return make([]byte, n, 1<<c)
+}
+
+// putBytes returns a slice's backing array to its size class.  The class
+// is floor(log2(cap)) so every slab in class c has capacity >= 2^c, the
+// most getBytes will reslice it to.
+func putBytes(s []byte) {
+	c := bits.Len(uint(cap(s))) - 1
+	if c < 0 || c >= len(bytePools) {
+		return
+	}
+	s = s[:0]
+	bytePools[c].Put(&s)
+}

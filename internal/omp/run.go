@@ -81,5 +81,11 @@ func Run(opt RunOptions, body func(ctx *xctx.Ctx, opt Options)) (*trace.Trace, e
 		return adopted[i].Loc.Thread < adopted[j].Loc.Thread
 	})
 	buffers := append([]*trace.Buffer{tb}, adopted...)
-	return trace.Merge(buffers...), runErr
+	tr := trace.Merge(buffers...)
+	// The merge copies everything it needs; recycle the buffers for the
+	// next run (all team threads joined before the body returned).
+	for _, b := range buffers {
+		b.Release()
+	}
+	return tr, runErr
 }

@@ -30,61 +30,115 @@ type Stats struct {
 
 // ComputeStats scans the trace once and builds the profile.
 func ComputeStats(t *Trace) *Stats {
-	s := &Stats{
-		PerLocation: make(map[Location]float64),
-		Regions:     make(map[string]map[Location]*RegionStat),
+	sb := NewStatsBuilder(t)
+	for i := range t.Events {
+		sb.Add(&t.Events[i])
 	}
-	type frame struct {
-		region string
-		enter  float64
-		child  float64 // accumulated nested time
-	}
-	stacks := make(map[Location][]frame)
-	first := make(map[Location]float64)
-	last := make(map[Location]float64)
+	return sb.Finish()
+}
 
-	for _, ev := range t.Events {
-		if _, ok := first[ev.Loc]; !ok {
-			first[ev.Loc] = ev.Time
+// StatsBuilder accumulates the flat profile event by event.  It exists so
+// single-pass consumers (the analyzer fuses its pattern search, message
+// statistics and the profile into one sweep) share the exact accumulation
+// arithmetic of ComputeStats: same additions, same order, bit-identical
+// floats — the regression store's content-addressed identity depends on
+// that.
+//
+// Per-location state lives in dense slices indexed by a location index
+// resolved once per event, instead of the three map lookups per event the
+// original implementation paid.
+type StatsBuilder struct {
+	t        *Trace
+	locIndex map[Location]int32
+	locs     []Location // insertion order of first appearance
+	perLoc   []locState
+	regions  map[string]map[Location]*RegionStat
+}
+
+type statsFrame struct {
+	region string
+	enter  float64
+	child  float64 // accumulated nested time
+}
+
+type locState struct {
+	first, last float64
+	stack       []statsFrame
+}
+
+// NewStatsBuilder returns a builder for events of t.
+func NewStatsBuilder(t *Trace) *StatsBuilder {
+	n := len(t.Locations)
+	sb := &StatsBuilder{
+		t:        t,
+		locIndex: make(map[Location]int32, n),
+		locs:     make([]Location, 0, n),
+		perLoc:   make([]locState, 0, n),
+		regions:  make(map[string]map[Location]*RegionStat),
+	}
+	return sb
+}
+
+func (sb *StatsBuilder) locState(loc Location, time float64) *locState {
+	i, ok := sb.locIndex[loc]
+	if !ok {
+		i = int32(len(sb.perLoc))
+		sb.locIndex[loc] = i
+		sb.locs = append(sb.locs, loc)
+		sb.perLoc = append(sb.perLoc, locState{first: time, last: time})
+	}
+	return &sb.perLoc[i]
+}
+
+// Add feeds one event, in trace order.
+func (sb *StatsBuilder) Add(ev *Event) {
+	ls := sb.locState(ev.Loc, ev.Time)
+	ls.last = ev.Time
+	switch ev.Kind {
+	case KindEnter:
+		ls.stack = append(ls.stack, statsFrame{
+			region: sb.t.RegionName(ev.Region), enter: ev.Time,
+		})
+	case KindExit:
+		if len(ls.stack) == 0 {
+			return // tolerate truncated traces
 		}
-		last[ev.Loc] = ev.Time
-		switch ev.Kind {
-		case KindEnter:
-			stacks[ev.Loc] = append(stacks[ev.Loc], frame{
-				region: t.RegionName(ev.Region), enter: ev.Time,
-			})
-		case KindExit:
-			st := stacks[ev.Loc]
-			if len(st) == 0 {
-				continue // tolerate truncated traces
-			}
-			f := st[len(st)-1]
-			stacks[ev.Loc] = st[:len(st)-1]
-			incl := ev.Time - f.enter
-			excl := incl - f.child
-			if len(stacks[ev.Loc]) > 0 {
-				p := &stacks[ev.Loc][len(stacks[ev.Loc])-1]
-				p.child += incl
-			}
-			byLoc := s.Regions[f.region]
-			if byLoc == nil {
-				byLoc = make(map[Location]*RegionStat)
-				s.Regions[f.region] = byLoc
-			}
-			rs := byLoc[ev.Loc]
-			if rs == nil {
-				rs = &RegionStat{Region: f.region, Loc: ev.Loc}
-				byLoc[ev.Loc] = rs
-			}
-			rs.Count++
-			rs.Inclusive += incl
-			rs.Exclusive += excl
+		f := ls.stack[len(ls.stack)-1]
+		ls.stack = ls.stack[:len(ls.stack)-1]
+		incl := ev.Time - f.enter
+		excl := incl - f.child
+		if len(ls.stack) > 0 {
+			ls.stack[len(ls.stack)-1].child += incl
 		}
+		byLoc := sb.regions[f.region]
+		if byLoc == nil {
+			byLoc = make(map[Location]*RegionStat)
+			sb.regions[f.region] = byLoc
+		}
+		rs := byLoc[ev.Loc]
+		if rs == nil {
+			rs = &RegionStat{Region: f.region, Loc: ev.Loc}
+			byLoc[ev.Loc] = rs
+		}
+		rs.Count++
+		rs.Inclusive += incl
+		rs.Exclusive += excl
+	}
+}
+
+// Finish computes the per-location spans and returns the profile.
+func (sb *StatsBuilder) Finish() *Stats {
+	s := &Stats{
+		PerLocation: make(map[Location]float64, len(sb.locs)),
+		Regions:     sb.regions,
 	}
 	// Sum spans in location order: TotalTime normalizes every severity,
 	// so its float accumulation order must not depend on map iteration.
-	for _, loc := range sortedLocs(first) {
-		span := last[loc] - first[loc]
+	order := append([]Location(nil), sb.locs...)
+	sort.Slice(order, func(i, j int) bool { return order[i].less(order[j]) })
+	for _, loc := range order {
+		ls := &sb.perLoc[sb.locIndex[loc]]
+		span := ls.last - ls.first
 		s.PerLocation[loc] = span
 		s.TotalTime += span
 	}

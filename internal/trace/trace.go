@@ -16,6 +16,7 @@ package trace
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Location identifies an execution location: an MPI process rank and an
@@ -219,17 +220,48 @@ type pathKey struct {
 	region RegionID
 }
 
-// NewBuffer returns an empty buffer for the given location.
+// bufferPool recycles Buffer objects — including their event slabs,
+// intern maps and path tables — between runs.  Campaigns execute hundreds
+// of worlds back to back; without the pool every run re-grows every
+// rank's event slab from scratch and the allocator dominates the
+// profile.
+var bufferPool = sync.Pool{New: func() any { return new(Buffer) }}
+
+// NewBuffer returns an empty buffer for the given location.  Buffers are
+// drawn from a process-wide free list; pass them to Release when the
+// merged trace no longer references them to recycle their storage.
 func NewBuffer(loc Location) *Buffer {
-	b := &Buffer{
-		Loc:        loc,
-		regionIDs:  make(map[string]RegionID),
-		pathParent: []PathID{-1},
-		pathRegion: []RegionID{-1},
-		pathChild:  make(map[pathKey]PathID),
-		cur:        PathRoot,
+	b := bufferPool.Get().(*Buffer)
+	b.Loc = loc
+	b.cur = PathRoot
+	b.seeded = 0
+	if b.regionIDs == nil {
+		b.regionIDs = make(map[string]RegionID)
+		b.pathChild = make(map[pathKey]PathID)
 	}
+	b.pathParent = append(b.pathParent[:0], -1)
+	b.pathRegion = append(b.pathRegion[:0], -1)
 	return b
+}
+
+// Release returns the buffer's storage to the free list.  The caller must
+// not touch b afterwards; events already copied out by Merge stay valid.
+// Releasing a nil buffer is a no-op, mirroring the recording calls.
+func (b *Buffer) Release() {
+	if b == nil {
+		return
+	}
+	b.events = b.events[:0]
+	clear(b.regions)
+	b.regions = b.regions[:0]
+	clear(b.regionIDs)
+	clear(b.pathChild)
+	b.pathParent = b.pathParent[:0]
+	b.pathRegion = b.pathRegion[:0]
+	b.stack = b.stack[:0]
+	b.cur = PathRoot
+	b.seeded = 0
+	bufferPool.Put(b)
 }
 
 // region interns a region name.
@@ -359,11 +391,26 @@ type Trace struct {
 	PathRegion []RegionID
 
 	Locations []Location // sorted distinct locations
+
+	// pathStrs lazily caches the rendered "a/b/c" form of every call
+	// path.  The analyzer keys its per-path accumulators by rendered
+	// path, so without the cache every compound event re-walks and
+	// re-concatenates its path chain.
+	pathStrOnce sync.Once
+	pathStrs    []string
 }
 
 // Merge combines per-location buffers into a single Trace.  Buffers may be
 // nil (ignored).  Events are ordered by (Time, Location); ties at equal
 // time are resolved by location for determinism.
+//
+// Each buffer belongs to a single executor whose clock never runs
+// backwards, so buffers arrive time-sorted and the merge is a k-way heap
+// merge instead of a global sort — the sort was the dominant cost of the
+// run→trace hot path because the standard library swaps the large Event
+// structs through reflection.  A buffer that is *not* internally sorted
+// (only possible for hand-built inputs) falls back to the original stable
+// sort, so the output ordering contract is identical either way.
 func Merge(buffers ...*Buffer) *Trace {
 	t := &Trace{
 		PathParent: []PathID{-1},
@@ -392,44 +439,125 @@ func Merge(buffers ...*Buffer) *Trace {
 		return id
 	}
 
+	// Remap every buffer's region and path ids to global ids, check
+	// per-buffer time-sortedness, and pre-size the output from the summed
+	// buffer lengths.
 	var total int
-	for _, b := range buffers {
-		if b != nil {
-			total += len(b.events)
-		}
+	sorted := true
+	type source struct {
+		b         *Buffer
+		regionMap []RegionID
+		pathMap   []PathID
+		pos       int
 	}
-	t.Events = make([]Event, 0, total)
-
+	srcs := make([]source, 0, len(buffers))
 	for _, b := range buffers {
 		if b == nil {
 			continue
 		}
-		// Remap this buffer's region and path ids to global ids.
-		regionMap := make([]RegionID, len(b.regions))
+		s := source{b: b}
+		s.regionMap = make([]RegionID, len(b.regions))
 		for i, name := range b.regions {
-			regionMap[i] = intern(name)
+			s.regionMap[i] = intern(name)
 		}
-		pathMap := make([]PathID, len(b.pathParent))
-		pathMap[0] = PathRoot
+		s.pathMap = make([]PathID, len(b.pathParent))
+		if len(s.pathMap) > 0 {
+			s.pathMap[0] = PathRoot
+		}
 		for i := 1; i < len(b.pathParent); i++ {
 			// Parents always precede children in the local table.
-			pathMap[i] = child(pathMap[b.pathParent[i]], regionMap[b.pathRegion[i]])
+			s.pathMap[i] = child(s.pathMap[b.pathParent[i]], s.regionMap[b.pathRegion[i]])
 		}
-		for _, ev := range b.events {
-			if ev.Kind == KindEnter || ev.Kind == KindExit {
-				ev.Region = regionMap[ev.Region]
+		for i := 1; i < len(b.events); i++ {
+			if b.events[i].Time < b.events[i-1].Time {
+				sorted = false
+				break
 			}
-			ev.Path = pathMap[ev.Path]
-			t.Events = append(t.Events, ev)
 		}
+		total += len(b.events)
+		srcs = append(srcs, s)
 		t.Locations = append(t.Locations, b.Loc)
 	}
-	sort.SliceStable(t.Events, func(i, j int) bool {
-		if t.Events[i].Time != t.Events[j].Time {
-			return t.Events[i].Time < t.Events[j].Time
+	t.Events = make([]Event, 0, total)
+
+	remap := func(s *source, ev Event) Event {
+		if ev.Kind == KindEnter || ev.Kind == KindExit {
+			ev.Region = s.regionMap[ev.Region]
 		}
-		return t.Events[i].Loc.less(t.Events[j].Loc)
-	})
+		ev.Path = s.pathMap[ev.Path]
+		return ev
+	}
+
+	if !sorted {
+		// Fallback: flatten and stable-sort, exactly as the pre-merge
+		// implementation did.
+		for i := range srcs {
+			for _, ev := range srcs[i].b.events {
+				t.Events = append(t.Events, remap(&srcs[i], ev))
+			}
+		}
+		sort.SliceStable(t.Events, func(i, j int) bool {
+			if t.Events[i].Time != t.Events[j].Time {
+				return t.Events[i].Time < t.Events[j].Time
+			}
+			return t.Events[i].Loc.less(t.Events[j].Loc)
+		})
+	} else {
+		// K-way merge.  Heap order is (Time, Location, source index),
+		// which reproduces the stable sort's output exactly: each source
+		// contributes at most one candidate at a time, so within-buffer
+		// insertion order is preserved, and the source index resolves the
+		// (never observed in practice) case of two buffers sharing a
+		// location at the same timestamp the same way stability did.
+		less := func(a, b int) bool {
+			ea := &srcs[a].b.events[srcs[a].pos]
+			eb := &srcs[b].b.events[srcs[b].pos]
+			if ea.Time != eb.Time {
+				return ea.Time < eb.Time
+			}
+			if ea.Loc != eb.Loc {
+				return ea.Loc.less(eb.Loc)
+			}
+			return a < b
+		}
+		// heap holds indices into srcs for sources with events remaining.
+		heap := make([]int, 0, len(srcs))
+		for i := range srcs {
+			if len(srcs[i].b.events) > 0 {
+				heap = append(heap, i)
+			}
+		}
+		siftDown := func(i int) {
+			for {
+				l, r := 2*i+1, 2*i+2
+				small := i
+				if l < len(heap) && less(heap[l], heap[small]) {
+					small = l
+				}
+				if r < len(heap) && less(heap[r], heap[small]) {
+					small = r
+				}
+				if small == i {
+					return
+				}
+				heap[i], heap[small] = heap[small], heap[i]
+				i = small
+			}
+		}
+		for i := len(heap)/2 - 1; i >= 0; i-- {
+			siftDown(i)
+		}
+		for len(heap) > 0 {
+			s := &srcs[heap[0]]
+			t.Events = append(t.Events, remap(s, s.b.events[s.pos]))
+			s.pos++
+			if s.pos == len(s.b.events) {
+				heap[0] = heap[len(heap)-1]
+				heap = heap[:len(heap)-1]
+			}
+			siftDown(0)
+		}
+	}
 	sort.Slice(t.Locations, func(i, j int) bool { return t.Locations[i].less(t.Locations[j]) })
 	return t
 }
@@ -443,24 +571,26 @@ func (t *Trace) RegionName(id RegionID) string {
 }
 
 // PathString renders a call path as "a/b/c".  The root path renders as "".
+// The rendered forms are computed once per trace and cached; parents
+// precede children in the path table, so each entry is its parent's
+// rendering plus one segment.
 func (t *Trace) PathString(p PathID) string {
 	if p <= PathRoot || int(p) >= len(t.PathParent) {
 		return ""
 	}
-	var parts []string
-	for p > PathRoot {
-		parts = append(parts, t.RegionName(t.PathRegion[p]))
-		p = t.PathParent[p]
-	}
-	// Reverse.
-	for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
-		parts[i], parts[j] = parts[j], parts[i]
-	}
-	out := parts[0]
-	for _, s := range parts[1:] {
-		out += "/" + s
-	}
-	return out
+	t.pathStrOnce.Do(func() {
+		strs := make([]string, len(t.PathParent))
+		for i := 1; i < len(strs); i++ {
+			leaf := t.RegionName(t.PathRegion[i])
+			if parent := t.PathParent[i]; parent > PathRoot {
+				strs[i] = strs[parent] + "/" + leaf
+			} else {
+				strs[i] = leaf
+			}
+		}
+		t.pathStrs = strs
+	})
+	return t.pathStrs[p]
 }
 
 // PathLeaf returns the leaf region name of path p ("" for the root).
