@@ -6,8 +6,9 @@
 #   make smoke   — just the regression smoke: regenerate the Fig 3.5
 #                  profile and diff it against the committed baseline
 #                  (non-zero exit on drift).
-#   make fuzz    — conformance-fuzzer smoke: a fixed-seed atsfuzz run plus
-#                  a replay of the committed corpus (CI's second job).
+#   make fuzz    — conformance-fuzzer smoke: a fixed-seed atsfuzz run, a
+#                  perturbed (robustness-axis) run, plus a replay of the
+#                  committed corpus (CI's second job).
 #   make baseline— re-seed testdata/regress-store from a fresh run (only
 #                  after an intentional severity change; commit the result).
 #   make bench-json — run the Runtime/Scale benchmark suite and drop a
@@ -44,6 +45,7 @@ smoke:
 
 fuzz:
 	$(GO) run ./cmd/atsfuzz run -seeds $(FUZZ_SEEDS) -start 1
+	$(GO) run ./cmd/atsfuzz run -seeds 20 -start 1 -perturb
 	$(GO) run ./cmd/atsfuzz replay $(CORPUS)/*.json
 
 baseline:

@@ -44,14 +44,15 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("atsbench: ")
 	var (
-		procs   = flag.Int("procs", 16, "MPI processes for the figure experiments")
-		threads = flag.Int("threads", 4, "OpenMP threads")
-		real    = flag.Bool("real", false, "include real-clock experiments")
-		only    = flag.String("only", "", "run a single experiment (fig32, fig33, fig35, positive, negative, ch2, ch4, micro, grind, work, ablation)")
-		profDir = flag.String("profiles", "", "emit canonical profiles (one JSON per analyzed run) into this directory")
-		jobs    = flag.Int("j", 0, "concurrent campaign jobs inside experiments (0: one per CPU)")
-		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
-		memProf = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+		procs      = flag.Int("procs", 16, "MPI processes for the figure experiments")
+		threads    = flag.Int("threads", 4, "OpenMP threads")
+		real       = flag.Bool("real", false, "include real-clock experiments")
+		only       = flag.String("only", "", "run a single experiment (fig32, fig33, fig35, positive, negative, perturbed, ch2, ch4, micro, grind, work, ablation)")
+		perturbMax = flag.Int("perturb", 3, "highest perturbation level for the perturbed experiment (0..N)")
+		profDir    = flag.String("profiles", "", "emit canonical profiles (one JSON per analyzed run) into this directory")
+		jobs       = flag.Int("j", 0, "concurrent campaign jobs inside experiments (0: one per CPU)")
+		cpuProf    = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+		memProf    = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
 	w := os.Stdout
@@ -133,6 +134,14 @@ func main() {
 	})
 	run("negative", func() error {
 		_, err := experiments.NegativeCorrectness(w, 8, *threads)
+		return err
+	})
+	run("perturbed", func() error {
+		levels := make([]int, 0, *perturbMax+1)
+		for l := 0; l <= *perturbMax; l++ {
+			levels = append(levels, l)
+		}
+		_, err := experiments.PerturbedNegativeCorrectness(w, 8, *threads, levels)
 		return err
 	})
 	run("ch2", func() error {

@@ -28,9 +28,10 @@ func usage(w io.Writer) {
 	fmt.Fprintln(w, `usage: atsfuzz <command> [flags]
 
 commands:
-  run     -seeds N [-start S] [-procs P] [-threads T] [-corpus DIR] [-j N] [-v]
+  run     -seeds N [-start S] [-procs P] [-threads T] [-corpus DIR] [-j N] [-v] [-perturb]
           generate and check N seeded cases; shrink and save failures
-          (-j runs cases concurrently; output is identical for any -j)
+          (-j runs cases concurrently; output is identical for any -j;
+          -perturb sweeps each case over the deterministic perturbation ladder)
   replay  <case.json> [...]
           re-run saved cases through the oracle
   corpus  [-dir DIR]
@@ -73,6 +74,8 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 	corpus := fs.String("corpus", "", "directory to save shrunken reproducers into")
 	verbose := fs.Bool("v", false, "print every case, not just failures")
 	jobs := fs.Int("j", 0, "concurrent cases (0: one per CPU)")
+	perturbed := fs.Bool("perturb", false,
+		"sweep every case over the deterministic perturbation ladder (robustness axis)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -100,13 +103,31 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 		func(i int) (outcome, error) {
 			seed := *start + uint64(i)
 			cs := conformance.Generate(seed, cfg)
-			out, err := conformance.Check(cs, opt)
-			if err != nil {
-				return outcome{}, fmt.Errorf("seed %d: %v", seed, err)
+			shrinkOpt := opt
+			var out conformance.Outcome
+			if *perturbed {
+				ro, err := conformance.CheckRobust(cs, opt, nil)
+				if err != nil {
+					return outcome{}, fmt.Errorf("seed %d: %v", seed, err)
+				}
+				if ro.OK() {
+					out = ro.Outcomes[0]
+				} else {
+					// Shrink against the level that failed, so the
+					// minimized case reproduces under replay.
+					out = ro.FailOutcome()
+					shrinkOpt.Perturb = ro.FailProfile()
+				}
+			} else {
+				var err error
+				out, err = conformance.Check(cs, opt)
+				if err != nil {
+					return outcome{}, fmt.Errorf("seed %d: %v", seed, err)
+				}
 			}
 			oc := outcome{cs: cs, out: out}
 			if !out.OK() {
-				oc.min = conformance.Shrink(cs, opt)
+				oc.min = conformance.Shrink(cs, shrinkOpt)
 			}
 			return oc, nil
 		},

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mpi"
 	"repro/internal/omp"
+	"repro/internal/perturb"
 	"repro/internal/profile"
 	"repro/internal/trace"
 )
@@ -69,6 +70,14 @@ type CheckOptions struct {
 	// checking — fault injection simulating a defective analyzer, used to
 	// validate that the oracle notices and that the shrinker minimizes.
 	DropProperty string
+	// Perturb applies a deterministic timing-perturbation profile to the
+	// run (robustness axis, see package perturb).  The zero profile leaves
+	// the oracle exactly as unperturbed.  A non-zero profile widens the
+	// positive-axis tolerance by the profile's wait budget and raises the
+	// negative-axis floor to the empirically calibrated noise floor for
+	// the case's shape; the determinism axis still demands byte-identical
+	// reruns, because perturbation is a pure function of the profile.
+	Perturb perturb.Profile
 }
 
 func (opt CheckOptions) withDefaults() CheckOptions {
@@ -169,9 +178,9 @@ const sepRegion = "conformance_separator"
 // in order, separated by barriers (the paper's composite-program shape,
 // cf. core.CompositeAllMPI).  Pure-OpenMP properties run per rank on the
 // rank's own thread team.
-func runCase(cs Case) (*trace.Trace, error) {
+func runCase(cs Case, prof perturb.Profile) (*trace.Trace, error) {
 	team := omp.Options{Threads: cs.Threads}
-	return mpi.Run(mpi.Options{Procs: cs.Procs}, func(c *mpi.Comm) {
+	return mpi.Run(mpi.Options{Procs: cs.Procs, Perturb: perturb.NewModel(prof)}, func(c *mpi.Comm) {
 		c.Begin("conformance_case")
 		defer c.End()
 		for _, cp := range cs.Props {
@@ -240,7 +249,7 @@ func Check(cs Case, opt CheckOptions) (Outcome, error) {
 		return out, err
 	}
 
-	tr, err := runCase(cs)
+	tr, err := runCase(cs, opt.Perturb)
 	if err != nil {
 		out.Violations = append(out.Violations, Violation{
 			Axis: AxisRun, Detail: err.Error(),
@@ -259,11 +268,23 @@ func Check(cs Case, opt CheckOptions) (Outcome, error) {
 		delete(rep.Results, opt.DropProperty)
 	}
 
-	out.Violations = append(out.Violations, checkPositive(cs, rep, opt)...)
-	out.Violations = append(out.Violations, checkNegative(cs, rep, opt)...)
+	// Robustness: under perturbation the injected waits smear by at most
+	// the profile's wait budget, and the spurious-wait floor rises to the
+	// empirically calibrated level for this shape (see robust.go).
+	var extraSlack float64
+	floor := opt.NoiseFloor
+	if !opt.Perturb.Zero() {
+		extraSlack = opt.Perturb.WaitBudget(rep.TotalTime, len(tr.Events))
+		if cal := CalibratedNoiseFloor(cs.Procs, cs.Threads, opt.Perturb); cal > floor {
+			floor = cal
+		}
+	}
+
+	out.Violations = append(out.Violations, checkPositive(cs, rep, opt, extraSlack)...)
+	out.Violations = append(out.Violations, checkNegative(cs, rep, floor)...)
 
 	if !opt.SkipDeterminism && !hasNondeterministicWaits(cs) {
-		tr2, err := runCase(cs)
+		tr2, err := runCase(cs, opt.Perturb)
 		if err != nil {
 			out.Violations = append(out.Violations, Violation{
 				Axis: AxisDeterminism, Detail: "rerun failed: " + err.Error(),
@@ -298,7 +319,9 @@ func caseHash(cs Case, tr *trace.Trace, rep *analyzer.Report) (string, error) {
 // checkPositive verifies that every injected property is detected as its
 // expected analyzer property, localized to call paths inside the property
 // function's own trace region, with the closed-form magnitude.
-func checkPositive(cs Case, rep *analyzer.Report, opt CheckOptions) []Violation {
+// extraSlack is the additional absolute tolerance granted under a
+// perturbation profile (the profile's wait budget; 0 when unperturbed).
+func checkPositive(cs Case, rep *analyzer.Report, opt CheckOptions, extraSlack float64) []Violation {
 	var vs []Violation
 	// Group by core property name: duplicate invocations share a trace
 	// region, so their closed forms sum over the same localized paths.
@@ -331,7 +354,7 @@ func checkPositive(cs Case, rep *analyzer.Report, opt CheckOptions) []Violation 
 	sort.Strings(names)
 	for _, name := range names {
 		g := byName[name]
-		tol := opt.AbsTol + opt.RelTol*g.expected + g.slack
+		tol := opt.AbsTol + opt.RelTol*g.expected + g.slack + extraSlack
 		measured := pathWait(rep.Get(g.want), name)
 		if diff := measured - g.expected; diff > tol || -diff > tol {
 			vs = append(vs, Violation{
@@ -352,7 +375,7 @@ func checkPositive(cs Case, rep *analyzer.Report, opt CheckOptions) []Violation 
 		if rep.TotalTime <= 0 {
 			break
 		}
-		if wantSum[want] > 2*cs.Threshold*rep.TotalTime &&
+		if wantSum[want]-extraSlack > 2*cs.Threshold*rep.TotalTime &&
 			rep.Severity(want) < rep.Threshold {
 			vs = append(vs, Violation{
 				Axis: AxisPositive, Property: want,
@@ -366,8 +389,9 @@ func checkPositive(cs Case, rep *analyzer.Report, opt CheckOptions) []Violation 
 
 // checkNegative verifies that no analyzer property outside the injected
 // set (plus documented companions and info metrics) accumulates waiting
-// above the noise floor.
-func checkNegative(cs Case, rep *analyzer.Report, opt CheckOptions) []Violation {
+// above the noise floor (the configured floor, or the calibrated one
+// under perturbation).
+func checkNegative(cs Case, rep *analyzer.Report, floor float64) []Violation {
 	allowed := make(map[string]bool)
 	for _, cp := range cs.Props {
 		allowed[analyzer.ExpectedDetection[cp.Name]] = true
@@ -380,10 +404,10 @@ func checkNegative(cs Case, rep *analyzer.Report, opt CheckOptions) []Violation 
 		if analyzer.IsInfo(prop) || allowed[prop] {
 			continue
 		}
-		if w := waitOutsideSeparators(rep.Get(prop)); w > opt.NoiseFloor {
+		if w := waitOutsideSeparators(rep.Get(prop)); w > floor {
 			vs = append(vs, Violation{
 				Axis: AxisNegative, Property: prop,
-				Detail: fmt.Sprintf("spurious wait %.6f above noise floor %.6f", w, opt.NoiseFloor),
+				Detail: fmt.Sprintf("spurious wait %.6f above noise floor %.6f", w, floor),
 			})
 		}
 	}

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+func TestPerturbedNegativeCorrectnessTable(t *testing.T) {
+	rows, err := PerturbedNegativeCorrectness(io.Discard, 4, 2, []int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 2 levels x 3 programs", len(rows))
+	}
+	var perturbedWait float64
+	for _, r := range rows {
+		if r.Level == 0 && !r.Clean {
+			t.Errorf("level 0 %s: spurious %s (%.2f%%) — level 0 must match the unperturbed table",
+				r.Program, r.TopProperty, r.TopSeverity*100)
+		}
+		if r.Level == 2 && r.MaxWait > perturbedWait {
+			perturbedWait = r.MaxWait
+		}
+	}
+	if perturbedWait == 0 {
+		t.Error("level-2 perturbation produced no measurable wait anywhere")
+	}
+}
+
+// The whole table — runs, analysis, formatting — is a pure function of
+// (levels, shape): two invocations emit identical bytes.
+func TestPerturbedNegativeCorrectnessDeterministic(t *testing.T) {
+	var b1, b2 bytes.Buffer
+	if _, err := PerturbedNegativeCorrectness(&b1, 4, 2, []int{3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PerturbedNegativeCorrectness(&b2, 4, 2, []int{3}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatalf("perturbed table not reproducible:\n%s\n----\n%s", b1.String(), b2.String())
+	}
+}

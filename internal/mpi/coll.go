@@ -37,6 +37,7 @@ type collResult struct {
 type collOp struct {
 	kind    trace.CollKind
 	id      uint64
+	seq     uint64 // per-communicator sequence (deterministic identity)
 	size    int
 	arrived int
 	taken   int
@@ -95,6 +96,7 @@ func (e *collEngine) join(c *Comm, seq uint64, enter float64, args collArgs) col
 		op = &collOp{
 			kind:  args.kind,
 			id:    e.w.collCounter.Add(1),
+			seq:   seq,
 			size:  size,
 			enter: make([]float64, size),
 			args:  make([]*collArgs, size),
@@ -478,6 +480,15 @@ func (e *collEngine) compute(core *commCore, op *collOp) error {
 
 	default:
 		return fmt.Errorf("mpi: unknown collective kind %v", op.kind)
+	}
+	if pm := e.w.opt.Perturb; pm != nil && e.w.opt.Mode == vtime.Virtual {
+		// Perturbation: each participant leaves the collective a little
+		// later, keyed by the operation's deterministic (communicator,
+		// sequence) identity — the virtual-time analogue of per-rank
+		// completion jitter on a real interconnect.
+		for i := range op.exits {
+			op.exits[i] += pm.CollJitter(core.cid, op.seq, i)
+		}
 	}
 	return nil
 }

@@ -31,6 +31,7 @@ type message struct {
 
 	sendEnter float64 // time the sender entered the send operation
 	avail     float64 // virtual arrival time (eager protocol)
+	jitter    float64 // extra perturbed wire latency (see perturb.Model)
 	sync      bool    // rendezvous protocol
 	match     uint64
 
@@ -260,7 +261,17 @@ func (c *Comm) postSend(buf *Buf, dest, tag int, mode sendMode, enter float64, f
 		flags |= trace.FlagSync
 	}
 	if c.p.ctx.Mode() == vtime.Virtual {
-		m.avail = enter + w.opt.Cost.transfer(bytes)
+		if w.opt.Perturb != nil {
+			// Jitter is keyed by the sender's per-destination message
+			// sequence, which program order makes deterministic; it is
+			// drawn once here and reused by the rendezvous completion so
+			// both protocols see the same wire.
+			wdst := c.worldRankOf(dest)
+			seq := c.p.sendSeq[wdst]
+			c.p.sendSeq[wdst]++
+			m.jitter = w.opt.Perturb.MessageJitter(c.p.rank, wdst, seq)
+		}
+		m.avail = enter + w.opt.Cost.transfer(bytes) + m.jitter
 	}
 	c.p.ctx.Record(trace.Event{
 		Time: enter, Kind: trace.KindSend,
@@ -340,7 +351,7 @@ func (c *Comm) completeRecv(buf *Buf, m *message, enter float64, flags uint8) St
 			if enter > start {
 				start = enter
 			}
-			end = start + w.opt.Cost.transfer(bytes)
+			end = start + w.opt.Cost.transfer(bytes) + m.jitter
 		}
 		m.ack <- end
 		if ctx.Mode() == vtime.Virtual {

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/perturb"
 	"repro/internal/trace"
 	"repro/internal/vtime"
 	"repro/internal/work"
@@ -35,6 +36,11 @@ type Options struct {
 	// property functions (set_base_comm); defaults: MPI_DOUBLE × 256.
 	BaseType  Datatype
 	BaseCount int
+	// Perturb injects deterministic timing disturbances (clock-rate
+	// skew, stragglers, message/collective jitter, OS-noise bursts) into
+	// Virtual-mode runs; nil leaves the run exactly unperturbed.  See
+	// package perturb.
+	Perturb *perturb.Model
 }
 
 func (o Options) withDefaults() Options {
@@ -123,6 +129,11 @@ type proc struct {
 	// a substrate wait, or finished; read concurrently by wildcard
 	// receivers.
 	state atomic.Int32
+
+	// sendSeq counts this rank's p2p messages per destination world rank
+	// (only allocated under Options.Perturb): the deterministic message
+	// identity that keys latency jitter.  Owned by the rank's goroutine.
+	sendSeq []uint64
 
 	// base default buffer (set_base_comm); per-rank so writes stay local.
 	baseType  Datatype
@@ -274,6 +285,9 @@ func Run(opt Options, body func(c *Comm)) (*trace.Trace, error) {
 			tb = trace.NewBuffer(loc)
 		}
 		clock := vtime.NewClock(opt.Mode, w.epoch)
+		if opt.Perturb != nil && opt.Mode == vtime.Virtual {
+			clock.SetPerturber(opt.Perturb.Executor(i, opt.Procs))
+		}
 		ctx := xctx.New(clock, tb, rootRNG.Fork(uint64(i)), loc)
 		if !opt.Untraced {
 			ctx.Adopt = w.adoptBuffer
@@ -285,6 +299,9 @@ func Run(opt Options, body func(c *Comm)) (*trace.Trace, error) {
 			mb:        newMailbox(w),
 			baseType:  opt.BaseType,
 			baseCount: opt.BaseCount,
+		}
+		if opt.Perturb != nil {
+			p.sendSeq = make([]uint64, opt.Procs)
 		}
 		w.procs[i] = p
 		comms[i] = &Comm{core: worldCore, p: p, myRank: i}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/perturb"
 	"repro/internal/trace"
 	"repro/internal/vtime"
 	"repro/internal/work"
@@ -25,6 +26,11 @@ type RunOptions struct {
 	Untraced bool
 	// Seed seeds the random generators (default 1).
 	Seed uint64
+	// Perturb injects deterministic timing disturbances into
+	// Virtual-mode runs (the master context and every forked thread
+	// inherit per-executor perturbers); nil leaves the run exactly
+	// unperturbed.  See package perturb.
+	Perturb *perturb.Model
 }
 
 // Run executes body as a standalone OpenMP-style program on a fresh
@@ -47,7 +53,11 @@ func Run(opt RunOptions, body func(ctx *xctx.Ctx, opt Options)) (*trace.Trace, e
 	if !opt.Untraced {
 		tb = trace.NewBuffer(loc)
 	}
-	ctx := xctx.New(vtime.NewClock(opt.Mode, time.Now()), tb, work.NewRNG(opt.Seed), loc)
+	clock := vtime.NewClock(opt.Mode, time.Now())
+	if opt.Perturb != nil && opt.Mode == vtime.Virtual {
+		clock.SetPerturber(opt.Perturb.Executor(0, 1))
+	}
+	ctx := xctx.New(clock, tb, work.NewRNG(opt.Seed), loc)
 
 	var mu sync.Mutex
 	var adopted []*trace.Buffer

@@ -1,0 +1,351 @@
+// Package perturb implements a seeded, fully deterministic perturbation
+// model for the virtual-time engine.
+//
+// The paper's negative-correctness axis demands that an analysis tool
+// raise no spurious diagnoses on well-tuned programs, and it concedes that
+// the original busy-wait ATS prototype is "not guaranteed to be stable
+// especially under heavy work load".  The reproduction's virtual clock is
+// the opposite extreme: perfectly noise-free, so the analyzer had never
+// been exercised against realistic timing jitter.  This package closes
+// that gap without giving up reproducibility: every disturbance is a pure
+// function of (seed, identity, sequence), so a perturbed run is exactly as
+// deterministic as an unperturbed one — same seed, same shape, same
+// profile, byte-identical trace and profile hash.
+//
+// The model has four ingredients, mirroring the disturbance taxonomy of
+// similarity-based SPMD debugging (arXiv:0906.1326) and Perun's
+// measurement-robustness requirements (arXiv:2207.12900):
+//
+//   - per-rank clock-rate skew: each rank's locally accounted work is
+//     scaled by a fixed factor 1 ± U·SkewMax (cores differ in effective
+//     speed).  All threads forked from a rank inherit the rank's factor,
+//     so pure-OpenMP regions stay internally balanced;
+//   - straggler ranks: a deterministic subset of ranks receives an
+//     additional slowdown of StragglerSkew (an overloaded or thermally
+//     throttled node);
+//   - per-message latency jitter: every point-to-point message carries an
+//     extra wire delay U·MsgJitter keyed by (src, dst, message sequence),
+//     and every collective adds a per-participant exit delay U·CollJitter
+//     keyed by (communicator, collective sequence, rank);
+//   - OS noise bursts: each executor owns a deterministic schedule of
+//     transient preemptions (exponential gaps at NoiseRate, burst lengths
+//     up to NoiseBurst) injected as extra virtual work whenever its
+//     computation crosses a scheduled burst time.
+//
+// Hook points: the per-rank ingredients implement vtime.Perturber and are
+// installed on rank clocks by mpi.Run (and omp.Run); the message and
+// collective jitter are consulted by the mpi substrate directly.  Blocking
+// waits (Clock.AdvanceTo) are never perturbed — the disturbance already
+// happened in the producer's timeline.
+package perturb
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/vtime"
+)
+
+// Profile describes the perturbation magnitudes of one run.  The zero
+// value (and any profile with Level 0) perturbs nothing: runs are
+// bit-identical to unperturbed ones, which keeps golden fixtures valid.
+// Profile is comparable, so it can key calibration caches.
+type Profile struct {
+	// Level is the intensity-ladder step this profile was built from
+	// (informational; Level(seed, n) fills it).
+	Level int `json:"level"`
+	// Seed drives every deterministic draw.
+	Seed uint64 `json:"seed"`
+	// SkewMax is the maximum relative clock-rate skew per rank: each
+	// rank's work is scaled by a factor in [1-SkewMax, 1+SkewMax].
+	SkewMax float64 `json:"skew_max"`
+	// Stragglers is the number of ranks slowed by an extra
+	// StragglerSkew on top of their ordinary skew.
+	Stragglers int `json:"stragglers"`
+	// StragglerSkew is the additional relative slowdown of stragglers.
+	StragglerSkew float64 `json:"straggler_skew"`
+	// MsgJitter is the maximum extra wire latency per p2p message (s).
+	MsgJitter float64 `json:"msg_jitter"`
+	// CollJitter is the maximum extra per-participant exit delay per
+	// collective operation (s).
+	CollJitter float64 `json:"coll_jitter"`
+	// NoiseRate is the expected OS-noise bursts per virtual second per
+	// executor; NoiseBurst is the maximum burst length (s).
+	NoiseRate  float64 `json:"noise_rate"`
+	NoiseBurst float64 `json:"noise_burst"`
+}
+
+// Zero reports whether the profile perturbs nothing.
+func (p Profile) Zero() bool {
+	return p.SkewMax == 0 && p.Stragglers == 0 && p.MsgJitter == 0 &&
+		p.CollJitter == 0 && p.NoiseRate == 0
+}
+
+// String renders a compact description for tables and logs.
+func (p Profile) String() string {
+	if p.Zero() {
+		return fmt.Sprintf("L%d (none)", p.Level)
+	}
+	return fmt.Sprintf("L%d skew=%.2g%% stragglers=%d(+%.2g%%) msg=%.2gs coll=%.2gs noise=%.3g/s×%.2gs",
+		p.Level, p.SkewMax*100, p.Stragglers, p.StragglerSkew*100,
+		p.MsgJitter, p.CollJitter, p.NoiseRate, p.NoiseBurst)
+}
+
+// MaxLevel is the top step of the canonical intensity ladder.
+const MaxLevel = 3
+
+// Level returns the canonical perturbation profile for an intensity step:
+// level 0 is the exact unperturbed model (bit-identical runs), and levels
+// 1..MaxLevel raise every disturbance together — roughly "quiet cluster",
+// "shared cluster", "heavily loaded cluster".  Levels above MaxLevel
+// saturate at MaxLevel.
+func Level(seed uint64, level int) Profile {
+	if level <= 0 {
+		return Profile{Seed: seed}
+	}
+	if level > MaxLevel {
+		level = MaxLevel
+	}
+	p := Profile{Level: level, Seed: seed}
+	switch level {
+	case 1:
+		p.SkewMax = 0.002 // ±0.2 %
+		p.MsgJitter = 2e-6
+		p.CollJitter = 1e-6
+		p.NoiseRate, p.NoiseBurst = 2, 20e-6
+	case 2:
+		p.SkewMax = 0.005
+		p.Stragglers, p.StragglerSkew = 1, 0.01
+		p.MsgJitter = 5e-6
+		p.CollJitter = 3e-6
+		p.NoiseRate, p.NoiseBurst = 5, 50e-6
+	case 3:
+		p.SkewMax = 0.01
+		p.Stragglers, p.StragglerSkew = 1, 0.03
+		p.MsgJitter = 2e-5
+		p.CollJitter = 1e-5
+		p.NoiseRate, p.NoiseBurst = 10, 200e-6
+	}
+	return p
+}
+
+// WaitBudget bounds how far perturbation can move an aggregate waiting
+// time, given the run's total (per-location-summed) time and its event
+// count.  It is deliberately a generous upper bound: skew shifts every
+// piece of work by at most SkewMax+StragglerSkew in both directions of an
+// imbalance, noise adds at most NoiseRate·NoiseBurst of extra work per
+// unit time, and each traced operation can carry one jittered message or
+// collective exit.  The conformance robustness axis widens its
+// closed-form tolerance by exactly this budget.
+func (p Profile) WaitBudget(totalTime float64, events int) float64 {
+	if p.Zero() {
+		return 0
+	}
+	skew := 2 * (p.SkewMax + p.StragglerSkew) * totalTime
+	noise := p.NoiseRate * p.NoiseBurst * totalTime
+	jitter := float64(events) * math.Max(p.MsgJitter, p.CollJitter)
+	return skew + noise + jitter
+}
+
+// Model instantiates a profile for one run (one mpi.World or one
+// standalone OpenMP run).  It is stateless and safe for concurrent use:
+// all per-executor state lives in the Executors it hands out.
+type Model struct {
+	prof Profile
+}
+
+// NewModel returns the run-level model for a profile, or nil for a zero
+// profile — callers can install the result unconditionally, and a nil
+// model means "perturb nothing" everywhere it is consulted.
+func NewModel(prof Profile) *Model {
+	if prof.Zero() {
+		return nil
+	}
+	return &Model{prof: prof}
+}
+
+// Profile returns the model's profile (zero value for a nil model).
+func (m *Model) Profile() Profile {
+	if m == nil {
+		return Profile{}
+	}
+	return m.prof
+}
+
+// domain tags keep the deterministic draws of the four ingredients
+// independent of one another.
+const (
+	domSkew = iota + 1
+	domStraggler
+	domMsg
+	domColl
+	domNoise
+	domFork
+)
+
+// mix folds a variadic key into 64 well-scrambled bits (splitmix64
+// finalizer over a running combine).  It is the only source of
+// randomness in the package, making every draw a pure function of its
+// arguments.
+func mix(vs ...uint64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, v := range vs {
+		h ^= v + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+		h += 0x9e3779b97f4a7c15
+		h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+		h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	return h
+}
+
+// unit maps a key to a float in [0, 1).
+func unit(vs ...uint64) float64 {
+	return float64(mix(vs...)>>11) / (1 << 53)
+}
+
+// isStraggler reports whether rank is one of the prof.Stragglers ranks
+// (of procs) designated stragglers: the ranks whose straggler scores are
+// smallest, ties broken by rank.  The selection is a pure function of
+// (seed, procs), so every caller agrees on it.
+func (m *Model) isStraggler(rank, procs int) bool {
+	k := m.prof.Stragglers
+	if k <= 0 {
+		return false
+	}
+	if k >= procs {
+		return true
+	}
+	my := mix(m.prof.Seed, domStraggler, uint64(rank))
+	smaller := 0
+	for r := 0; r < procs; r++ {
+		if r == rank {
+			continue
+		}
+		s := mix(m.prof.Seed, domStraggler, uint64(r))
+		if s < my || (s == my && r < rank) {
+			smaller++
+		}
+	}
+	return smaller < k
+}
+
+// Executor returns the per-rank perturber to install on rank's clock
+// (vtime.Clock.SetPerturber) for a world of procs ranks.  A nil model
+// returns nil.
+func (m *Model) Executor(rank, procs int) *Executor {
+	if m == nil {
+		return nil
+	}
+	scale := 1.0
+	if m.prof.SkewMax > 0 {
+		// u in [-1, 1): symmetric skew around the nominal rate.
+		u := 2*unit(m.prof.Seed, domSkew, uint64(rank)) - 1
+		scale += u * m.prof.SkewMax
+	}
+	if m.isStraggler(rank, procs) {
+		scale += m.prof.StragglerSkew
+	}
+	return &Executor{
+		scale:     scale,
+		rate:      m.prof.NoiseRate,
+		burst:     m.prof.NoiseBurst,
+		rng:       mix(m.prof.Seed, domNoise, uint64(rank)),
+		forkKey:   mix(m.prof.Seed, domFork, uint64(rank)),
+		nextNoise: -1,
+	}
+}
+
+// MessageJitter returns the extra wire latency (s) of the seq-th message
+// from world rank src to world rank dst.  seq counts the sender's
+// messages to that destination in program order, which is deterministic
+// under MPI's non-overtaking rule.
+func (m *Model) MessageJitter(src, dst int, seq uint64) float64 {
+	if m == nil || m.prof.MsgJitter <= 0 {
+		return 0
+	}
+	return unit(m.prof.Seed, domMsg, uint64(src), uint64(dst), seq) * m.prof.MsgJitter
+}
+
+// CollJitter returns the extra exit delay (s) of participant rank in the
+// seq-th collective on communicator cid.  Both coordinates are
+// deterministic: MPI requires all members to call collectives in the same
+// per-communicator order.
+func (m *Model) CollJitter(cid int32, seq uint64, rank int) float64 {
+	if m == nil || m.prof.CollJitter <= 0 {
+		return 0
+	}
+	return unit(m.prof.Seed, domColl, uint64(uint32(cid)), seq, uint64(rank)) * m.prof.CollJitter
+}
+
+// Executor is the per-executor perturbation state: a fixed work-rate
+// scale plus a deterministic OS-noise schedule.  It implements
+// vtime.Perturber and is owned by a single goroutine (its clock's owner).
+type Executor struct {
+	scale float64 // work-rate multiplier (1 = nominal)
+	rate  float64 // noise bursts per virtual second
+	burst float64 // maximum burst length (s)
+
+	rng       uint64  // private draw stream for the noise schedule
+	nextNoise float64 // next scheduled burst time; -1 until first use
+	forkKey   uint64  // identity for deriving children
+	forkSeq   uint64  // children forked so far
+}
+
+// next draws the next 64 bits of the executor's private stream.
+func (e *Executor) next() uint64 {
+	e.rng += 0x9e3779b97f4a7c15
+	z := e.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// unit01 draws a float in (0, 1] (never zero, so logarithms are safe).
+func (e *Executor) unit01() float64 {
+	return float64(e.next()>>11+1) / (1 << 53)
+}
+
+// gap draws an exponential inter-burst gap for the configured rate.
+func (e *Executor) gap() float64 {
+	return -math.Log(e.unit01()) / e.rate
+}
+
+// PerturbAdvance implements vtime.Perturber: scale the duration by the
+// executor's work rate, then add every noise burst whose scheduled time
+// falls inside the (scaled) computation interval.  Bursts model the OS
+// preempting the executor mid-computation; they extend local time but do
+// not reschedule further bursts within the same call, so the schedule
+// advances at the configured rate regardless of burst lengths.
+func (e *Executor) PerturbAdvance(now, d float64) float64 {
+	d *= e.scale
+	if e.rate <= 0 {
+		return d
+	}
+	if e.nextNoise < 0 {
+		e.nextNoise = now + e.gap()
+	}
+	end := now + d
+	for e.nextNoise <= end {
+		d += e.unit01() * e.burst
+		e.nextNoise += e.gap()
+	}
+	return d
+}
+
+// Fork implements vtime.Perturber: the child inherits the parent's rank
+// skew (threads of a rank run at the rank's rate) but owns an independent
+// deterministic noise stream, keyed by the parent's identity and a fork
+// sequence number.  Forks happen in program order on the parent's
+// goroutine, so the derivation is deterministic.
+func (e *Executor) Fork() vtime.Perturber {
+	e.forkSeq++
+	return &Executor{
+		scale:     e.scale,
+		rate:      e.rate,
+		burst:     e.burst,
+		rng:       mix(e.forkKey, domNoise, e.forkSeq),
+		forkKey:   mix(e.forkKey, domFork, e.forkSeq),
+		nextNoise: -1,
+	}
+}

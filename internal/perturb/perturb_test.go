@@ -1,0 +1,187 @@
+package perturb
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/vtime"
+)
+
+// timeZero is the shared epoch of the virtual-clock tests (unused by
+// Virtual mode, but NewClock wants one).
+var timeZero = time.Time{}
+
+func TestLevelZeroIsZero(t *testing.T) {
+	p := Level(12345, 0)
+	if !p.Zero() {
+		t.Fatalf("Level(_, 0) = %+v, want zero profile", p)
+	}
+	if NewModel(p) != nil {
+		t.Fatalf("NewModel(zero profile) != nil")
+	}
+	if p.WaitBudget(10, 1000) != 0 {
+		t.Fatalf("zero profile has nonzero wait budget")
+	}
+}
+
+func TestLevelLadderMonotone(t *testing.T) {
+	prev := Level(1, 0)
+	for lvl := 1; lvl <= MaxLevel; lvl++ {
+		p := Level(1, lvl)
+		if p.Zero() {
+			t.Fatalf("Level(_, %d) is zero", lvl)
+		}
+		if p.SkewMax < prev.SkewMax || p.MsgJitter < prev.MsgJitter ||
+			p.NoiseRate < prev.NoiseRate || p.NoiseBurst < prev.NoiseBurst {
+			t.Fatalf("ladder not monotone at level %d: %+v after %+v", lvl, p, prev)
+		}
+		prev = p
+	}
+	if got := Level(1, MaxLevel+5); got != Level(1, MaxLevel) {
+		t.Fatalf("levels above MaxLevel should saturate: %+v != %+v", got, Level(1, MaxLevel))
+	}
+}
+
+// Two executors built from the same (seed, rank) must replay identically.
+func TestExecutorDeterminism(t *testing.T) {
+	m := NewModel(Level(7, 3))
+	a := m.Executor(2, 8)
+	b := m.Executor(2, 8)
+	now := 0.0
+	for i := 0; i < 1000; i++ {
+		d := 0.001 * float64(i%7+1)
+		da := a.PerturbAdvance(now, d)
+		db := b.PerturbAdvance(now, d)
+		if da != db {
+			t.Fatalf("step %d: %v != %v", i, da, db)
+		}
+		if da < d*0.9 {
+			t.Fatalf("step %d: perturbed duration %v shrank far below %v", i, da, d)
+		}
+		now += da
+	}
+}
+
+// Forked children replay identically too, and differ from their parent.
+func TestForkDeterminism(t *testing.T) {
+	m := NewModel(Level(7, 3))
+	mk := func() vtime.Perturber { return m.Executor(0, 4).Fork() }
+	a, b := mk(), mk()
+	var sumA, sumB float64
+	now := 0.0
+	for i := 0; i < 200; i++ {
+		da := a.PerturbAdvance(now, 0.002)
+		db := b.PerturbAdvance(now, 0.002)
+		if da != db {
+			t.Fatalf("fork replay diverged at step %d: %v != %v", i, da, db)
+		}
+		sumA += da
+		sumB += db
+		now += da
+	}
+	// Sibling forks get distinct noise streams.
+	parent := m.Executor(0, 4)
+	c1, c2 := parent.Fork(), parent.Fork()
+	diff := false
+	now = 0
+	for i := 0; i < 500; i++ {
+		d1 := c1.PerturbAdvance(now, 0.002)
+		d2 := c2.PerturbAdvance(now, 0.002)
+		if d1 != d2 {
+			diff = true
+			break
+		}
+		now += d1
+	}
+	if !diff {
+		t.Fatalf("sibling forks produced identical noise streams")
+	}
+	_ = sumA
+	_ = sumB
+}
+
+func TestStragglerSelection(t *testing.T) {
+	m := NewModel(Level(42, 3)) // Stragglers: 1
+	const procs = 8
+	count := 0
+	for r := 0; r < procs; r++ {
+		if m.isStraggler(r, procs) {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("straggler count = %d, want 1", count)
+	}
+	// A straggler's executor is strictly slower than the skew band alone
+	// allows.
+	prof := Level(42, 3)
+	for r := 0; r < procs; r++ {
+		scale := m.Executor(r, procs).scale
+		lo, hi := 1-prof.SkewMax, 1+prof.SkewMax
+		if m.isStraggler(r, procs) {
+			lo, hi = lo+prof.StragglerSkew, hi+prof.StragglerSkew
+		}
+		if scale < lo-1e-12 || scale > hi+1e-12 {
+			t.Fatalf("rank %d scale %v outside [%v, %v]", r, scale, lo, hi)
+		}
+	}
+}
+
+func TestJitterBoundsAndDeterminism(t *testing.T) {
+	prof := Level(9, 2)
+	m := NewModel(prof)
+	for seq := uint64(0); seq < 100; seq++ {
+		j := m.MessageJitter(1, 3, seq)
+		if j < 0 || j >= prof.MsgJitter {
+			t.Fatalf("message jitter %v outside [0, %v)", j, prof.MsgJitter)
+		}
+		if j != m.MessageJitter(1, 3, seq) {
+			t.Fatalf("message jitter not deterministic at seq %d", seq)
+		}
+		cj := m.CollJitter(0, seq, 2)
+		if cj < 0 || cj >= prof.CollJitter {
+			t.Fatalf("collective jitter %v outside [0, %v)", cj, prof.CollJitter)
+		}
+		if cj != m.CollJitter(0, seq, 2) {
+			t.Fatalf("collective jitter not deterministic at seq %d", seq)
+		}
+	}
+	// A nil model is the identity everywhere.
+	var nilM *Model
+	if nilM.MessageJitter(0, 1, 0) != 0 || nilM.CollJitter(0, 0, 0) != 0 {
+		t.Fatalf("nil model jitter != 0")
+	}
+	if nilM.Executor(0, 4) != nil {
+		t.Fatalf("nil model executor != nil")
+	}
+}
+
+// The vtime hook applies the perturber and forks it with the clock.
+func TestClockIntegration(t *testing.T) {
+	m := NewModel(Level(3, 3))
+	mkClock := func() *vtime.Clock {
+		c := vtime.NewClock(vtime.Virtual, timeZero)
+		c.SetPerturber(m.Executor(1, 4))
+		return c
+	}
+	c1, c2 := mkClock(), mkClock()
+	for i := 0; i < 300; i++ {
+		c1.Advance(0.003)
+		c2.Advance(0.003)
+	}
+	if c1.Now() != c2.Now() {
+		t.Fatalf("perturbed clocks diverged: %v != %v", c1.Now(), c2.Now())
+	}
+	if c1.Now() == 0.9 {
+		t.Fatalf("perturbation left the clock exactly nominal (suspicious)")
+	}
+	// Fork inherits the perturber: a forked clock and a fork of an
+	// identical parent agree.
+	f1 := c1.Fork()
+	f2 := c2.Fork()
+	f1.Advance(0.01)
+	f2.Advance(0.01)
+	if f1.Now() != f2.Now() {
+		t.Fatalf("forked perturbed clocks diverged: %v != %v", f1.Now(), f2.Now())
+	}
+}

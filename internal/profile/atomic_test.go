@@ -1,0 +1,51 @@
+package profile_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/profile"
+)
+
+// WriteFile must be atomic: a failed final rename leaves neither a
+// partial file at the target path nor temp litter next to it.
+func TestWriteFileAtomic(t *testing.T) {
+	tr, rep := runBarrier(t, 2, 0.06)
+	p := profile.FromRun("barrier", tr, rep, profile.RunInfo{})
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	// Failure injection: the rename target is an occupied directory.
+	if err := os.Mkdir(path, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(path, "occupant"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteFile(path); err == nil {
+		t.Fatal("rename onto non-empty directory succeeded")
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("temp litter left behind: %v", ents)
+	}
+
+	// Success path lands a complete, hash-stable file.
+	ok := filepath.Join(dir, "ok.json")
+	if err := p.WriteFile(ok); err != nil {
+		t.Fatal(err)
+	}
+	got, err := profile.ReadFile(ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, _ := p.Hash()
+	h2, _ := got.Hash()
+	if h1 != h2 {
+		t.Fatalf("atomic write changed content: %s != %s", h2, h1)
+	}
+}

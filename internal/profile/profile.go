@@ -23,6 +23,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"sort"
 
 	"repro/internal/analyzer"
@@ -268,13 +269,34 @@ func (p *Profile) Encode(w io.Writer) error {
 	return err
 }
 
-// WriteFile writes the canonical encoding to path.
+// WriteFile writes the canonical encoding to path.  The write is atomic
+// (temp file + rename in the same directory): readers — and in particular
+// the content-addressed regression store, whose existence fast-path would
+// make a truncated object permanent — never observe a partial profile.
 func (p *Profile) WriteFile(path string) error {
 	blob, err := p.Marshal()
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, blob, 0o644)
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(blob); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // Decode reads one profile and validates its schema version.

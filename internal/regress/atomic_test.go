@@ -1,0 +1,93 @@
+package regress_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/regress"
+)
+
+// An interrupted Put must never leave a partial object that the
+// existence fast-path would then treat as already stored.  Failure is
+// injected by removing the objects/ directory: the atomic write (temp +
+// rename in the target directory) then fails before any byte lands at
+// the object path.
+func TestPutInterruptedLeavesNoPartialObject(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	store, err := regress.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := barrierProfile(t, 2, 0.06)
+	objects := filepath.Join(dir, "objects")
+	if err := os.RemoveAll(objects); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Put(p); err == nil {
+		t.Fatal("Put succeeded without an objects directory")
+	}
+
+	// Recovery: once the directory is back, the same Put stores a
+	// complete, readable object — nothing partial survived to trip the
+	// fast-path.
+	if err := os.MkdirAll(objects, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	hash, err := store.Put(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.Get(hash)
+	if err != nil {
+		t.Fatalf("object unreadable after recovery: %v", err)
+	}
+	h2, err := got.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2 != hash {
+		t.Fatalf("round-tripped object hash %s != %s", h2, hash)
+	}
+
+	// The store directory holds only real objects — no temp litter.
+	ents, err := os.ReadDir(objects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp litter in objects/: %s", e.Name())
+		}
+	}
+	if len(ents) != 1 {
+		t.Fatalf("objects/ holds %d entries, want 1", len(ents))
+	}
+}
+
+// A truncated object planted at the object path (the pre-fix failure
+// mode) must not be returned by Get as if it were valid.
+func TestGetRejectsTruncatedObject(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	store, err := regress.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := barrierProfile(t, 2, 0.06)
+	hash, err := store.Put(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "objects", hash+".json")
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, blob[:len(blob)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Get(hash); err == nil {
+		t.Fatal("truncated object decoded successfully")
+	}
+}

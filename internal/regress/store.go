@@ -116,6 +116,9 @@ func (s *Store) Put(p *profile.Profile) (string, error) {
 	if _, err := os.Stat(path); err == nil {
 		return hash, nil
 	}
+	// WriteFile is atomic (temp + rename), which the existence fast-path
+	// above depends on: an interrupted Put must never leave a truncated
+	// object that later calls would treat as already stored.
 	if err := p.WriteFile(path); err != nil {
 		return "", fmt.Errorf("regress: store object: %w", err)
 	}

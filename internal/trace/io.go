@@ -8,6 +8,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 )
 
 // Binary trace format ("ATS1"):
@@ -143,17 +144,30 @@ func (t *Trace) Write(w io.Writer) (int64, error) {
 	return cw.n, nil
 }
 
-// WriteFile serializes the trace to the named file.
+// WriteFile serializes the trace to the named file.  The write is atomic:
+// the trace lands in a temporary file in the same directory and is renamed
+// into place only after a successful close, so a crash or write error never
+// leaves a truncated trace at path.
 func (t *Trace) WriteFile(path string) error {
-	f, err := os.Create(path)
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
+	tmp := f.Name()
 	if _, err := t.Write(f); err != nil {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 func readFloat(r io.ByteReader) (float64, error) {
@@ -183,8 +197,74 @@ func readString(r *bufio.Reader) (string, error) {
 	return string(buf), nil
 }
 
-// Read deserializes a trace written by Write.
+// Minimum encoded size of one element of each variable-length section,
+// used to bound untrusted header counts against the input size: an input
+// of S bytes cannot hold more than S/min elements, so a count above that
+// is corrupt and must not drive a speculative allocation.
+const (
+	minRegionBytes   = 1  // uvarint length (zero-length string)
+	minPathBytes     = 2  // uvarint parent + uvarint region
+	minLocationBytes = 2  // varint rank + varint thread
+	minEventBytes    = 30 // 2 floats + 3 fixed bytes + 10 varints + 1 uvarint
+)
+
+// checkCount validates an untrusted element count against the remaining
+// input size (size < 0 when unknown).  Even with an unknown size the count
+// is bounded so a corrupt header cannot request an implausible allocation;
+// the section readers additionally grow their slices incrementally, so the
+// transient allocation stays proportional to the bytes actually present.
+func checkCount(n uint64, minBytes, size int64, what string) error {
+	if size >= 0 && n > uint64(size)/uint64(minBytes) {
+		return fmt.Errorf("trace: implausible %s count %d for %d-byte input", what, n, size)
+	}
+	if n > math.MaxInt32 {
+		return fmt.Errorf("trace: implausible %s count %d", what, n)
+	}
+	return nil
+}
+
+// sliceCap bounds the initial capacity reserved for n announced elements.
+// When the input size is unknown the count can still lie about how much
+// data follows, so growth past the cap is left to append, which stops at
+// the actual end of input.
+func sliceCap(n uint64) int {
+	const chunk = 1 << 16
+	if n > chunk {
+		return chunk
+	}
+	return int(n)
+}
+
+// inputSize reports how many bytes remain in r, or -1 if unknowable
+// without consuming the stream.
+func inputSize(r io.Reader) int64 {
+	switch v := r.(type) {
+	case interface{ Len() int }: // bytes.Reader, bytes.Buffer, strings.Reader
+		return int64(v.Len())
+	case io.Seeker: // *os.File and friends
+		cur, err := v.Seek(0, io.SeekCurrent)
+		if err != nil {
+			return -1
+		}
+		end, err := v.Seek(0, io.SeekEnd)
+		if err != nil {
+			return -1
+		}
+		if _, err := v.Seek(cur, io.SeekStart); err != nil {
+			return -1
+		}
+		return end - cur
+	}
+	return -1
+}
+
+// Read deserializes a trace written by Write.  Counts in the header are
+// untrusted: each is checked for plausibility against the input size (when
+// the reader can report one) before any allocation, so a corrupt or
+// malicious header claiming, say, 2^60 events fails fast instead of
+// attempting a multi-gigabyte allocation.
 func Read(r io.Reader) (*Trace, error) {
+	size := inputSize(r)
 	br := bufio.NewReader(r)
 	var m [4]byte
 	if _, err := io.ReadFull(br, m[:]); err != nil {
@@ -198,11 +278,16 @@ func Read(r io.Reader) (*Trace, error) {
 	if err != nil {
 		return nil, err
 	}
-	t.Regions = make([]string, nRegions)
-	for i := range t.Regions {
-		if t.Regions[i], err = readString(br); err != nil {
+	if err := checkCount(nRegions, minRegionBytes, size, "region"); err != nil {
+		return nil, err
+	}
+	t.Regions = make([]string, 0, sliceCap(nRegions))
+	for i := uint64(0); i < nRegions; i++ {
+		s, err := readString(br)
+		if err != nil {
 			return nil, err
 		}
+		t.Regions = append(t.Regions, s)
 	}
 	nPaths, err := binary.ReadUvarint(br)
 	if err != nil {
@@ -211,9 +296,11 @@ func Read(r io.Reader) (*Trace, error) {
 	if nPaths == 0 {
 		return nil, fmt.Errorf("trace: missing path root")
 	}
-	t.PathParent = make([]PathID, nPaths)
-	t.PathRegion = make([]RegionID, nPaths)
-	t.PathParent[0], t.PathRegion[0] = -1, -1
+	if err := checkCount(nPaths, minPathBytes, size, "path"); err != nil {
+		return nil, err
+	}
+	t.PathParent = append(make([]PathID, 0, sliceCap(nPaths)), -1)
+	t.PathRegion = append(make([]RegionID, 0, sliceCap(nPaths)), -1)
 	for i := uint64(1); i < nPaths; i++ {
 		p, err := binary.ReadUvarint(br)
 		if err != nil {
@@ -226,15 +313,18 @@ func Read(r io.Reader) (*Trace, error) {
 		if p >= i || rg >= nRegions {
 			return nil, fmt.Errorf("trace: corrupt path table entry %d", i)
 		}
-		t.PathParent[i] = PathID(p)
-		t.PathRegion[i] = RegionID(rg)
+		t.PathParent = append(t.PathParent, PathID(p))
+		t.PathRegion = append(t.PathRegion, RegionID(rg))
 	}
 	nLocs, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, err
 	}
-	t.Locations = make([]Location, nLocs)
-	for i := range t.Locations {
+	if err := checkCount(nLocs, minLocationBytes, size, "location"); err != nil {
+		return nil, err
+	}
+	t.Locations = make([]Location, 0, sliceCap(nLocs))
+	for i := uint64(0); i < nLocs; i++ {
 		rank, err := binary.ReadVarint(br)
 		if err != nil {
 			return nil, err
@@ -243,15 +333,25 @@ func Read(r io.Reader) (*Trace, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.Locations[i] = Location{Rank: int32(rank), Thread: int32(thread)}
+		if rank < math.MinInt32 || rank > math.MaxInt32 {
+			return nil, fmt.Errorf("trace: location %d: rank %d out of range", i, rank)
+		}
+		if thread < math.MinInt32 || thread > math.MaxInt32 {
+			return nil, fmt.Errorf("trace: location %d: thread %d out of range", i, thread)
+		}
+		t.Locations = append(t.Locations, Location{Rank: int32(rank), Thread: int32(thread)})
 	}
 	nEvents, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, err
 	}
-	t.Events = make([]Event, nEvents)
-	for i := range t.Events {
-		ev := &t.Events[i]
+	if err := checkCount(nEvents, minEventBytes, size, "event"); err != nil {
+		return nil, err
+	}
+	t.Events = make([]Event, 0, sliceCap(nEvents))
+	for i := uint64(0); i < nEvents; i++ {
+		t.Events = append(t.Events, Event{})
+		ev := &t.Events[len(t.Events)-1]
 		if ev.Time, err = readFloat(br); err != nil {
 			return nil, err
 		}

@@ -49,6 +49,23 @@ func (m Mode) String() string {
 	}
 }
 
+// Perturber adjusts the durations a Virtual clock accounts locally,
+// modeling measurement-pipeline disturbances (clock-rate skew, straggler
+// executors, transient OS noise) while keeping runs fully deterministic:
+// a Perturber must be a pure function of its construction seed and the
+// sequence of PerturbAdvance calls it observes.  It is invoked only from
+// the clock's owning goroutine, so implementations need no locking.
+type Perturber interface {
+	// PerturbAdvance maps a locally accounted duration d (seconds),
+	// starting at virtual time now, to the perturbed duration the clock
+	// actually advances by.  Returning d unchanged is the identity.
+	PerturbAdvance(now, d float64) float64
+	// Fork derives an independent, deterministic child perturber for a
+	// sub-executor (OpenMP thread fork).  Callers fork in a fixed
+	// program order, so a sequence-counter derivation is deterministic.
+	Fork() Perturber
+}
+
 // Clock is a per-executor time source.  In Virtual mode it is a logical
 // clock advanced explicitly; in Real mode it reports wall time relative to
 // an epoch shared by all executors of a run.  The clock has a single
@@ -59,6 +76,7 @@ type Clock struct {
 	mode  Mode
 	now   atomic.Uint64 // Float64bits of virtual seconds (Virtual mode)
 	epoch time.Time     // shared run epoch (Real mode only)
+	pert  Perturber     // optional perturbation hook (Virtual mode only)
 }
 
 // NewClock returns a clock in the given mode.  All clocks belonging to one
@@ -69,11 +87,21 @@ func NewClock(mode Mode, epoch time.Time) *Clock {
 
 // Fork returns a child clock starting at the parent's current time.  It is
 // used when an executor spawns sub-executors (OpenMP fork, nested teams).
+// An installed perturber is forked along with the clock, so sub-executors
+// inherit their parent's perturbation deterministically.
 func (c *Clock) Fork() *Clock {
 	f := &Clock{mode: c.mode, epoch: c.epoch}
 	f.now.Store(math.Float64bits(c.Now()))
+	if c.pert != nil {
+		f.pert = c.pert.Fork()
+	}
 	return f
 }
+
+// SetPerturber installs (or, with nil, removes) the perturbation hook.
+// It must be called before the clock's executor starts running; the hook
+// only affects Virtual mode (Real mode is naturally noisy already).
+func (c *Clock) SetPerturber(p Perturber) { c.pert = p }
 
 // Mode reports the clock mode.
 func (c *Clock) Mode() Mode { return c.mode }
@@ -97,7 +125,13 @@ func (c *Clock) Advance(d float64) {
 		return
 	}
 	if c.mode == Virtual {
-		c.now.Store(math.Float64bits(math.Float64frombits(c.now.Load()) + d))
+		now := math.Float64frombits(c.now.Load())
+		if c.pert != nil {
+			if d = c.pert.PerturbAdvance(now, d); d <= 0 {
+				return
+			}
+		}
+		c.now.Store(math.Float64bits(now + d))
 		return
 	}
 	Spin(d)
