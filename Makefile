@@ -11,9 +11,13 @@
 #                  committed corpus (CI's second job).
 #   make baseline— re-seed testdata/regress-store from a fresh run (only
 #                  after an intentional severity change; commit the result).
-#   make bench-json — run the Runtime/Scale benchmark suite and drop a
-#                  machine-readable snapshot at testdata/bench/BENCH_<date>.json
-#                  (commit it to extend the perf trajectory).
+#   make bench-json — run the Runtime/Scale/StreamAnalyze benchmark suite
+#                  and drop a machine-readable snapshot at
+#                  testdata/bench/BENCH_<date>.json (commit it to extend
+#                  the perf trajectory).
+#   make docs    — documentation conformance: every relative markdown link
+#                  resolves, and the README command-line reference matches
+#                  the flags the cmd/ binaries define.
 
 GO ?= go
 STORE := testdata/regress-store
@@ -22,9 +26,9 @@ CORPUS := testdata/conformance-corpus
 FUZZ_SEEDS ?= 100
 BENCH_DIR := testdata/bench
 
-.PHONY: check vet build test race smoke fuzz baseline bench-json
+.PHONY: check vet build test race smoke fuzz baseline bench-json docs
 
-check: vet build test race smoke
+check: vet build test race smoke docs
 
 vet:
 	$(GO) vet ./...
@@ -55,5 +59,8 @@ baseline:
 
 bench-json:
 	@mkdir -p $(BENCH_DIR)
-	$(GO) test -run '^$$' -bench '^Benchmark(Runtime|Scale)_' -benchtime 3x . \
+	$(GO) test -run '^$$' -bench '^Benchmark(Runtime_|Scale_|StreamAnalyze)' -benchtime 3x . \
 		| $(GO) run ./cmd/benchjson -out $(BENCH_DIR)/BENCH_$$(date +%Y%m%d).json
+
+docs:
+	$(GO) test -run '^TestDocs' .

@@ -15,10 +15,24 @@
 //	})
 //	rep := ats.Analyze(tr)
 //	fmt.Print(rep.Render())
+//
+// For large rank counts the materialized trace dominates memory; the
+// streaming entry points (RunMPIStream, RunOMPStream, RunPropertyStream)
+// spill events to an on-disk chunk spool while the program executes and
+// analyze them incrementally, producing a report byte-identical to the
+// in-memory path with peak memory proportional to the location grid
+// rather than the event count:
+//
+//	out, err := ats.RunMPIStream(ats.MPIOptions{Procs: 1024}, body)
+//	fmt.Print(out.Report.Render())
+//
+// See doc/ARCHITECTURE.md for the package map and doc/FORMATS.md for the
+// on-disk encodings.
 package ats
 
 import (
 	"fmt"
+	"os"
 
 	"repro/internal/analyzer"
 	"repro/internal/core"
@@ -86,6 +100,103 @@ func AnalyzeWithThreshold(tr *Trace, threshold float64) *Report {
 // Timeline renders a Vampir-style ASCII timeline of the trace.
 func Timeline(tr *Trace, width int) string {
 	return trace.Timeline(tr, trace.TimelineOptions{Width: width})
+}
+
+// StreamOutcome is the result of a streamed run: the analysis report plus
+// the trace-shape metadata (location grid and event count) that a
+// materialized run would carry in its Trace.  The events themselves were
+// spilled to a temporary chunk spool and are gone by the time it returns.
+type StreamOutcome struct {
+	Report         *Report
+	Ranks, Threads int
+	Events         int
+}
+
+// streamed orchestrates one bounded-memory run: spool events through a
+// temporary chunk file while run executes, then merge and analyze the
+// spool incrementally.  The spool is removed before returning.
+func streamed(threshold float64, run func(trace.Sink) error) (*StreamOutcome, error) {
+	f, err := os.CreateTemp("", "ats-spool-*.atsc")
+	if err != nil {
+		return nil, err
+	}
+	spool := f.Name()
+	f.Close()
+	defer os.Remove(spool)
+
+	w, err := trace.NewChunkWriter(spool, trace.DefaultSpillEvents)
+	if err != nil {
+		return nil, err
+	}
+	if err := run(w); err != nil {
+		w.Abort()
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+
+	r, err := trace.OpenChunkFile(spool)
+	if err != nil {
+		return nil, err
+	}
+	st, err := trace.NewStream(r)
+	if err != nil {
+		r.Close()
+		return nil, err
+	}
+	defer st.Close()
+	rep, err := analyzer.AnalyzeStream(st, analyzer.Options{Threshold: threshold})
+	if err != nil {
+		return nil, err
+	}
+	ranks, threads := st.Shape()
+	return &StreamOutcome{Report: rep, Ranks: ranks, Threads: threads, Events: st.Events()}, nil
+}
+
+// RunMPIStream executes body like RunMPI but never materializes the
+// trace: events are spilled to a temporary on-disk chunk spool as ranks
+// execute and analyzed incrementally afterwards.  The report is
+// byte-identical (same profile content hash) to Analyze on the
+// materialized trace of the same run.  threshold zero selects the
+// analyzer default.
+func RunMPIStream(opt MPIOptions, threshold float64, body func(c *mpi.Comm)) (*StreamOutcome, error) {
+	return streamed(threshold, func(sink trace.Sink) error {
+		o := opt
+		o.Sink = sink
+		_, err := mpi.Run(o, body)
+		return err
+	})
+}
+
+// RunOMPStream is RunOMP through the bounded-memory streaming pipeline
+// (see RunMPIStream).
+func RunOMPStream(opt OMPOptions, threshold float64, body func(ctx *xctx.Ctx, team TeamOptions)) (*StreamOutcome, error) {
+	return streamed(threshold, func(sink trace.Sink) error {
+		o := opt
+		o.Sink = sink
+		_, err := omp.Run(o, body)
+		return err
+	})
+}
+
+// RunPropertyStream is RunProperty through the bounded-memory streaming
+// pipeline (see RunMPIStream): the property runs with events spilled to a
+// temporary spool and the report is computed incrementally.
+func RunPropertyStream(name string, procs, threads int, threshold float64, a core.Args) (*StreamOutcome, error) {
+	spec, ok := core.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("ats: unknown property %q (have %v)", name, core.Names())
+	}
+	team := omp.Options{Threads: threads}
+	if spec.Paradigm == core.ParadigmOMP {
+		return RunOMPStream(OMPOptions{Threads: threads}, threshold, func(ctx *xctx.Ctx, _ TeamOptions) {
+			spec.Run(core.Env{Ctx: ctx, OMP: team}, a)
+		})
+	}
+	return RunMPIStream(MPIOptions{Procs: procs}, threshold, func(c *mpi.Comm) {
+		spec.Run(core.Env{Comm: c, Ctx: c.Ctx(), OMP: team}, a)
+	})
 }
 
 // RunProperty runs one registered property function as a single-property

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/distr"
 	"repro/internal/mpi"
+	"repro/internal/profile"
 	"repro/internal/xctx"
 )
 
@@ -85,6 +86,75 @@ func TestAnalyzeWithThreshold(t *testing.T) {
 	loose := ats.AnalyzeWithThreshold(tr, 0.0001)
 	if loose.Top() == nil || loose.Top().Property != analyzer.PropLateSender {
 		t.Error("loose threshold missed the late sender")
+	}
+}
+
+// TestStreamFacadeMatchesInMemory runs the Fig 3.4 two-communicator
+// program — the richest composite in the suite — through both pipelines
+// and requires byte-identical profiles.
+func TestStreamFacadeMatchesInMemory(t *testing.T) {
+	body := func(c *mpi.Comm) {
+		core.TwoCommunicators(c, core.DefaultComposite())
+	}
+	tr, err := ats.RunMPI(ats.MPIOptions{Procs: 8}, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := ats.Analyze(tr)
+
+	out, err := ats.RunMPIStream(ats.MPIOptions{Procs: 8}, 0, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Events != len(tr.Events) {
+		t.Fatalf("streamed %d events, materialized %d", out.Events, len(tr.Events))
+	}
+	if out.Ranks != 8 {
+		t.Fatalf("streamed ranks = %d", out.Ranks)
+	}
+	want := profile.FromRun("fig34", tr, rep, profile.RunInfo{})
+	got := profile.FromAnalysis("fig34",
+		profile.TraceInfo{Ranks: out.Ranks, Threads: out.Threads, Events: out.Events},
+		out.Report, profile.RunInfo{})
+	wantHash, err := want.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotHash, err := got.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotHash != wantHash {
+		t.Fatalf("streamed profile hash %s != in-memory %s", gotHash, wantHash)
+	}
+}
+
+// TestStreamFacadeOMPAndProperty covers the OMP and property-registry
+// streaming entry points.
+func TestStreamFacadeOMPAndProperty(t *testing.T) {
+	out, err := ats.RunOMPStream(ats.OMPOptions{Threads: 3}, 0, func(ctx *xctx.Ctx, team ats.TeamOptions) {
+		core.ImbalanceAtOMPBarrier(ctx, team, mustDistr(t), mustDesc(), 2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Threads != 3 || out.Events == 0 {
+		t.Fatalf("OMP stream outcome: %+v", out)
+	}
+
+	spec, ok := core.Get("late_sender")
+	if !ok {
+		t.Fatal("late_sender not registered")
+	}
+	pout, err := ats.RunPropertyStream("late_sender", 4, 1, 0.0001, spec.Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top := pout.Report.Top(); top == nil || top.Property != analyzer.PropLateSender {
+		t.Fatalf("streamed property run missed the late sender: %+v", top)
+	}
+	if _, err := ats.RunPropertyStream("nope", 2, 2, 0, ats.NewArgs()); err == nil {
+		t.Error("unknown property accepted")
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/ats"
 	"repro/internal/analyzer"
 	"repro/internal/asl"
 	"repro/internal/core"
@@ -488,6 +489,38 @@ func BenchmarkScale_CompositeRanks(b *testing.B) {
 				}
 				if i == 0 {
 					b.ReportMetric(float64(len(tr.Events)), "events")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStreamAnalyze measures the bounded-memory streaming pipeline —
+// chunk spool, k-way merge, incremental analysis — on the same workload as
+// BenchmarkScale_CompositeRanks, at rank counts where the materialized
+// trace dominates memory.  Allocations are reported because bytes/op is
+// the number this pipeline exists to bound (see doc/PERFORMANCE.md).
+func BenchmarkStreamAnalyze(b *testing.B) {
+	for _, procs := range []int{256, 1024} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out, err := ats.RunMPIStream(
+					ats.MPIOptions{Procs: procs, Timeout: 120 * time.Second}, 0,
+					func(c *mpi.Comm) {
+						core.ImbalanceAtMPIBarrier(c,
+							mustDF(b), distrV2(0.001, 0.01), 3)
+						buf := mpi.AllocBuf(mpi.TypeDouble, 16)
+						c.Bcast(buf, 0)
+					})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(out.Events), "events")
+					if out.Report.Wait(analyzer.PropWaitAtBarrier) <= 0 {
+						b.Fatal("streamed analysis missed imbalance_at_mpi_barrier")
+					}
 				}
 			}
 		})

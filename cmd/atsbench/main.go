@@ -16,6 +16,9 @@
 //	                         # ready for `atsregress save` / `check`
 //	atsbench -j 8            # run experiment campaigns 8 jobs at a time
 //	                         # (output and profiles identical for any -j)
+//	atsbench -only scale -stream
+//	                         # streamed-vs-materialized memory comparison,
+//	                         # extended to 1024 ranks
 //	atsbench -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 //	                         # pprof profiles of the bench run itself
 package main
@@ -47,12 +50,13 @@ func main() {
 		procs      = flag.Int("procs", 16, "MPI processes for the figure experiments")
 		threads    = flag.Int("threads", 4, "OpenMP threads")
 		real       = flag.Bool("real", false, "include real-clock experiments")
-		only       = flag.String("only", "", "run a single experiment (fig32, fig33, fig35, positive, negative, perturbed, ch2, ch4, micro, grind, work, ablation)")
+		only       = flag.String("only", "", "run a single experiment (fig32, fig33, fig35, positive, negative, perturbed, ch2, ch4, micro, grind, work, ablation, scale)")
 		perturbMax = flag.Int("perturb", 3, "highest perturbation level for the perturbed experiment (0..N)")
 		profDir    = flag.String("profiles", "", "emit canonical profiles (one JSON per analyzed run) into this directory")
 		jobs       = flag.Int("j", 0, "concurrent campaign jobs inside experiments (0: one per CPU)")
 		cpuProf    = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 		memProf    = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+		stream     = flag.Bool("stream", false, "extend the scale experiment to 1024 ranks (streamed vs materialized memory comparison)")
 	)
 	flag.Parse()
 	w := os.Stdout
@@ -192,6 +196,14 @@ func main() {
 				p.Name, rep.Messages.Count, rep.Messages.AvgBytes, top, p.Diagnosis)
 		}
 		return nil
+	})
+	run("scale", func() error {
+		ranks := []int{16, 64, 256}
+		if *stream {
+			ranks = append(ranks, 1024)
+		}
+		_, err := experiments.Scale(w, ranks)
+		return err
 	})
 	run("work", func() error {
 		_, err := experiments.WorkAccuracy(w, *real)

@@ -9,6 +9,7 @@
 //	atsrun -property late_sender -procs 8 -set extrawork=0.1 -set r=10
 //	atsrun -property imbalance_at_mpi_barrier -set distr=linear \
 //	       -set distr_low=0.01 -set distr_high=0.2 -timeline
+//	atsrun -property late_sender -procs 1024 -stream   # bounded memory
 package main
 
 import (
@@ -49,6 +50,7 @@ func main() {
 		timeline  = flag.Bool("timeline", false, "print a Vampir-style timeline")
 		threshold = flag.Float64("threshold", 0.005, "analysis severity threshold")
 		width     = flag.Int("width", 100, "timeline width in columns")
+		stream    = flag.Bool("stream", false, "stream events through an on-disk spool and analyze incrementally (bounded memory; incompatible with -trace and -timeline)")
 	)
 	sets := setFlags{}
 	flag.Var(sets, "set", "set a property parameter: name=value (repeatable)")
@@ -73,6 +75,19 @@ func main() {
 	args, err := buildArgs(spec, sets)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *stream {
+		if *traceOut != "" || *timeline {
+			log.Fatalf("-stream never materializes the trace; it is incompatible with -trace and -timeline")
+		}
+		out, err := ats.RunPropertyStream(spec.Name, *procs, *threads, *threshold, args)
+		if err != nil {
+			log.Fatalf("run failed: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "streamed %d events (%d ranks x %d threads)\n", out.Events, out.Ranks, out.Threads)
+		fmt.Print(out.Report.Render())
+		return
 	}
 
 	tr, err := ats.RunProperty(spec.Name, *procs, *threads, args)

@@ -235,89 +235,22 @@ func (rep *Report) Top() *Result {
 	return sig[0]
 }
 
-// Analyze runs the full pattern search over a trace.
+// Analyze runs the full pattern search over a materialized trace.
 //
 // The search is a single sweep over the event slab: one pass feeds the
 // flat profile, the p2p matcher, the collective grouper, the lock detector
-// and the message statistics, where the original implementation walked the
-// slab five times.  Fusing the sweeps is safe for the content-addressed
-// profile identity because every floating-point accumulation keeps its
-// order: the p2p and collective reductions still run over sorted match
-// keys after the sweep, lock waits are the only contributor to their
-// property so moving them into the sweep reorders nothing within a Result,
-// and the profile arithmetic is shared with trace.ComputeStats via
-// trace.StatsBuilder.
+// and the message statistics.  The sweep is implemented by StreamAnalyzer
+// (see stream.go), which AnalyzeStream drives from an on-disk chunk stream
+// instead of a slab; both entry points perform the identical event-order
+// arithmetic, so their reports — and the content-addressed profile hashes
+// derived from them — are byte-identical.
 func Analyze(tr *trace.Trace, opt Options) *Report {
-	if opt.Threshold <= 0 {
-		opt.Threshold = 0.005
-	}
-	rep := &Report{
-		Duration:  tr.Duration(),
-		Results:   make(map[string]*Result),
-		Threshold: opt.Threshold,
-	}
-
-	add := func(prop string, wait float64, path string, loc trace.Location) {
-		if wait <= 0 {
-			return
-		}
-		r := rep.Results[prop]
-		if r == nil {
-			r = newResult(prop)
-			rep.Results[prop] = r
-		}
-		r.Wait += wait
-		r.Instances++
-		r.ByPath[path] += wait
-		r.ByLocation[loc] += wait
-	}
-
-	sb := trace.NewStatsBuilder(tr)
-	sends := make(map[uint64]*trace.Event)
-	recvs := make(map[uint64]*trace.Event)
-	groups := make(map[collKey][]*trace.Event)
+	a := NewStreamAnalyzer(tr, opt)
 	for i := range tr.Events {
-		ev := &tr.Events[i]
-		sb.Add(ev)
-		switch ev.Kind {
-		case trace.KindSend:
-			sends[ev.Match] = ev
-			rep.Messages.Count++
-			rep.Messages.Bytes += ev.Bytes
-		case trace.KindRecv:
-			recvs[ev.Match] = ev
-		case trace.KindColl:
-			k := collKey{ev.Coll, ev.Match}
-			groups[k] = append(groups[k], ev)
-		case trace.KindLock:
-			if ev.Aux > 0 {
-				add(PropOMPCritical, ev.Aux, tr.PathString(ev.Path), ev.Loc)
-			}
-		}
+		a.Add(&tr.Events[i])
 	}
-	stats := sb.Finish()
-	rep.TotalTime = stats.TotalTime
-	rep.Stats = stats
-
-	reduceP2P(tr, sends, recvs, add)
-	reduceCollectives(tr, groups, add)
-	detectCostMetrics(tr, stats, rep)
-	if rep.Messages.Count > 0 {
-		rep.Messages.AvgBytes = float64(rep.Messages.Bytes) / float64(rep.Messages.Count)
-		if rep.Duration > 0 {
-			rep.Messages.Rate = float64(rep.Messages.Count) / rep.Duration
-		}
-	}
-
-	for _, r := range rep.Results {
-		if stats.TotalTime > 0 {
-			r.Severity = r.Wait / stats.TotalTime
-		}
-	}
-	return rep
+	return a.Finish()
 }
-
-type addFunc func(prop string, wait float64, path string, loc trace.Location)
 
 // collKey identifies one collective instance: the operation and its match
 // id.
@@ -326,160 +259,10 @@ type collKey struct {
 	match uint64
 }
 
-// reduceP2P pairs message events collected during the sweep and derives
-// Late Sender / Late Receiver.
-func reduceP2P(tr *trace.Trace, sends, recvs map[uint64]*trace.Event, add addFunc) {
-	// Iterate matches in sorted order: wait times are accumulated with
-	// floating-point additions, so map-order iteration would make the
-	// low bits of Result.Wait run-dependent and break the profile
-	// store's content-addressed identity.
-	matches := make([]uint64, 0, len(sends))
-	for m := range sends {
-		matches = append(matches, m)
-	}
-	sort.Slice(matches, func(i, j int) bool { return matches[i] < matches[j] })
-	for _, m := range matches {
-		s := sends[m]
-		r, ok := recvs[m]
-		if !ok {
-			continue // message never received (truncated trace)
-		}
-		// Late sender: the receiver entered its receive before the send
-		// operation started.
-		if wait := s.Time - r.Aux; wait > 0 {
-			add(PropLateSender, wait, tr.PathString(r.Path), r.Loc)
-		}
-		// Late receiver: a synchronous sender blocked until the receive
-		// was posted.
-		if s.Flags&trace.FlagSync != 0 {
-			if wait := r.Aux - s.Time; wait > 0 {
-				add(PropLateReceiver, wait, tr.PathString(s.Path), s.Loc)
-			}
-		}
-	}
-}
-
-// reduceCollectives takes the collective instances grouped during the
-// sweep and derives the wait-state properties of each collective class.
-func reduceCollectives(tr *trace.Trace, groups map[collKey][]*trace.Event, add addFunc) {
-	// Sorted instance order for deterministic float accumulation (see
-	// reduceP2P).
-	keys := make([]collKey, 0, len(groups))
-	for k := range groups {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].coll != keys[j].coll {
-			return keys[i].coll < keys[j].coll
-		}
-		return keys[i].match < keys[j].match
-	})
-	for _, k := range keys {
-		evs := groups[k]
-		switch k.coll {
-		case trace.CollBarrier:
-			nxnWaits(tr, evs, PropWaitAtBarrier, add)
-
-		case trace.CollBcast, trace.CollScatter, trace.CollScatterv:
-			// 1-to-N: non-roots wait for the root.
-			var rootEnter float64
-			found := false
-			for _, ev := range evs {
-				if ev.Flags&trace.FlagRoot != 0 {
-					rootEnter, found = ev.Aux, true
-					break
-				}
-			}
-			if !found {
-				continue
-			}
-			for _, ev := range evs {
-				if ev.Flags&trace.FlagRoot != 0 {
-					continue
-				}
-				if wait := rootEnter - ev.Aux; wait > 0 {
-					add(PropLateBroadcast, wait, tr.PathString(ev.Path), ev.Loc)
-				}
-			}
-
-		case trace.CollReduce, trace.CollGather, trace.CollGatherv:
-			// N-to-1: the root waits for its last contributor.
-			var root *trace.Event
-			lastOther := -1.0
-			for _, ev := range evs {
-				if ev.Flags&trace.FlagRoot != 0 {
-					root = ev
-				} else if ev.Aux > lastOther {
-					lastOther = ev.Aux
-				}
-			}
-			if root == nil || lastOther < 0 {
-				continue
-			}
-			if wait := lastOther - root.Aux; wait > 0 {
-				add(PropEarlyReduce, wait, tr.PathString(root.Path), root.Loc)
-			}
-
-		case trace.CollAlltoall, trace.CollAlltoallv, trace.CollAllreduce,
-			trace.CollAllgather, trace.CollAllgatherv, trace.CollReduceScatter:
-			nxnWaits(tr, evs, PropWaitAtNxN, add)
-
-		case trace.CollScan:
-			// Rank i waits for the slowest of ranks 0..i.
-			sort.Slice(evs, func(a, b int) bool { return evs[a].CRank < evs[b].CRank })
-			prefixMax := -1.0
-			for _, ev := range evs {
-				if ev.Aux > prefixMax {
-					prefixMax = ev.Aux
-				}
-				if wait := prefixMax - ev.Aux; wait > 0 {
-					add(PropWaitAtNxN, wait, tr.PathString(ev.Path), ev.Loc)
-				}
-			}
-
-		case trace.CollOMPBarrier:
-			nxnWaits(tr, evs, PropOMPBarrier, add)
-		case trace.CollOMPForEnd:
-			nxnWaits(tr, evs, PropOMPLoop, add)
-		case trace.CollOMPSection:
-			nxnWaits(tr, evs, PropOMPSections, add)
-		case trace.CollOMPJoin:
-			nxnWaits(tr, evs, PropOMPRegion, add)
-		case trace.CollOMPSingle:
-			// Root is the executing thread; everyone else idles from
-			// arrival to release.
-			for _, ev := range evs {
-				if int32(ev.CRank) == ev.Root {
-					continue
-				}
-				if wait := ev.Time - ev.Aux; wait > 0 {
-					add(PropOMPSingle, wait, tr.PathString(ev.Path), ev.Loc)
-				}
-			}
-		}
-	}
-}
-
-// nxnWaits attributes (maxEnter - enter) waiting to each participant of a
-// fully synchronizing operation.
-func nxnWaits(tr *trace.Trace, evs []*trace.Event, prop string, add addFunc) {
-	maxEnter := -1.0
-	for _, ev := range evs {
-		if ev.Aux > maxEnter {
-			maxEnter = ev.Aux
-		}
-	}
-	for _, ev := range evs {
-		if wait := maxEnter - ev.Aux; wait > 0 {
-			add(prop, wait, tr.PathString(ev.Path), ev.Loc)
-		}
-	}
-}
-
 // detectCostMetrics derives the region-profile metrics: MPI init/finalize
 // overhead (the property the paper observes dominating tiny test programs
 // in Fig 3.2) and the overall MPI time fraction.
-func detectCostMetrics(tr *trace.Trace, stats *trace.Stats, rep *Report) {
+func detectCostMetrics(stats *trace.Stats, rep *Report) {
 	initFin := stats.RegionInclusive("MPI_Init") + stats.RegionInclusive("MPI_Finalize")
 	if initFin > 0 {
 		r := newResult(PropInitFinalize)

@@ -1,0 +1,323 @@
+package analyzer
+
+import (
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Streaming analysis.  StreamAnalyzer is the incremental core both entry
+// points share: Analyze feeds it a materialized trace's event slab,
+// AnalyzeStream feeds it a merged chunk stream.  Either way the event
+// sequence, every floating-point accumulation, and every rendered path are
+// identical, so the two paths produce byte-identical reports (and
+// therefore identical content-addressed profile hashes).
+//
+// Memory is O(locations + open regions + unmatched compound state): the
+// pattern matchers keep compact pending records (a PathID instead of a
+// rendered string, ~40 bytes each) for sends awaiting their receive and
+// collective instances awaiting their last participant, and drop them at
+// Finish.  Matched state never accumulates with the event count.
+
+// p2pEnd is the pending half of a point-to-point match: for sends the
+// operation's enter time, for receives the receive's enter time (Aux).
+type p2pEnd struct {
+	time  float64 // Send: ev.Time
+	aux   float64 // Recv: ev.Aux
+	path  trace.PathID
+	loc   trace.Location
+	flags uint8
+}
+
+// collPart is one participant of a pending collective instance.
+type collPart struct {
+	time  float64 // completion
+	aux   float64 // participant's enter time
+	path  trace.PathID
+	loc   trace.Location
+	crank int32
+	root  int32
+	flags uint8
+}
+
+// StreamAnalyzer consumes events in merged trace order and produces the
+// same Report Analyze computes.  Feed events with Add (in order), then
+// call Finish exactly once.  Paths are resolved through the View only at
+// Finish, when every referenced path is interned.
+type StreamAnalyzer struct {
+	view trace.View
+	rep  *Report
+	sb   *trace.StatsBuilder
+
+	sends  map[uint64]p2pEnd
+	recvs  map[uint64]p2pEnd
+	groups map[collKey][]collPart
+
+	first, last float64
+	any         bool
+}
+
+// NewStreamAnalyzer returns an analyzer consuming events resolved through
+// view (a *trace.Trace or *trace.Stream).  A non-positive threshold
+// selects the 0.005 default.
+func NewStreamAnalyzer(view trace.View, opt Options) *StreamAnalyzer {
+	if opt.Threshold <= 0 {
+		opt.Threshold = 0.005
+	}
+	return &StreamAnalyzer{
+		view: view,
+		rep: &Report{
+			Results:   make(map[string]*Result),
+			Threshold: opt.Threshold,
+		},
+		sb:     trace.NewStatsBuilderFor(view),
+		sends:  make(map[uint64]p2pEnd),
+		recvs:  make(map[uint64]p2pEnd),
+		groups: make(map[collKey][]collPart),
+	}
+}
+
+// add accumulates one compound-event contribution (same semantics as the
+// closure in the original Analyze).
+func (a *StreamAnalyzer) add(prop string, wait float64, path string, loc trace.Location) {
+	if wait <= 0 {
+		return
+	}
+	r := a.rep.Results[prop]
+	if r == nil {
+		r = newResult(prop)
+		a.rep.Results[prop] = r
+	}
+	r.Wait += wait
+	r.Instances++
+	r.ByPath[path] += wait
+	r.ByLocation[loc] += wait
+}
+
+// Add feeds one event, in merged trace order.
+func (a *StreamAnalyzer) Add(ev *trace.Event) {
+	if !a.any {
+		a.first, a.any = ev.Time, true
+	}
+	a.last = ev.Time
+	a.sb.Add(ev)
+	switch ev.Kind {
+	case trace.KindSend:
+		a.sends[ev.Match] = p2pEnd{time: ev.Time, path: ev.Path, loc: ev.Loc, flags: ev.Flags}
+		a.rep.Messages.Count++
+		a.rep.Messages.Bytes += ev.Bytes
+	case trace.KindRecv:
+		a.recvs[ev.Match] = p2pEnd{aux: ev.Aux, path: ev.Path, loc: ev.Loc}
+	case trace.KindColl:
+		k := collKey{ev.Coll, ev.Match}
+		a.groups[k] = append(a.groups[k], collPart{
+			time: ev.Time, aux: ev.Aux, path: ev.Path, loc: ev.Loc,
+			crank: ev.CRank, root: ev.Root, flags: ev.Flags,
+		})
+	case trace.KindLock:
+		if ev.Aux > 0 {
+			a.add(PropOMPCritical, ev.Aux, a.view.PathString(ev.Path), ev.Loc)
+		}
+	}
+}
+
+// Finish runs the sorted reductions over the pending compound state and
+// returns the completed report.
+func (a *StreamAnalyzer) Finish() *Report {
+	rep := a.rep
+	if a.any {
+		rep.Duration = a.last - a.first
+	}
+	stats := a.sb.Finish()
+	rep.TotalTime = stats.TotalTime
+	rep.Stats = stats
+
+	a.reduceP2P()
+	a.reduceCollectives()
+	detectCostMetrics(stats, rep)
+	if rep.Messages.Count > 0 {
+		rep.Messages.AvgBytes = float64(rep.Messages.Bytes) / float64(rep.Messages.Count)
+		if rep.Duration > 0 {
+			rep.Messages.Rate = float64(rep.Messages.Count) / rep.Duration
+		}
+	}
+	for _, r := range rep.Results {
+		if stats.TotalTime > 0 {
+			r.Severity = r.Wait / stats.TotalTime
+		}
+	}
+	return rep
+}
+
+// reduceP2P pairs pending message halves and derives Late Sender / Late
+// Receiver.
+func (a *StreamAnalyzer) reduceP2P() {
+	// Iterate matches in sorted order: wait times are accumulated with
+	// floating-point additions, so map-order iteration would make the
+	// low bits of Result.Wait run-dependent and break the profile
+	// store's content-addressed identity.
+	matches := make([]uint64, 0, len(a.sends))
+	for m := range a.sends {
+		matches = append(matches, m)
+	}
+	sort.Slice(matches, func(i, j int) bool { return matches[i] < matches[j] })
+	for _, m := range matches {
+		s := a.sends[m]
+		r, ok := a.recvs[m]
+		if !ok {
+			continue // message never received (truncated trace)
+		}
+		// Late sender: the receiver entered its receive before the send
+		// operation started.
+		if wait := s.time - r.aux; wait > 0 {
+			a.add(PropLateSender, wait, a.view.PathString(r.path), r.loc)
+		}
+		// Late receiver: a synchronous sender blocked until the receive
+		// was posted.
+		if s.flags&trace.FlagSync != 0 {
+			if wait := r.aux - s.time; wait > 0 {
+				a.add(PropLateReceiver, wait, a.view.PathString(s.path), s.loc)
+			}
+		}
+	}
+}
+
+// reduceCollectives derives the wait-state properties of each collective
+// class from the pending instance groups.
+func (a *StreamAnalyzer) reduceCollectives() {
+	// Sorted instance order for deterministic float accumulation (see
+	// reduceP2P).
+	keys := make([]collKey, 0, len(a.groups))
+	for k := range a.groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].coll != keys[j].coll {
+			return keys[i].coll < keys[j].coll
+		}
+		return keys[i].match < keys[j].match
+	})
+	for _, k := range keys {
+		parts := a.groups[k]
+		switch k.coll {
+		case trace.CollBarrier:
+			a.nxnWaits(parts, PropWaitAtBarrier)
+
+		case trace.CollBcast, trace.CollScatter, trace.CollScatterv:
+			// 1-to-N: non-roots wait for the root.
+			var rootEnter float64
+			found := false
+			for i := range parts {
+				if parts[i].flags&trace.FlagRoot != 0 {
+					rootEnter, found = parts[i].aux, true
+					break
+				}
+			}
+			if !found {
+				continue
+			}
+			for i := range parts {
+				p := &parts[i]
+				if p.flags&trace.FlagRoot != 0 {
+					continue
+				}
+				if wait := rootEnter - p.aux; wait > 0 {
+					a.add(PropLateBroadcast, wait, a.view.PathString(p.path), p.loc)
+				}
+			}
+
+		case trace.CollReduce, trace.CollGather, trace.CollGatherv:
+			// N-to-1: the root waits for its last contributor.
+			var root *collPart
+			lastOther := -1.0
+			for i := range parts {
+				if parts[i].flags&trace.FlagRoot != 0 {
+					root = &parts[i]
+				} else if parts[i].aux > lastOther {
+					lastOther = parts[i].aux
+				}
+			}
+			if root == nil || lastOther < 0 {
+				continue
+			}
+			if wait := lastOther - root.aux; wait > 0 {
+				a.add(PropEarlyReduce, wait, a.view.PathString(root.path), root.loc)
+			}
+
+		case trace.CollAlltoall, trace.CollAlltoallv, trace.CollAllreduce,
+			trace.CollAllgather, trace.CollAllgatherv, trace.CollReduceScatter:
+			a.nxnWaits(parts, PropWaitAtNxN)
+
+		case trace.CollScan:
+			// Rank i waits for the slowest of ranks 0..i.
+			sort.Slice(parts, func(x, y int) bool { return parts[x].crank < parts[y].crank })
+			prefixMax := -1.0
+			for i := range parts {
+				p := &parts[i]
+				if p.aux > prefixMax {
+					prefixMax = p.aux
+				}
+				if wait := prefixMax - p.aux; wait > 0 {
+					a.add(PropWaitAtNxN, wait, a.view.PathString(p.path), p.loc)
+				}
+			}
+
+		case trace.CollOMPBarrier:
+			a.nxnWaits(parts, PropOMPBarrier)
+		case trace.CollOMPForEnd:
+			a.nxnWaits(parts, PropOMPLoop)
+		case trace.CollOMPSection:
+			a.nxnWaits(parts, PropOMPSections)
+		case trace.CollOMPJoin:
+			a.nxnWaits(parts, PropOMPRegion)
+		case trace.CollOMPSingle:
+			// Root is the executing thread; everyone else idles from
+			// arrival to release.
+			for i := range parts {
+				p := &parts[i]
+				if p.crank == p.root {
+					continue
+				}
+				if wait := p.time - p.aux; wait > 0 {
+					a.add(PropOMPSingle, wait, a.view.PathString(p.path), p.loc)
+				}
+			}
+		}
+	}
+}
+
+// nxnWaits attributes (maxEnter - enter) waiting to each participant of a
+// fully synchronizing operation.
+func (a *StreamAnalyzer) nxnWaits(parts []collPart, prop string) {
+	maxEnter := -1.0
+	for i := range parts {
+		if parts[i].aux > maxEnter {
+			maxEnter = parts[i].aux
+		}
+	}
+	for i := range parts {
+		p := &parts[i]
+		if wait := maxEnter - p.aux; wait > 0 {
+			a.add(prop, wait, a.view.PathString(p.path), p.loc)
+		}
+	}
+}
+
+// AnalyzeStream drains a merged chunk stream through a StreamAnalyzer.
+// The report is byte-identical to Analyze on the materialized trace of the
+// same run; peak memory is O(locations + open regions + pending compound
+// state) instead of O(events).
+func AnalyzeStream(src *trace.Stream, opt Options) (*Report, error) {
+	a := NewStreamAnalyzer(src, opt)
+	for {
+		ev, err := src.Next()
+		if err != nil {
+			return nil, err
+		}
+		if ev == nil {
+			break
+		}
+		a.Add(ev)
+	}
+	return a.Finish(), nil
+}

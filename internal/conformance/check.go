@@ -2,6 +2,7 @@ package conformance
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 
@@ -23,7 +24,10 @@ const (
 	AxisPositive = "positive"
 	// AxisNegative: a non-injected property rose above the noise floor.
 	AxisNegative = "negative"
-	// AxisDeterminism: the identical case produced a different profile hash.
+	// AxisDeterminism: the identical case produced a different profile
+	// hash.  The rerun goes through the streaming pipeline (chunk spool +
+	// incremental analysis), so this axis simultaneously proves that the
+	// streamed and materialized analysis paths are byte-identical.
 	AxisDeterminism = "determinism"
 )
 
@@ -64,7 +68,7 @@ type CheckOptions struct {
 	// |measured − expected| ≤ AbsTol + RelTol·expected + cost-model slack
 	// (defaults 0.05 and 0.002).
 	RelTol, AbsTol float64
-	// SkipDeterminism skips the second run and hash comparison.
+	// SkipDeterminism skips the second (streamed) run and hash comparison.
 	SkipDeterminism bool
 	// DropProperty removes an analyzer property from the report before
 	// checking — fault injection simulating a defective analyzer, used to
@@ -179,8 +183,13 @@ const sepRegion = "conformance_separator"
 // cf. core.CompositeAllMPI).  Pure-OpenMP properties run per rank on the
 // rank's own thread team.
 func runCase(cs Case, prof perturb.Profile) (*trace.Trace, error) {
+	return mpi.Run(mpi.Options{Procs: cs.Procs, Perturb: perturb.NewModel(prof)}, caseBody(cs))
+}
+
+// caseBody builds the per-rank program of the composite case.
+func caseBody(cs Case) func(c *mpi.Comm) {
 	team := omp.Options{Threads: cs.Threads}
-	return mpi.Run(mpi.Options{Procs: cs.Procs, Perturb: perturb.NewModel(prof)}, func(c *mpi.Comm) {
+	return func(c *mpi.Comm) {
 		c.Begin("conformance_case")
 		defer c.End()
 		for _, cp := range cs.Props {
@@ -190,7 +199,7 @@ func runCase(cs Case, prof perturb.Profile) (*trace.Trace, error) {
 			c.Barrier()
 			c.End()
 		}
-	})
+	}
 }
 
 // expectedWait returns the case-level closed-form wait for one injected
@@ -284,22 +293,17 @@ func Check(cs Case, opt CheckOptions) (Outcome, error) {
 	out.Violations = append(out.Violations, checkNegative(cs, rep, floor)...)
 
 	if !opt.SkipDeterminism && !hasNondeterministicWaits(cs) {
-		tr2, err := runCase(cs, opt.Perturb)
+		hash2, err := streamedCaseHash(cs, opt.Perturb)
 		if err != nil {
 			out.Violations = append(out.Violations, Violation{
-				Axis: AxisDeterminism, Detail: "rerun failed: " + err.Error(),
+				Axis: AxisDeterminism, Detail: "streamed rerun failed: " + err.Error(),
 			})
 			return out, nil
-		}
-		rep2 := analyzer.Analyze(tr2, analyzer.Options{Threshold: cs.Threshold})
-		hash2, err := caseHash(cs, tr2, rep2)
-		if err != nil {
-			return out, err
 		}
 		if hash2 != out.Hash {
 			out.Violations = append(out.Violations, Violation{
 				Axis:   AxisDeterminism,
-				Detail: fmt.Sprintf("profile hash changed across identical runs: %s != %s", out.Hash, hash2),
+				Detail: fmt.Sprintf("profile hash changed between in-memory and streamed run: %s != %s", out.Hash, hash2),
 			})
 		}
 	}
@@ -309,11 +313,60 @@ func Check(cs Case, opt CheckOptions) (Outcome, error) {
 // caseHash builds the canonical profile of a run and returns its content
 // address — the determinism oracle.
 func caseHash(cs Case, tr *trace.Trace, rep *analyzer.Report) (string, error) {
-	prof := profile.FromRun("conformance", tr, rep, profile.RunInfo{
+	prof := profile.FromRun("conformance", tr, rep, caseRunInfo(cs))
+	return prof.Hash()
+}
+
+func caseRunInfo(cs Case) profile.RunInfo {
+	return profile.RunInfo{
 		Procs: cs.Procs, Threads: cs.Threads,
 		Params: map[string]string{"seed": fmt.Sprintf("%d", cs.Seed)},
-	})
-	return prof.Hash()
+	}
+}
+
+// streamedCaseHash re-executes the case through the bounded-memory
+// streaming pipeline — events spilled to a temporary chunk spool, analyzed
+// incrementally, never materialized — and returns the resulting profile
+// hash.  Comparing it against the in-memory hash checks determinism and
+// streamed/materialized equivalence in one shot.
+func streamedCaseHash(cs Case, prof perturb.Profile) (string, error) {
+	f, err := os.CreateTemp("", "conformance-spool-*.atsc")
+	if err != nil {
+		return "", err
+	}
+	spool := f.Name()
+	f.Close()
+	defer os.Remove(spool)
+
+	w, err := trace.NewChunkWriter(spool, trace.DefaultSpillEvents)
+	if err != nil {
+		return "", err
+	}
+	opts := mpi.Options{Procs: cs.Procs, Perturb: perturb.NewModel(prof), Sink: w}
+	if _, err := mpi.Run(opts, caseBody(cs)); err != nil {
+		w.Abort()
+		return "", err
+	}
+	if err := w.Close(); err != nil {
+		return "", err
+	}
+
+	r, err := trace.OpenChunkFile(spool)
+	if err != nil {
+		return "", err
+	}
+	st, err := trace.NewStream(r)
+	if err != nil {
+		r.Close()
+		return "", err
+	}
+	defer st.Close()
+	rep, err := analyzer.AnalyzeStream(st, analyzer.Options{Threshold: cs.Threshold})
+	if err != nil {
+		return "", err
+	}
+	p := profile.FromAnalysis("conformance", profile.TraceInfoOfStream(st), rep, caseRunInfo(cs))
+	return p.Hash()
 }
 
 // checkPositive verifies that every injected property is detected as its

@@ -1,0 +1,49 @@
+package conformance
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analyzer"
+	"repro/internal/perturb"
+)
+
+// TestStreamedMatchesInMemory pins the streaming pipeline's equivalence
+// claim directly: for every committed corpus case, at every perturbation
+// level of the standard robustness sweep, the profile content hash of the
+// streamed run (chunk spool + incremental analysis, trace never
+// materialized) equals the in-memory run's.  Cases with legitimately
+// nondeterministic wait attribution are skipped, as in Check.
+func TestStreamedMatchesInMemory(t *testing.T) {
+	entries, err := LoadCorpus(filepath.Join("..", "..", "testdata", "conformance-corpus"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if hasNondeterministicWaits(e.Case) {
+			continue
+		}
+		for _, level := range DefaultLevels {
+			prof := perturb.Level(e.Case.Seed, level)
+
+			tr, err := runCase(e.Case, prof)
+			if err != nil {
+				t.Fatalf("%s level %d: in-memory run: %v", e.Name, level, err)
+			}
+			rep := analyzer.Analyze(tr, analyzer.Options{Threshold: e.Case.Threshold})
+			want, err := caseHash(e.Case, tr, rep)
+			if err != nil {
+				t.Fatalf("%s level %d: %v", e.Name, level, err)
+			}
+
+			got, err := streamedCaseHash(e.Case, prof)
+			if err != nil {
+				t.Fatalf("%s level %d: streamed run: %v", e.Name, level, err)
+			}
+			if got != want {
+				t.Errorf("%s level %d: streamed profile hash %s != in-memory %s",
+					e.Name, level, got, want)
+			}
+		}
+	}
+}

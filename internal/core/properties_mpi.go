@@ -1,20 +1,4 @@
-// Package core implements the heart of the APART Test Suite: the
-// performance property functions (paper §3.1.5), the property registry
-// that drives test-program generation (§3.2), and the composite test
-// program builders (§3.3).
-//
-// A performance property function is a routine which, when executed by all
-// participants of a parallel construct, exhibits exactly one well-defined
-// performance property (late sender, imbalance at barrier, …) whose
-// severity is controlled by its parameters.  Following the paper, most
-// functions take a generic distribution (function + descriptor) describing
-// the work imbalance, plus a repetition count; pattern-specific functions
-// (late_sender and friends) instead take explicit basework/extrawork
-// parameters because they require one particular distribution shape.
-//
-// Every property function wraps its body in a trace region named after the
-// property, so the analyzer's call-graph pane can localize each finding at
-// "<property>/<MPI call>" exactly as EXPERT does in paper Fig 3.5.
+// MPI point-to-point and collective property functions (paper §3.1.5).
 package core
 
 import (

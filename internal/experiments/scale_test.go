@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+)
+
+// TestScaleSmall runs the scale experiment at toy rank counts; the
+// streamed-vs-materialized hash and event-count assertions live inside
+// Scale itself, so a nil error is the equivalence check.
+func TestScaleSmall(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Scale(&buf, []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4 (2 rank counts x 2 modes)", len(rows))
+	}
+	for i := 0; i < len(rows); i += 2 {
+		s, m := rows[i], rows[i+1]
+		if s.Mode != "streamed" || m.Mode != "materialized" {
+			t.Fatalf("row pair %d: modes %q/%q", i, s.Mode, m.Mode)
+		}
+		if s.Hash != m.Hash || s.Events != m.Events {
+			t.Fatalf("P=%d: Scale returned mismatched rows despite passing: %+v vs %+v", s.Procs, s, m)
+		}
+		if s.PeakHeap == 0 || m.PeakHeap == 0 {
+			t.Fatalf("P=%d: zero peak-heap sample", s.Procs)
+		}
+	}
+	if !strings.Contains(buf.String(), "streamed") {
+		t.Fatal("Scale wrote no table")
+	}
+}
+
+// TestScaleStreamedHashIndependentOfWorkers runs the streamed pipeline
+// concurrently on the campaign pool at different worker counts: the
+// profile hash of each run must match the sequential run's, no matter how
+// the jobs interleave — the same output-identity guarantee the experiment
+// campaigns make for the materialized path.
+func TestScaleStreamedHashIndependentOfWorkers(t *testing.T) {
+	const jobs = 6
+	hashes := func(workers int) []string {
+		out := make([]string, jobs)
+		err := campaign.Stream(jobs,
+			campaign.Options{Workers: workers},
+			func(i int) (string, error) {
+				_, h, err := runScaleStreamed(2+i%3, scaleBody)
+				return h, err
+			},
+			func(i int, h string) error {
+				out[i] = h
+				return nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	seq := hashes(1)
+	par := hashes(8)
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("job %d: hash differs between -j 1 (%s) and -j 8 (%s)", i, seq[i], par[i])
+		}
+	}
+}

@@ -41,6 +41,15 @@ type Options struct {
 	// Virtual-mode runs; nil leaves the run exactly unperturbed.  See
 	// package perturb.
 	Perturb *perturb.Model
+	// Sink, when non-nil, streams trace events out of the run as ranks
+	// execute instead of materializing them: every per-location buffer
+	// is attached to the sink, spills chunk frames while recording, and
+	// is finished as its executor completes.  Run then returns a nil
+	// trace — open the sink's spool with trace.OpenChunkFile /
+	// trace.NewStream and analyze with analyzer.AnalyzeStream, which
+	// yields a report byte-identical to the materialized path at
+	// O(locations) memory.  Ignored when Untraced.
+	Sink trace.Sink
 }
 
 func (o Options) withDefaults() Options {
@@ -275,6 +284,20 @@ func Run(opt Options, body func(c *Comm)) (*trace.Trace, error) {
 		worldCore.ranks[i] = i
 	}
 
+	streaming := opt.Sink != nil && !opt.Untraced
+	var sinkMu sync.Mutex
+	var sinkErr error
+	noteSinkErr := func(err error) {
+		if err == nil {
+			return
+		}
+		sinkMu.Lock()
+		if sinkErr == nil {
+			sinkErr = err
+		}
+		sinkMu.Unlock()
+	}
+
 	rootRNG := work.NewRNG(opt.Seed)
 	w.procs = make([]*proc, opt.Procs)
 	comms := make([]*Comm, opt.Procs)
@@ -283,13 +306,28 @@ func Run(opt Options, body func(c *Comm)) (*trace.Trace, error) {
 		var tb *trace.Buffer
 		if !opt.Untraced {
 			tb = trace.NewBuffer(loc)
+			if streaming {
+				opt.Sink.Attach(tb)
+			}
 		}
 		clock := vtime.NewClock(opt.Mode, w.epoch)
 		if opt.Perturb != nil && opt.Mode == vtime.Virtual {
 			clock.SetPerturber(opt.Perturb.Executor(i, opt.Procs))
 		}
 		ctx := xctx.New(clock, tb, rootRNG.Fork(uint64(i)), loc)
-		if !opt.Untraced {
+		if streaming {
+			// Sub-executor buffers stream too: attached at fork, and at
+			// the join (the thread is complete) flushed and recycled
+			// instead of being kept for a final merge.
+			ctx.Spill = opt.Sink.Attach
+			ctx.Adopt = func(b *trace.Buffer) {
+				if b == nil {
+					return
+				}
+				noteSinkErr(opt.Sink.Finish(b))
+				b.Release()
+			}
+		} else if !opt.Untraced {
 			ctx.Adopt = w.adoptBuffer
 		}
 		p := &proc{
@@ -365,6 +403,19 @@ func Run(opt Options, body func(c *Comm)) (*trace.Trace, error) {
 	}
 
 	if opt.Untraced {
+		return nil, runErr
+	}
+	if streaming {
+		// Flush the rank buffers' tails; adopted thread buffers were
+		// already finished at their joins.  Ranks have all exited
+		// (wg.Wait above), so no goroutine is still recording.
+		for _, p := range w.procs {
+			noteSinkErr(opt.Sink.Finish(p.ctx.TB))
+			p.ctx.TB.Release()
+		}
+		if runErr == nil {
+			runErr = sinkErr
+		}
 		return nil, runErr
 	}
 	buffers := make([]*trace.Buffer, 0, opt.Procs+len(w.adopted))

@@ -31,6 +31,10 @@ type RunOptions struct {
 	// inherit per-executor perturbers); nil leaves the run exactly
 	// unperturbed.  See package perturb.
 	Perturb *perturb.Model
+	// Sink, when non-nil, streams trace events out of the run as it
+	// executes (see mpi.Options.Sink): buffers spill chunk frames while
+	// recording and Run returns a nil trace.  Ignored when Untraced.
+	Sink trace.Sink
 }
 
 // Run executes body as a standalone OpenMP-style program on a fresh
@@ -48,10 +52,14 @@ func Run(opt RunOptions, body func(ctx *xctx.Ctx, opt Options)) (*trace.Trace, e
 		vtime.Calibrate()
 		work.CalibrateReal()
 	}
+	streaming := opt.Sink != nil && !opt.Untraced
 	loc := trace.Location{Rank: 0, Thread: 0}
 	var tb *trace.Buffer
 	if !opt.Untraced {
 		tb = trace.NewBuffer(loc)
+		if streaming {
+			opt.Sink.Attach(tb)
+		}
 	}
 	clock := vtime.NewClock(opt.Mode, time.Now())
 	if opt.Perturb != nil && opt.Mode == vtime.Virtual {
@@ -61,7 +69,23 @@ func Run(opt RunOptions, body func(ctx *xctx.Ctx, opt Options)) (*trace.Trace, e
 
 	var mu sync.Mutex
 	var adopted []*trace.Buffer
-	if !opt.Untraced {
+	var sinkErr error
+	if streaming {
+		// Thread buffers stream: attached at fork, flushed and recycled
+		// at the join (see mpi.Options.Sink).
+		ctx.Spill = opt.Sink.Attach
+		ctx.Adopt = func(b *trace.Buffer) {
+			if b == nil {
+				return
+			}
+			mu.Lock()
+			if err := opt.Sink.Finish(b); err != nil && sinkErr == nil {
+				sinkErr = err
+			}
+			mu.Unlock()
+			b.Release()
+		}
+	} else if !opt.Untraced {
 		ctx.Adopt = func(b *trace.Buffer) {
 			mu.Lock()
 			adopted = append(adopted, b)
@@ -80,6 +104,18 @@ func Run(opt RunOptions, body func(ctx *xctx.Ctx, opt Options)) (*trace.Trace, e
 	}()
 
 	if opt.Untraced {
+		return nil, runErr
+	}
+	if streaming {
+		// Flush the master buffer's tail (all team threads joined before
+		// the body returned, so every other buffer is already finished).
+		if err := opt.Sink.Finish(tb); err != nil && runErr == nil && sinkErr == nil {
+			sinkErr = err
+		}
+		tb.Release()
+		if runErr == nil {
+			runErr = sinkErr
+		}
 		return nil, runErr
 	}
 	mu.Lock()

@@ -13,6 +13,11 @@
 // content address.  That stable identity is what the regression store
 // (package regress) is built on, in the spirit of Perun's version-indexed
 // performance profiles.
+//
+// Profiles come from FromRun (materialized trace) or FromAnalysis
+// (streamed runs, where no trace ever exists); both produce byte-identical
+// output for the same run.  doc/FORMATS.md specifies the schema-1 JSON
+// encoding and the hashing rules normatively.
 package profile
 
 import (
@@ -130,16 +135,45 @@ type Profile struct {
 	Properties []Property `json:"properties"`
 }
 
+// TraceInfo carries the trace-shape metadata a profile records: the
+// location grid and the event count.  FromRun derives it from a
+// materialized trace; streaming runs derive it from the drained
+// trace.Stream (TraceInfoOfStream), where no trace ever exists.
+type TraceInfo struct {
+	Ranks, Threads int
+	Events         int
+}
+
+// TraceInfoOf extracts the shape metadata of a materialized trace.
+func TraceInfoOf(tr *trace.Trace) TraceInfo {
+	ranks, threads := tr.Shape()
+	return TraceInfo{Ranks: ranks, Threads: threads, Events: len(tr.Events)}
+}
+
+// TraceInfoOfStream extracts the shape metadata of a drained stream; the
+// result equals TraceInfoOf on the materialized trace of the same run.
+func TraceInfoOfStream(st *trace.Stream) TraceInfo {
+	ranks, threads := st.Shape()
+	return TraceInfo{Ranks: ranks, Threads: threads, Events: st.Events()}
+}
+
 // FromRun extracts the canonical profile of one analyzed run.  Zero
 // fields of run are filled from the trace (Procs/Threads from the
 // location grid, Clock defaulting to "virtual").
 func FromRun(experiment string, tr *trace.Trace, rep *analyzer.Report, run RunInfo) *Profile {
-	ranks, threads := tr.Shape()
+	return FromAnalysis(experiment, TraceInfoOf(tr), rep, run)
+}
+
+// FromAnalysis extracts the canonical profile from a report plus explicit
+// trace-shape metadata — the entry point for streamed runs, whose events
+// were never materialized.  A streamed and a materialized analysis of the
+// same run produce byte-identical profiles (and so the same content hash).
+func FromAnalysis(experiment string, info TraceInfo, rep *analyzer.Report, run RunInfo) *Profile {
 	if run.Procs == 0 {
-		run.Procs = ranks
+		run.Procs = info.Ranks
 	}
 	if run.Threads == 0 {
-		run.Threads = threads
+		run.Threads = info.Threads
 	}
 	if run.Clock == "" {
 		run.Clock = "virtual"
@@ -151,7 +185,7 @@ func FromRun(experiment string, tr *trace.Trace, rep *analyzer.Report, run RunIn
 		Duration:   quantize(rep.Duration),
 		TotalTime:  quantize(rep.TotalTime),
 		Threshold:  quantize(rep.Threshold),
-		Events:     len(tr.Events),
+		Events:     info.Events,
 		Messages:   rep.Messages,
 	}
 	p.Messages.AvgBytes = quantize(p.Messages.AvgBytes)

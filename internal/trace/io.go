@@ -26,6 +26,8 @@ import (
 // All multi-byte integers are varint-encoded; floats are IEEE-754 bits in
 // little-endian order.  The format is self-contained: a trace written by
 // cmd binaries can be re-read by cmd/atsanalyze and cmd/atstrace.
+// doc/FORMATS.md is the normative spec of this encoding and of the ATSC
+// chunk-spool variant (see chunk.go).
 
 var magic = [4]byte{'A', 'T', 'S', '1'}
 
@@ -182,7 +184,14 @@ func readFloat(r io.ByteReader) (float64, error) {
 	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
 }
 
-func readString(r *bufio.Reader) (string, error) {
+// byteScanner is the reader shape the decoding helpers need; both
+// *bufio.Reader (trace files) and *bytes.Reader (chunk frames) satisfy it.
+type byteScanner interface {
+	io.Reader
+	io.ByteReader
+}
+
+func readString(r byteScanner) (string, error) {
 	n, err := binary.ReadUvarint(r)
 	if err != nil {
 		return "", err
@@ -352,35 +361,7 @@ func Read(r io.Reader) (*Trace, error) {
 	for i := uint64(0); i < nEvents; i++ {
 		t.Events = append(t.Events, Event{})
 		ev := &t.Events[len(t.Events)-1]
-		if ev.Time, err = readFloat(br); err != nil {
-			return nil, err
-		}
-		if ev.Aux, err = readFloat(br); err != nil {
-			return nil, err
-		}
-		var fixed [3]byte
-		if _, err := io.ReadFull(br, fixed[:]); err != nil {
-			return nil, err
-		}
-		ev.Kind, ev.Coll, ev.Flags = Kind(fixed[0]), CollKind(fixed[1]), fixed[2]
-		dst := []*int64{nil, nil, nil, nil, nil, nil, nil, &ev.Bytes, nil, nil}
-		var ints [10]int64
-		for j := range ints {
-			v, err := binary.ReadVarint(br)
-			if err != nil {
-				return nil, err
-			}
-			ints[j] = v
-			if dst[j] != nil {
-				*dst[j] = v
-			}
-		}
-		ev.Loc = Location{Rank: int32(ints[0]), Thread: int32(ints[1])}
-		ev.Region = RegionID(ints[2])
-		ev.Path = PathID(ints[3])
-		ev.Peer, ev.CRank, ev.Tag = int32(ints[4]), int32(ints[5]), int32(ints[6])
-		ev.Root, ev.Comm = int32(ints[8]), int32(ints[9])
-		if ev.Match, err = binary.ReadUvarint(br); err != nil {
+		if err := readEventBody(br, ev); err != nil {
 			return nil, err
 		}
 		if int(ev.Path) >= len(t.PathParent) {
@@ -388,6 +369,42 @@ func Read(r io.Reader) (*Trace, error) {
 		}
 	}
 	return t, nil
+}
+
+// readEventBody decodes one event in the writeEvent encoding.  It is
+// shared by the ATS1 trace reader and the ATSC chunk-frame reader; callers
+// validate the decoded ids against their own tables.
+func readEventBody(r byteScanner, ev *Event) error {
+	var err error
+	if ev.Time, err = readFloat(r); err != nil {
+		return err
+	}
+	if ev.Aux, err = readFloat(r); err != nil {
+		return err
+	}
+	var fixed [3]byte
+	if _, err := io.ReadFull(r, fixed[:]); err != nil {
+		return err
+	}
+	ev.Kind, ev.Coll, ev.Flags = Kind(fixed[0]), CollKind(fixed[1]), fixed[2]
+	var ints [10]int64
+	for j := range ints {
+		v, err := binary.ReadVarint(r)
+		if err != nil {
+			return err
+		}
+		ints[j] = v
+	}
+	ev.Loc = Location{Rank: int32(ints[0]), Thread: int32(ints[1])}
+	ev.Region = RegionID(ints[2])
+	ev.Path = PathID(ints[3])
+	ev.Peer, ev.CRank, ev.Tag = int32(ints[4]), int32(ints[5]), int32(ints[6])
+	ev.Bytes = ints[7]
+	ev.Root, ev.Comm = int32(ints[8]), int32(ints[9])
+	if ev.Match, err = binary.ReadUvarint(r); err != nil {
+		return err
+	}
+	return nil
 }
 
 // ReadFile deserializes a trace from the named file.

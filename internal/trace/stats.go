@@ -48,7 +48,7 @@ func ComputeStats(t *Trace) *Stats {
 // resolved once per event, instead of the three map lookups per event the
 // original implementation paid.
 type StatsBuilder struct {
-	t        *Trace
+	names    RegionNamer
 	locIndex map[Location]int32
 	locs     []Location // insertion order of first appearance
 	perLoc   []locState
@@ -68,15 +68,24 @@ type locState struct {
 
 // NewStatsBuilder returns a builder for events of t.
 func NewStatsBuilder(t *Trace) *StatsBuilder {
+	sb := NewStatsBuilderFor(t)
 	n := len(t.Locations)
-	sb := &StatsBuilder{
-		t:        t,
-		locIndex: make(map[Location]int32, n),
-		locs:     make([]Location, 0, n),
-		perLoc:   make([]locState, 0, n),
+	sb.locIndex = make(map[Location]int32, n)
+	sb.locs = make([]Location, 0, n)
+	sb.perLoc = make([]locState, 0, n)
+	return sb
+}
+
+// NewStatsBuilderFor returns a builder resolving region names through any
+// RegionNamer — in particular a Stream, which lets the analyzer build the
+// flat profile incrementally without a materialized trace.  The
+// accumulation arithmetic is identical to NewStatsBuilder's.
+func NewStatsBuilderFor(names RegionNamer) *StatsBuilder {
+	return &StatsBuilder{
+		names:    names,
+		locIndex: make(map[Location]int32),
 		regions:  make(map[string]map[Location]*RegionStat),
 	}
-	return sb
 }
 
 func (sb *StatsBuilder) locState(loc Location, time float64) *locState {
@@ -97,7 +106,7 @@ func (sb *StatsBuilder) Add(ev *Event) {
 	switch ev.Kind {
 	case KindEnter:
 		ls.stack = append(ls.stack, statsFrame{
-			region: sb.t.RegionName(ev.Region), enter: ev.Time,
+			region: sb.names.RegionName(ev.Region), enter: ev.Time,
 		})
 	case KindExit:
 		if len(ls.stack) == 0 {

@@ -1,0 +1,361 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// RegionNamer resolves region ids to names.  Both the materialized Trace
+// and the streaming Stream implement it; StatsBuilder only needs this
+// slice of the trace API.
+type RegionNamer interface {
+	RegionName(RegionID) string
+}
+
+// View is the read-only name/path resolution interface shared by Trace and
+// Stream.  The analyzer renders call paths through it, so the streamed and
+// materialized paths produce identical strings.
+type View interface {
+	RegionNamer
+	PathString(p PathID) string
+}
+
+var (
+	_ View = (*Trace)(nil)
+	_ View = (*Stream)(nil)
+)
+
+// streamSource is one location's frame sequence feeding a Stream: chunk
+// cursors for spooled runs, buffer adapters for in-memory ones.
+type streamSource interface {
+	loc() Location
+	// next returns the next frame of locally-interned events, or nil at
+	// end of stream.  The slice is only valid until the following call.
+	next() ([]Event, error)
+	// tables exposes the source's local intern tables as of the last next
+	// call; entries are append-only across frames.
+	tables() (regions []string, pathParent []PathID, pathRegion []RegionID)
+}
+
+// bufferSource adapts an in-memory Buffer as a single-frame source.
+type bufferSource struct {
+	b    *Buffer
+	done bool
+}
+
+func (s *bufferSource) loc() Location { return s.b.Loc }
+
+func (s *bufferSource) next() ([]Event, error) {
+	if s.done {
+		return nil, nil
+	}
+	s.done = true
+	return s.b.events, nil
+}
+
+func (s *bufferSource) tables() ([]string, []PathID, []RegionID) {
+	return s.b.regions, s.b.pathParent, s.b.pathRegion
+}
+
+// sourceState is the per-source merge state: the current remapped frame
+// and the local→global id maps, grown as the local tables grow.
+type sourceState struct {
+	src       streamSource
+	cur       []Event
+	pos       int
+	regionMap []RegionID
+	pathMap   []PathID
+}
+
+// Stream is a k-way merge over per-location event streams, delivering
+// events in exactly the order trace.Merge would: (Time, Location), with
+// within-location order preserved.  Region names and call paths are
+// interned globally and incrementally, so a Stream implements View and the
+// analyzer can consume it in place of a Trace while holding only
+// O(locations + intern tables + one frame per location) memory.
+type Stream struct {
+	srcs []sourceState
+	heap []int
+
+	regions    []string
+	regionIDs  map[string]RegionID
+	pathParent []PathID
+	pathRegion []RegionID
+	pathChild  map[pathKey]PathID
+	pathStrs   []string // rendered alongside the path table
+
+	locs   []Location
+	events int
+	first  float64
+	last   float64
+
+	evBuf   Event
+	err     error
+	closers []io.Closer
+}
+
+// NewStream merges the streams of one or more chunk spools.  The readers'
+// locations must be pairwise distinct.  Closing the stream closes the
+// readers.
+func NewStream(readers ...*ChunkReader) (*Stream, error) {
+	var srcs []streamSource
+	var closers []io.Closer
+	for _, r := range readers {
+		for _, c := range r.cursors() {
+			srcs = append(srcs, c)
+		}
+		closers = append(closers, r)
+	}
+	return newStream(srcs, closers)
+}
+
+// NewBufferStream merges in-memory buffers, mirroring Merge's input shape.
+// It exists for tests and for analyzing without a spool file; the buffers
+// must not be recorded into or released while the stream is live.
+func NewBufferStream(buffers ...*Buffer) (*Stream, error) {
+	var srcs []streamSource
+	for _, b := range buffers {
+		if b == nil {
+			continue
+		}
+		srcs = append(srcs, &bufferSource{b: b})
+	}
+	return newStream(srcs, nil)
+}
+
+func newStream(sources []streamSource, closers []io.Closer) (*Stream, error) {
+	// Sources are ordered by location, making the merge independent of
+	// argument order (locations are unique per source, so the heap's
+	// source-index tiebreak is never reached across sources).
+	sort.Slice(sources, func(i, j int) bool { return sources[i].loc().less(sources[j].loc()) })
+	st := &Stream{
+		regionIDs:  make(map[string]RegionID),
+		pathParent: []PathID{-1},
+		pathRegion: []RegionID{-1},
+		pathStrs:   []string{""},
+		pathChild:  make(map[pathKey]PathID),
+		closers:    closers,
+	}
+	for i, src := range sources {
+		if i > 0 && !sources[i-1].loc().less(src.loc()) {
+			st.Close()
+			return nil, fmt.Errorf("trace: stream: duplicate location %v", src.loc())
+		}
+		st.locs = append(st.locs, src.loc())
+		st.srcs = append(st.srcs, sourceState{src: src})
+	}
+	for i := range st.srcs {
+		if err := st.refill(i); err != nil {
+			st.Close()
+			return nil, err
+		}
+		if st.srcs[i].cur != nil {
+			st.heap = append(st.heap, i)
+		}
+	}
+	for i := len(st.heap)/2 - 1; i >= 0; i-- {
+		st.siftDown(i)
+	}
+	return st, nil
+}
+
+// intern maps a region name to its global id.
+func (st *Stream) intern(name string) RegionID {
+	if id, ok := st.regionIDs[name]; ok {
+		return id
+	}
+	id := RegionID(len(st.regions))
+	st.regions = append(st.regions, name)
+	st.regionIDs[name] = id
+	return id
+}
+
+// child returns (creating if needed) the global path node for region under
+// parent, rendering its string form on creation — the same concatenation
+// Trace.PathString caches, so rendered paths are identical.
+func (st *Stream) child(parent PathID, region RegionID) PathID {
+	k := pathKey{parent, region}
+	if id, ok := st.pathChild[k]; ok {
+		return id
+	}
+	id := PathID(len(st.pathParent))
+	st.pathParent = append(st.pathParent, parent)
+	st.pathRegion = append(st.pathRegion, region)
+	leaf := st.regions[region]
+	if parent > PathRoot {
+		st.pathStrs = append(st.pathStrs, st.pathStrs[parent]+"/"+leaf)
+	} else {
+		st.pathStrs = append(st.pathStrs, leaf)
+	}
+	st.pathChild[k] = id
+	return id
+}
+
+// refill loads source i's next non-empty frame, extends its id maps from
+// the grown local tables, and remaps the frame's events to global ids in
+// place.  cur is nil once the source is exhausted.
+func (st *Stream) refill(i int) error {
+	s := &st.srcs[i]
+	for {
+		evs, err := s.src.next()
+		if err != nil {
+			return err
+		}
+		if evs == nil {
+			s.cur, s.pos = nil, 0
+			return nil
+		}
+		regions, pathParent, pathRegion := s.src.tables()
+		for j := len(s.regionMap); j < len(regions); j++ {
+			s.regionMap = append(s.regionMap, st.intern(regions[j]))
+		}
+		for j := len(s.pathMap); j < len(pathParent); j++ {
+			if j == 0 {
+				s.pathMap = append(s.pathMap, PathRoot)
+				continue
+			}
+			// Parents precede children in the local table, so the
+			// parent's global id is already mapped.
+			s.pathMap = append(s.pathMap, st.child(s.pathMap[pathParent[j]], s.regionMap[pathRegion[j]]))
+		}
+		if len(evs) == 0 {
+			continue
+		}
+		for j := range evs {
+			ev := &evs[j]
+			if ev.Kind == KindEnter || ev.Kind == KindExit {
+				ev.Region = s.regionMap[ev.Region]
+			}
+			ev.Path = s.pathMap[ev.Path]
+		}
+		s.cur, s.pos = evs, 0
+		return nil
+	}
+}
+
+// less orders heap candidates exactly like Merge: (Time, Location, source
+// index).
+func (st *Stream) less(a, b int) bool {
+	ea := &st.srcs[a].cur[st.srcs[a].pos]
+	eb := &st.srcs[b].cur[st.srcs[b].pos]
+	if ea.Time != eb.Time {
+		return ea.Time < eb.Time
+	}
+	if ea.Loc != eb.Loc {
+		return ea.Loc.less(eb.Loc)
+	}
+	return a < b
+}
+
+func (st *Stream) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(st.heap) && st.less(st.heap[l], st.heap[small]) {
+			small = l
+		}
+		if r < len(st.heap) && st.less(st.heap[r], st.heap[small]) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		st.heap[i], st.heap[small] = st.heap[small], st.heap[i]
+		i = small
+	}
+}
+
+// Next returns the next event in merged order, or (nil, nil) at end of
+// stream.  The returned pointer is only valid until the following call.
+// Errors are sticky.
+func (st *Stream) Next() (*Event, error) {
+	if st.err != nil {
+		return nil, st.err
+	}
+	if len(st.heap) == 0 {
+		return nil, nil
+	}
+	i := st.heap[0]
+	s := &st.srcs[i]
+	// Copy before refilling: the source reuses its frame storage.
+	st.evBuf = s.cur[s.pos]
+	s.pos++
+	if s.pos == len(s.cur) {
+		if err := st.refill(i); err != nil {
+			st.err = err
+			return nil, err
+		}
+		if s.cur == nil {
+			st.heap[0] = st.heap[len(st.heap)-1]
+			st.heap = st.heap[:len(st.heap)-1]
+		}
+	}
+	st.siftDown(0)
+	if st.events == 0 {
+		st.first = st.evBuf.Time
+	}
+	st.last = st.evBuf.Time
+	st.events++
+	return &st.evBuf, nil
+}
+
+// RegionName implements View over the global intern table.
+func (st *Stream) RegionName(id RegionID) string {
+	if id < 0 || int(id) >= len(st.regions) {
+		return "?"
+	}
+	return st.regions[id]
+}
+
+// PathString implements View; rendered forms match Trace.PathString.
+func (st *Stream) PathString(p PathID) string {
+	if p <= PathRoot || int(p) >= len(st.pathStrs) {
+		return ""
+	}
+	return st.pathStrs[p]
+}
+
+// Locations returns the stream's locations in rank-major order (the same
+// set Merge records in Trace.Locations).
+func (st *Stream) Locations() []Location { return st.locs }
+
+// Shape mirrors Trace.Shape: distinct ranks and the maximum thread count.
+func (st *Stream) Shape() (ranks, threads int) {
+	seen := make(map[int32]bool)
+	for _, loc := range st.locs {
+		if !seen[loc.Rank] {
+			seen[loc.Rank] = true
+			ranks++
+		}
+		if n := int(loc.Thread) + 1; n > threads {
+			threads = n
+		}
+	}
+	return ranks, threads
+}
+
+// Events returns the number of events delivered so far (after the stream
+// is drained: the total event count, mirroring len(Trace.Events)).
+func (st *Stream) Events() int { return st.events }
+
+// Duration returns the time span between the first and last delivered
+// event, mirroring Trace.Duration once the stream is drained.
+func (st *Stream) Duration() float64 {
+	if st.events == 0 {
+		return 0
+	}
+	return st.last - st.first
+}
+
+// Close releases the underlying readers.
+func (st *Stream) Close() error {
+	var first error
+	for _, c := range st.closers {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	st.closers = nil
+	return first
+}

@@ -6,11 +6,18 @@
 // event traces directly: region enter/exit, point-to-point message events,
 // collective-operation events, and thread fork/join.  Each execution
 // location (MPI rank × OpenMP thread) writes to its own Buffer without
-// locking; buffers are merged into a Trace afterwards.
+// locking; buffers are merged into a Trace afterwards — or, when a Sink
+// is attached, spilled to an on-disk chunk spool during the run and
+// re-merged incrementally by a Stream, so analysis memory stays bounded
+// at large rank counts.
 //
 // Call paths are interned as a tree so that every event carries the full
 // dynamic call path at constant cost — the analyzer's "call graph pane"
 // (paper Fig 3.5) is reconstructed from these path ids.
+//
+// Two binary encodings exist: the merged ATS1 trace (Write/Read) and the
+// ATSC chunk spool (ChunkWriter/OpenChunkFile); doc/FORMATS.md is the
+// normative spec of both.
 package trace
 
 import (
@@ -213,6 +220,14 @@ type Buffer struct {
 	stack  []PathID // current path stack; top is current path
 	cur    PathID
 	seeded int // frames installed by Seed (not matched by Exit)
+
+	// Streaming mode: when sink is non-nil the buffer spills its event
+	// slab as a chunk frame whenever it reaches spillAt events, so memory
+	// stays bounded however long the run is.  The intern tables are never
+	// spilled away — paths and regions keep their local ids across frames
+	// and the sink writes table deltas per frame.  Set via Sink.Attach.
+	sink    *ChunkWriter
+	spillAt int
 }
 
 type pathKey struct {
@@ -261,7 +276,18 @@ func (b *Buffer) Release() {
 	b.stack = b.stack[:0]
 	b.cur = PathRoot
 	b.seeded = 0
+	b.sink = nil
+	b.spillAt = 0
 	bufferPool.Put(b)
+}
+
+// maybeSpill hands the event slab to the attached sink once it reaches the
+// spill threshold.  Inlined into every recording path; the nil check keeps
+// the non-streaming fast path a single compare.
+func (b *Buffer) maybeSpill() {
+	if b.sink != nil && len(b.events) >= b.spillAt {
+		b.sink.spill(b)
+	}
 }
 
 // region interns a region name.
@@ -301,6 +327,7 @@ func (b *Buffer) Enter(name string, t float64) {
 	b.events = append(b.events, Event{
 		Time: t, Kind: KindEnter, Loc: b.Loc, Region: r, Path: b.cur,
 	})
+	b.maybeSpill()
 }
 
 // StackNames returns the names of the currently open regions, outermost
@@ -352,6 +379,7 @@ func (b *Buffer) Exit(t float64) {
 	})
 	b.cur = b.stack[len(b.stack)-1]
 	b.stack = b.stack[:len(b.stack)-1]
+	b.maybeSpill()
 }
 
 // Depth returns the current region-stack depth, excluding seeded frames.
@@ -370,6 +398,7 @@ func (b *Buffer) Record(ev Event) {
 	ev.Loc = b.Loc
 	ev.Path = b.cur
 	b.events = append(b.events, ev)
+	b.maybeSpill()
 }
 
 // Len reports the number of recorded events.

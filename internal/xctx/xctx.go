@@ -26,8 +26,15 @@ type Ctx struct {
 	// fresh, non-colliding thread ids).
 	ThreadSeq *atomic.Int32
 	// Adopt registers a sub-executor's trace buffer with the run so it
-	// is included in the final merge; nil when tracing is disabled.
+	// is included in the final merge; nil when tracing is disabled.  In
+	// streaming runs Adopt instead finishes the buffer against the
+	// run's trace.Sink (the thread has joined, so its stream is
+	// complete) and recycles it immediately.
 	Adopt func(*trace.Buffer)
+	// Spill attaches a freshly forked sub-executor's buffer to the
+	// run's trace.Sink so its events are spilled as chunk frames while
+	// the thread executes; nil outside streaming runs.
+	Spill func(*trace.Buffer)
 }
 
 // New creates a root context for the given location.  The clock must be
@@ -78,12 +85,16 @@ func (c *Ctx) Fork() *Ctx {
 		Loc:       loc,
 		ThreadSeq: c.ThreadSeq,
 		Adopt:     c.Adopt,
+		Spill:     c.Spill,
 	}
 	if c.TB != nil {
 		child.TB = trace.NewBuffer(loc)
 		// The child's events carry the parent's dynamic call path, as in
 		// EXPERT's call-tree model.
 		child.TB.Seed(c.TB.StackNames())
+		if c.Spill != nil {
+			c.Spill(child.TB)
+		}
 	}
 	return child
 }
