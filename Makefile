@@ -18,6 +18,10 @@
 #   make docs    — documentation conformance: every relative markdown link
 #                  resolves, and the README command-line reference matches
 #                  the flags the cmd/ binaries define.
+#   make server-smoke — end-to-end atsd smoke: start the analysis server
+#                  on a temp store, submit a conformance case and a
+#                  streamed ATSC upload, verify dedup caching, and verify
+#                  injected drift fails the client with exit 1.
 
 GO ?= go
 STORE := testdata/regress-store
@@ -26,7 +30,7 @@ CORPUS := testdata/conformance-corpus
 FUZZ_SEEDS ?= 100
 BENCH_DIR := testdata/bench
 
-.PHONY: check vet build test race smoke fuzz baseline bench-json docs
+.PHONY: check vet build test race smoke fuzz baseline bench-json docs server-smoke
 
 check: vet build test race smoke docs
 
@@ -64,3 +68,6 @@ bench-json:
 
 docs:
 	$(GO) test -run '^TestDocs' .
+
+server-smoke:
+	GO="$(GO)" sh scripts/server-smoke.sh

@@ -199,6 +199,39 @@ func RunPropertyStream(name string, procs, threads int, threshold float64, a cor
 	})
 }
 
+// SpoolProperty runs one registered property function with events
+// spilled to an ATSC chunk spool at path, leaving the spool on disk
+// instead of analyzing it — the producer half of the streaming
+// pipeline, for handing a run to another process (e.g. uploading to an
+// atsd analysis server).  Analyzing the spool elsewhere yields a report
+// byte-identical to running the property in-process.
+func SpoolProperty(name string, procs, threads int, a core.Args, path string) error {
+	spec, ok := core.Get(name)
+	if !ok {
+		return fmt.Errorf("ats: unknown property %q (have %v)", name, core.Names())
+	}
+	w, err := trace.NewChunkWriter(path, trace.DefaultSpillEvents)
+	if err != nil {
+		return err
+	}
+	team := omp.Options{Threads: threads}
+	var runErr error
+	if spec.Paradigm == core.ParadigmOMP {
+		_, runErr = omp.Run(OMPOptions{Threads: threads, Sink: w}, func(ctx *xctx.Ctx, _ TeamOptions) {
+			spec.Run(core.Env{Ctx: ctx, OMP: team}, a)
+		})
+	} else {
+		_, runErr = mpi.Run(MPIOptions{Procs: procs, Sink: w}, func(c *mpi.Comm) {
+			spec.Run(core.Env{Comm: c, Ctx: c.Ctx(), OMP: team}, a)
+		})
+	}
+	if runErr != nil {
+		w.Abort()
+		return runErr
+	}
+	return w.Close()
+}
+
 // RunProperty runs one registered property function as a single-property
 // test program (paper §3.2) in a fresh environment and returns the trace.
 // Pure-OpenMP properties run on a standalone team of `threads` threads;

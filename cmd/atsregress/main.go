@@ -13,6 +13,13 @@
 //	atsregress diff  [-store DIR flags] A.json B.json   diff two files
 //	atsregress diff  [-store DIR flags] -name EXP B.json  vs stored baseline
 //	atsregress check [-store DIR flags] profile.json...  exit 1 on drift
+//	atsregress submit -server URL [-experiment E] [-save] file...
+//	atsregress ping   -server URL
+//
+// submit and ping talk to a running atsd server (see cmd/atsd) instead
+// of the local store: cases and traces are analyzed server-side through
+// the same pipeline and the drift verdict comes back as JSON, with
+// submit keeping check's exit-1-on-drift contract.
 //
 // The check subcommand is the CI entry point: `atsbench -profiles tmp &&
 // atsregress check tmp/*.json` fails the build when any experiment's
@@ -59,6 +66,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err == nil && regressed {
 			return 1
 		}
+	case "submit":
+		var regressed bool
+		regressed, err = cmdSubmit(rest, stdout)
+		if err == nil && regressed {
+			return 1
+		}
+	case "ping":
+		err = cmdPing(rest, stdout)
 	case "help", "-h", "-help", "--help":
 		usage(stdout)
 		return 0
@@ -85,6 +100,10 @@ commands:
   check [-store DIR] [tolerances] profile.json...
                                             compare against baselines;
                                             exit 1 on any regression
+  submit -server URL [-experiment E] [-save] [-threshold F] file...
+                                            upload cases/traces to an atsd
+                                            server; exit 1 on drift
+  ping   -server URL                        probe atsd health
 tolerance flags (diff, check):
   -rel F      relative wait-drift tolerance (default 0.02)
   -abs F      absolute wait floor in seconds (default 1e-6)

@@ -10,6 +10,7 @@
 //	atsrun -property imbalance_at_mpi_barrier -set distr=linear \
 //	       -set distr_low=0.01 -set distr_high=0.2 -timeline
 //	atsrun -property late_sender -procs 1024 -stream   # bounded memory
+//	atsrun -property late_sender -spool run.atsc       # spool for atsd upload
 package main
 
 import (
@@ -51,6 +52,7 @@ func main() {
 		threshold = flag.Float64("threshold", 0.005, "analysis severity threshold")
 		width     = flag.Int("width", 100, "timeline width in columns")
 		stream    = flag.Bool("stream", false, "stream events through an on-disk spool and analyze incrementally (bounded memory; incompatible with -trace and -timeline)")
+		spoolOut  = flag.String("spool", "", "write the run as an ATSC chunk spool to this file and exit without analyzing (for uploading to atsd)")
 	)
 	sets := setFlags{}
 	flag.Var(sets, "set", "set a property parameter: name=value (repeatable)")
@@ -75,6 +77,17 @@ func main() {
 	args, err := buildArgs(spec, sets)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *spoolOut != "" {
+		if *stream || *traceOut != "" || *timeline {
+			log.Fatalf("-spool only writes the spool; it is incompatible with -stream, -trace and -timeline")
+		}
+		if err := ats.SpoolProperty(spec.Name, *procs, *threads, args, *spoolOut); err != nil {
+			log.Fatalf("run failed: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "spool written to %s\n", *spoolOut)
+		return
 	}
 
 	if *stream {

@@ -1,0 +1,143 @@
+package campaign
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrSaturated is returned by Queue.Submit when the pending queue is full.
+// Callers translate it into backpressure at their boundary — the analysis
+// server answers 429 with a Retry-After hint instead of buffering without
+// bound.
+var ErrSaturated = errors.New("campaign: queue saturated")
+
+// ErrQueueClosed is returned by Queue.Submit after Close.
+var ErrQueueClosed = errors.New("campaign: queue closed")
+
+// Queue is the long-running sibling of runPool: where Run/Stream execute a
+// batch of jobs known up front, a Queue accepts jobs one at a time for the
+// lifetime of a service, runs them on a bounded worker pool, and rejects
+// new work once the pending backlog reaches its depth.  It is the
+// admission-control layer of the analysis server (cmd/atsd): bounded
+// workers keep concurrent analyses from oversubscribing the machine, and
+// the bounded backlog turns overload into an explicit ErrSaturated instead
+// of unbounded memory growth.
+//
+// Jobs must be independent, like runPool jobs: a panic in one job is
+// confined to that job and does not poison the pool.
+type Queue struct {
+	jobs    chan func()
+	wg      sync.WaitGroup
+	workers int
+
+	mu     sync.Mutex
+	closed bool
+
+	pending  atomic.Int64
+	running  atomic.Int64
+	done     atomic.Int64
+	rejected atomic.Int64
+	panicked atomic.Int64
+}
+
+// QueueStats is a point-in-time snapshot of a queue's counters.
+type QueueStats struct {
+	// Workers and Depth echo the queue's configuration.
+	Workers int `json:"workers"`
+	Depth   int `json:"depth"`
+	// Pending is the number of submitted jobs not yet started; Running the
+	// number currently executing.
+	Pending int `json:"pending"`
+	Running int `json:"running"`
+	// Done counts jobs that finished (including panicked ones); Rejected
+	// counts Submit calls refused with ErrSaturated; Panicked counts jobs
+	// whose panic was confined.
+	Done     int64 `json:"done"`
+	Rejected int64 `json:"rejected"`
+	Panicked int64 `json:"panicked"`
+}
+
+// NewQueue starts a pool of `workers` goroutines consuming a pending
+// queue of at most `depth` jobs.  workers <= 0 selects DefaultWorkers();
+// depth <= 0 selects 2×workers.
+func NewQueue(workers, depth int) *Queue {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if depth <= 0 {
+		depth = 2 * workers
+	}
+	q := &Queue{jobs: make(chan func(), depth), workers: workers}
+	for i := 0; i < workers; i++ {
+		q.wg.Add(1)
+		go func() {
+			defer q.wg.Done()
+			for job := range q.jobs {
+				q.pending.Add(-1)
+				q.running.Add(1)
+				q.runOne(job)
+				q.running.Add(-1)
+				q.done.Add(1)
+			}
+		}()
+	}
+	return q
+}
+
+// runOne executes one job with panic confinement.
+func (q *Queue) runOne(job func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			q.panicked.Add(1)
+		}
+	}()
+	job()
+}
+
+// Submit enqueues job for execution.  It never blocks: when the pending
+// queue is full it returns ErrSaturated immediately, and after Close it
+// returns ErrQueueClosed.
+func (q *Queue) Submit(job func()) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrQueueClosed
+	}
+	select {
+	case q.jobs <- job:
+		q.pending.Add(1)
+		return nil
+	default:
+		q.rejected.Add(1)
+		return ErrSaturated
+	}
+}
+
+// Close stops admission, drains the pending queue, and waits for every
+// running job to finish.  It is idempotent.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		q.wg.Wait()
+		return
+	}
+	q.closed = true
+	close(q.jobs)
+	q.mu.Unlock()
+	q.wg.Wait()
+}
+
+// Stats returns a snapshot of the queue's counters.
+func (q *Queue) Stats() QueueStats {
+	return QueueStats{
+		Workers:  q.workers,
+		Depth:    cap(q.jobs),
+		Pending:  int(q.pending.Load()),
+		Running:  int(q.running.Load()),
+		Done:     q.done.Load(),
+		Rejected: q.rejected.Load(),
+		Panicked: q.panicked.Load(),
+	}
+}

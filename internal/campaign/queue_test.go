@@ -1,0 +1,134 @@
+package campaign
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestQueueRunsJobs submits more jobs than workers and verifies all run.
+func TestQueueRunsJobs(t *testing.T) {
+	q := NewQueue(4, 64)
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		if err := q.Submit(func() { ran.Add(1); wg.Done() }); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	wg.Wait()
+	q.Close()
+	if got := ran.Load(); got != 50 {
+		t.Fatalf("ran %d jobs, want 50", got)
+	}
+	st := q.Stats()
+	if st.Done != 50 || st.Pending != 0 || st.Running != 0 {
+		t.Fatalf("stats after drain: %+v", st)
+	}
+}
+
+// TestQueueSaturation fills the workers and the backlog, then checks that
+// the next submission is refused with ErrSaturated rather than blocking.
+func TestQueueSaturation(t *testing.T) {
+	q := NewQueue(2, 2)
+	release := make(chan struct{})
+	started := make(chan struct{}, 2)
+	blocker := func() {
+		started <- struct{}{}
+		<-release
+	}
+	// Occupy both workers...
+	if err := q.Submit(blocker); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if err := q.Submit(blocker); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	<-started
+	<-started
+	// ...fill the backlog...
+	for i := 0; i < 2; i++ {
+		if err := q.Submit(func() {}); err != nil {
+			t.Fatalf("Submit into backlog: %v", err)
+		}
+	}
+	// ...and the next submission must bounce immediately.
+	if err := q.Submit(func() {}); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("Submit on full queue: err = %v, want ErrSaturated", err)
+	}
+	if st := q.Stats(); st.Rejected != 1 {
+		t.Fatalf("Rejected = %d, want 1", st.Rejected)
+	}
+	close(release)
+	q.Close()
+	// After draining, capacity is available again — but the queue is
+	// closed, so admission stays off.
+	if err := q.Submit(func() {}); !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("Submit after Close: err = %v, want ErrQueueClosed", err)
+	}
+}
+
+// TestQueuePanicConfinement checks that a panicking job does not kill its
+// worker: later jobs still run.
+func TestQueuePanicConfinement(t *testing.T) {
+	q := NewQueue(1, 8)
+	if err := q.Submit(func() { panic("job boom") }); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	done := make(chan struct{})
+	if err := q.Submit(func() { close(done) }); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("job after panic never ran; worker died")
+	}
+	q.Close()
+	if st := q.Stats(); st.Panicked != 1 || st.Done != 2 {
+		t.Fatalf("stats: %+v, want Panicked=1 Done=2", st)
+	}
+}
+
+// TestQueueConcurrentSubmit hammers Submit from many goroutines (the -race
+// stress for the server's admission path).
+func TestQueueConcurrentSubmit(t *testing.T) {
+	q := NewQueue(4, 16)
+	var ran atomic.Int64
+	var submitted atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				err := q.Submit(func() { ran.Add(1) })
+				if err == nil {
+					submitted.Add(1)
+				} else if !errors.Is(err, ErrSaturated) {
+					t.Errorf("Submit: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	q.Close()
+	if got, want := ran.Load(), submitted.Load(); got != want {
+		t.Fatalf("ran %d of %d accepted jobs", got, want)
+	}
+	st := q.Stats()
+	if st.Done != submitted.Load() {
+		t.Fatalf("Done = %d, want %d", st.Done, submitted.Load())
+	}
+}
+
+// TestQueueCloseIdempotent verifies double Close is safe.
+func TestQueueCloseIdempotent(t *testing.T) {
+	q := NewQueue(1, 1)
+	q.Close()
+	q.Close()
+}

@@ -317,6 +317,31 @@ func caseHash(cs Case, tr *trace.Trace, rep *analyzer.Report) (string, error) {
 	return prof.Hash()
 }
 
+// DefaultExperiment is the experiment name CaseProfile (and Check's
+// determinism hash) records when the caller does not override it.
+const DefaultExperiment = "conformance"
+
+// CaseProfile runs the case unperturbed and returns its canonical profile
+// plus the analysis report.  An empty experiment selects
+// DefaultExperiment, under which the profile's content hash equals the
+// hash Check computes for the same case — the contract the analysis
+// server's dedup cache relies on to stay byte-identical with the offline
+// CLI path.
+func CaseProfile(cs Case, experiment string) (*profile.Profile, *analyzer.Report, error) {
+	if experiment == "" {
+		experiment = DefaultExperiment
+	}
+	if err := cs.Validate(); err != nil {
+		return nil, nil, err
+	}
+	tr, err := runCase(cs, perturb.Profile{})
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := analyzer.Analyze(tr, analyzer.Options{Threshold: cs.Threshold})
+	return profile.FromRun(experiment, tr, rep, caseRunInfo(cs)), rep, nil
+}
+
 func caseRunInfo(cs Case) profile.RunInfo {
 	return profile.RunInfo{
 		Procs: cs.Procs, Threads: cs.Threads,

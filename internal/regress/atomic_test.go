@@ -11,9 +11,8 @@ import (
 
 // An interrupted Put must never leave a partial object that the
 // existence fast-path would then treat as already stored.  Failure is
-// injected by removing the objects/ directory: the atomic write (temp +
-// rename in the target directory) then fails before any byte lands at
-// the object path.
+// injected by replacing the objects/ directory with a regular file: shard
+// creation then fails before any byte lands at the object path.
 func TestPutInterruptedLeavesNoPartialObject(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "store")
 	store, err := regress.Open(dir)
@@ -25,13 +24,19 @@ func TestPutInterruptedLeavesNoPartialObject(t *testing.T) {
 	if err := os.RemoveAll(objects); err != nil {
 		t.Fatal(err)
 	}
+	if err := os.WriteFile(objects, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := store.Put(p); err == nil {
-		t.Fatal("Put succeeded without an objects directory")
+		t.Fatal("Put succeeded with objects/ blocked by a file")
 	}
 
 	// Recovery: once the directory is back, the same Put stores a
 	// complete, readable object — nothing partial survived to trip the
 	// fast-path.
+	if err := os.Remove(objects); err != nil {
+		t.Fatal(err)
+	}
 	if err := os.MkdirAll(objects, 0o755); err != nil {
 		t.Fatal(err)
 	}
@@ -51,18 +56,26 @@ func TestPutInterruptedLeavesNoPartialObject(t *testing.T) {
 		t.Fatalf("round-tripped object hash %s != %s", h2, hash)
 	}
 
-	// The store directory holds only real objects — no temp litter.
-	ents, err := os.ReadDir(objects)
+	// The store tree holds only real objects — no temp litter — and
+	// exactly one object landed (inside its shard directory).
+	var files []string
+	err = filepath.WalkDir(objects, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if strings.Contains(d.Name(), ".tmp") {
+			t.Fatalf("temp litter in objects/: %s", path)
+		}
+		if !d.IsDir() {
+			files = append(files, path)
+		}
+		return nil
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, e := range ents {
-		if strings.Contains(e.Name(), ".tmp") {
-			t.Fatalf("temp litter in objects/: %s", e.Name())
-		}
-	}
-	if len(ents) != 1 {
-		t.Fatalf("objects/ holds %d entries, want 1", len(ents))
+	if len(files) != 1 {
+		t.Fatalf("objects/ holds %d files, want 1: %v", len(files), files)
 	}
 }
 
@@ -79,7 +92,7 @@ func TestGetRejectsTruncatedObject(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	path := filepath.Join(dir, "objects", hash+".json")
+	path := filepath.Join(dir, "objects", hash[:2], hash+".json")
 	blob, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)

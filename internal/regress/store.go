@@ -8,14 +8,28 @@
 // are immutable and named by content hash under objects/, while refs.json
 // carries the mutable experiment → baseline mapping plus per-experiment
 // history (newest first).
+//
+// The object layout is sharded git-style — objects/<first-two-hex>/<hash>.json
+// — so a store holding millions of profiles never concentrates them in one
+// directory.  Stores written by earlier versions used a flat
+// objects/<hash>.json layout; reads fall back to it transparently, and Put
+// migrates a flat object into its shard when it touches one.
+//
+// A Store is safe for concurrent use by multiple goroutines (the analysis
+// server runs many analyses against one store): objects are immutable and
+// written atomically, and the refs.json read-modify-write cycle is
+// serialized by an internal mutex.
 package regress
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 
 	"repro/internal/profile"
 )
@@ -38,6 +52,9 @@ type refsFile struct {
 // Store is an on-disk profile store.
 type Store struct {
 	dir string
+	// mu serializes the refs.json read-modify-write cycle.  Object writes
+	// need no lock: they are content-addressed, atomic, and idempotent.
+	mu sync.Mutex
 }
 
 // Open opens (creating if necessary) the store rooted at dir.  An empty
@@ -55,7 +72,19 @@ func Open(dir string) (*Store, error) {
 // Dir returns the store root.
 func (s *Store) Dir() string { return s.dir }
 
+// objectPath is the sharded location of an object: two hex characters of
+// fan-out keep directory sizes manageable at million-profile scale.
+// Hashes too short to shard (never produced by profile.Hash) stay flat.
 func (s *Store) objectPath(hash string) string {
+	if len(hash) < 2 {
+		return s.legacyObjectPath(hash)
+	}
+	return filepath.Join(s.dir, "objects", hash[:2], hash+".json")
+}
+
+// legacyObjectPath is the flat pre-sharding location, still readable (and
+// migrated by Put) for stores written by earlier versions.
+func (s *Store) legacyObjectPath(hash string) string {
 	return filepath.Join(s.dir, "objects", hash+".json")
 }
 
@@ -106,7 +135,8 @@ func (s *Store) saveRefs(refs *refsFile) error {
 
 // Put stores p as an immutable object and returns its content hash.  An
 // object that already exists is left untouched (content addressing makes
-// the write idempotent).  Put does not move any baseline ref.
+// the write idempotent); one found at the flat legacy path is migrated
+// into its shard.  Put does not move any baseline ref.
 func (s *Store) Put(p *profile.Profile) (string, error) {
 	hash, err := p.Hash()
 	if err != nil {
@@ -115,6 +145,19 @@ func (s *Store) Put(p *profile.Profile) (string, error) {
 	path := s.objectPath(hash)
 	if _, err := os.Stat(path); err == nil {
 		return hash, nil
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return "", fmt.Errorf("regress: store object: %w", err)
+	}
+	if legacy := s.legacyObjectPath(hash); legacy != path {
+		if _, err := os.Stat(legacy); err == nil {
+			// Migrate the flat object into its shard.  Rename is atomic; a
+			// concurrent Put racing on the same hash loses the ENOENT race
+			// benignly — the object is immutable and already in place.
+			if err := os.Rename(legacy, path); err == nil || errors.Is(err, fs.ErrNotExist) {
+				return hash, nil
+			}
+		}
 	}
 	// WriteFile is atomic (temp + rename), which the existence fast-path
 	// above depends on: an interrupted Put must never leave a truncated
@@ -125,13 +168,39 @@ func (s *Store) Put(p *profile.Profile) (string, error) {
 	return hash, nil
 }
 
-// Get loads the object with the given content hash.
+// Get loads the object with the given content hash, falling back to the
+// flat legacy layout for stores written before sharding.
 func (s *Store) Get(hash string) (*profile.Profile, error) {
-	p, err := profile.ReadFile(s.objectPath(hash))
+	path := s.objectPath(hash)
+	p, err := profile.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		if legacy := s.legacyObjectPath(hash); legacy != path {
+			if lp, lerr := profile.ReadFile(legacy); lerr == nil {
+				return lp, nil
+			}
+		}
+	}
 	if err != nil {
 		return nil, fmt.Errorf("regress: object %s: %w", shortHash(hash), err)
 	}
 	return p, nil
+}
+
+// ObjectReader opens the raw canonical encoding of an object for
+// streaming (the server's GET /v1/store/{hash} path), without decoding.
+func (s *Store) ObjectReader(hash string) (*os.File, error) {
+	f, err := os.Open(s.objectPath(hash))
+	if errors.Is(err, fs.ErrNotExist) {
+		if legacy := s.legacyObjectPath(hash); legacy != s.objectPath(hash) {
+			if lf, lerr := os.Open(legacy); lerr == nil {
+				return lf, nil
+			}
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("regress: object %s: %w", shortHash(hash), err)
+	}
+	return f, nil
 }
 
 // SaveBaseline stores p and makes it the baseline for its experiment,
@@ -141,16 +210,35 @@ func (s *Store) SaveBaseline(p *profile.Profile) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	return hash, s.setBaseline(p.Experiment, hash)
+}
+
+// SetBaseline points an experiment's baseline at an object already in the
+// store — the promote operation of the server's baseline API.  The object
+// must exist.
+func (s *Store) SetBaseline(experiment, hash string) error {
+	if experiment == "" {
+		return fmt.Errorf("regress: empty experiment name")
+	}
+	if _, err := s.Get(hash); err != nil {
+		return err
+	}
+	return s.setBaseline(experiment, hash)
+}
+
+// setBaseline performs the refs read-modify-write under the store mutex.
+func (s *Store) setBaseline(name, hash string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	refs, err := s.loadRefs()
 	if err != nil {
-		return "", err
+		return err
 	}
-	name := p.Experiment
 	if refs.Baselines[name] != hash {
 		refs.Baselines[name] = hash
 		refs.History[name] = append([]string{hash}, refs.History[name]...)
 	}
-	return hash, s.saveRefs(refs)
+	return s.saveRefs(refs)
 }
 
 // Baseline returns the baseline profile and hash for an experiment.

@@ -1,0 +1,68 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+
+	"repro/internal/regress"
+)
+
+// Report statuses.  A report is created running, and moves to exactly
+// one of done or error when its analysis job completes.
+const (
+	StatusRunning = "running"
+	StatusDone    = "done"
+	StatusError   = "error"
+)
+
+// Report is the server-side record of one submission: what was
+// submitted, the content hash of the canonical profile it produced, and
+// the drift verdict against the experiment's baseline.  Reports are
+// immutable once Status leaves StatusRunning (baseline promotion may
+// still flip Saved) and are cached by ID, which is itself a content
+// hash of the submission — identical submissions share one report.
+type Report struct {
+	ID         string `json:"id"`
+	Kind       string `json:"kind"` // "case" or "trace"
+	Experiment string `json:"experiment"`
+	Status     string `json:"status"`
+	// Cached is set on responses served from the report cache without
+	// re-running the analysis.
+	Cached bool `json:"cached,omitempty"`
+	// ProfileHash is the content address of the canonical profile in
+	// the store — byte-identical to what the offline CLI path computes
+	// for the same input (fetch it via GET /v1/store/{hash}).
+	ProfileHash string `json:"profile_hash,omitempty"`
+	// BaselineHash identifies the baseline the submission was compared
+	// against; empty when the experiment had none yet.
+	BaselineHash string `json:"baseline_hash,omitempty"`
+	// Saved reports that this submission's profile was promoted to the
+	// experiment baseline (?save=1).
+	Saved bool `json:"saved,omitempty"`
+	// Drift is the verdict: true when the comparison regressed outside
+	// tolerance.
+	Drift bool `json:"drift"`
+	// Diff is the full property-level comparison, present whenever a
+	// baseline existed.
+	Diff  *regress.Diff `json:"diff,omitempty"`
+	Error string        `json:"error,omitempty"`
+
+	// done is closed when the analysis job completes; dedup waiters and
+	// the submitting handler block on it.
+	done chan struct{}
+}
+
+// reportID derives the dedup key of a submission: a content hash over
+// everything that determines the analysis result — the submission kind,
+// the experiment, any analysis options, and the canonical body bytes.
+// Fields are length-prefixed by a NUL separator so distinct tuples
+// cannot collide by concatenation.
+func reportID(kind, experiment, opts string, body []byte) string {
+	h := sha256.New()
+	for _, part := range []string{kind, experiment, opts} {
+		h.Write([]byte(part))
+		h.Write([]byte{0})
+	}
+	h.Write(body)
+	return hex.EncodeToString(h.Sum(nil))
+}

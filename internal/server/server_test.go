@@ -1,0 +1,443 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/ats"
+	"repro/internal/analyzer"
+	"repro/internal/conformance"
+	"repro/internal/core"
+	"repro/internal/profile"
+	"repro/internal/regress"
+	"repro/internal/trace"
+)
+
+// newTestServer builds a Server over a fresh store plus an httptest
+// front end.  The returned Server is the white-box handle (queue,
+// counters); the httptest.Server is the black-box HTTP surface.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Store == nil {
+		store, err := regress.Open(filepath.Join(t.TempDir(), "store"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Store = store
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// corpusCase loads one committed conformance corpus case.
+func corpusCase(t *testing.T, name string) (conformance.Case, []byte) {
+	t.Helper()
+	path := filepath.Join("..", "..", "testdata", "conformance-corpus", name)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := conformance.ReadCase(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cs, blob
+}
+
+// postReport posts body and decodes the server's Report payload.
+func postReport(t *testing.T, url, contentType string, body []byte) (*Report, *http.Response) {
+	t.Helper()
+	resp, err := http.Post(url, contentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rep Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return &rep, resp
+}
+
+// propertySpool writes a late_sender run as an ATSC spool; extrawork
+// scales the injected severity so two spools can disagree.
+func propertySpool(t *testing.T, extrawork float64) string {
+	t.Helper()
+	spec, ok := core.Get("late_sender")
+	if !ok {
+		t.Fatal("late_sender not registered")
+	}
+	args := spec.Defaults()
+	if extrawork > 0 {
+		args.Float["extrawork"] = extrawork
+	}
+	path := filepath.Join(t.TempDir(), fmt.Sprintf("ls-%g.atsc", extrawork))
+	if err := ats.SpoolProperty("late_sender", 4, 1, args, path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// offlineSpoolHash computes the profile hash of a spool through the
+// offline streaming path — what atsanalyze-style local analysis yields.
+func offlineSpoolHash(t *testing.T, path, experiment string) string {
+	t.Helper()
+	cr, err := trace.OpenChunkFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := trace.NewStream(cr)
+	if err != nil {
+		cr.Close()
+		t.Fatal(err)
+	}
+	defer st.Close()
+	rep, err := analyzer.AnalyzeStream(st, analyzer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := profile.FromAnalysis(experiment, profile.TraceInfoOfStream(st), rep, profile.RunInfo{})
+	hash, err := prof.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hash
+}
+
+// TestCaseSubmitMatchesOfflineHash submits a corpus case and checks the
+// server's profile hash is byte-identical to the determinism hash the
+// offline conformance.Check pipeline computes for the same case.
+func TestCaseSubmitMatchesOfflineHash(t *testing.T) {
+	cs, blob := corpusCase(t, "seed001.json")
+	_, ts := newTestServer(t, Config{})
+
+	rep, resp := postReport(t, ts.URL+"/v1/cases", "application/json", blob)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/cases: %s", resp.Status)
+	}
+	if rep.Status != StatusDone || rep.Kind != "case" || rep.Experiment != "conformance" {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+	if rep.ProfileHash == "" {
+		t.Fatal("report carries no profile hash")
+	}
+
+	out, err := conformance.Check(cs, conformance.CheckOptions{SkipDeterminism: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ProfileHash != out.Hash {
+		t.Errorf("server profile hash %s != offline conformance hash %s", rep.ProfileHash, out.Hash)
+	}
+
+	// The stored object round-trips to the same content address.
+	getResp, err := http.Get(ts.URL + "/v1/store/" + rep.ProfileHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer getResp.Body.Close()
+	if getResp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/store/{hash}: %s", getResp.Status)
+	}
+	prof, err := profile.Decode(getResp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, err := prof.Hash(); err != nil || h != rep.ProfileHash {
+		t.Errorf("served object hashes to %s (err %v), want %s", h, err, rep.ProfileHash)
+	}
+
+	// The report is retrievable by ID; unknown IDs 404.
+	repResp, err := http.Get(ts.URL + "/v1/reports/" + rep.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repResp.Body.Close()
+	if repResp.StatusCode != http.StatusOK {
+		t.Errorf("GET /v1/reports/{id}: %s", repResp.Status)
+	}
+	missResp, err := http.Get(ts.URL + "/v1/reports/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	missResp.Body.Close()
+	if missResp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET unknown report: %s, want 404", missResp.Status)
+	}
+}
+
+// TestTraceSubmitDiffDrift saves a baseline from one streamed run, then
+// submits a run with a different injected severity and expects a drift
+// verdict.  Both server-side hashes must match the offline streaming
+// analysis of the same spools.
+func TestTraceSubmitDiffDrift(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	base := propertySpool(t, 0)
+	hot := propertySpool(t, 0.25)
+
+	baseBlob, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, resp := postReport(t, ts.URL+"/v1/traces?experiment=ls&save=1", "application/octet-stream", baseBlob)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST baseline trace: %s", resp.Status)
+	}
+	if !rep.Saved || rep.Status != StatusDone {
+		t.Fatalf("baseline submission not saved: %+v", rep)
+	}
+	if want := offlineSpoolHash(t, base, "ls"); rep.ProfileHash != want {
+		t.Errorf("server hash %s != offline hash %s", rep.ProfileHash, want)
+	}
+
+	hotBlob, err := os.ReadFile(hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, resp2 := postReport(t, ts.URL+"/v1/traces?experiment=ls", "application/octet-stream", hotBlob)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("POST drifted trace: %s", resp2.Status)
+	}
+	if want := offlineSpoolHash(t, hot, "ls"); rep2.ProfileHash != want {
+		t.Errorf("server hash %s != offline hash %s", rep2.ProfileHash, want)
+	}
+	if rep2.BaselineHash != rep.ProfileHash {
+		t.Errorf("compared against %s, want baseline %s", rep2.BaselineHash, rep.ProfileHash)
+	}
+	if rep2.Diff == nil || !rep2.Drift {
+		t.Fatalf("expected a drift verdict, got %+v", rep2)
+	}
+}
+
+// TestDedupServesCachedReport submits the same case twice — the second
+// time with different JSON formatting — and checks the second response
+// comes from the cache without re-running the analysis.
+func TestDedupServesCachedReport(t *testing.T) {
+	cs, blob := corpusCase(t, "seed002.json")
+	s, ts := newTestServer(t, Config{})
+
+	rep1, resp1 := postReport(t, ts.URL+"/v1/cases", "application/json", blob)
+	if resp1.StatusCode != http.StatusOK || rep1.Cached {
+		t.Fatalf("first submission: status %s cached %v", resp1.Status, rep1.Cached)
+	}
+	if got := s.AnalysesRun(); got != 1 {
+		t.Fatalf("after first submission AnalysesRun = %d, want 1", got)
+	}
+
+	// Same case, cosmetically different JSON: must hit the cache.
+	pretty, err := json.MarshalIndent(cs, "", "    ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, resp2 := postReport(t, ts.URL+"/v1/cases", "application/json", pretty)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second submission: %s", resp2.Status)
+	}
+	if !rep2.Cached {
+		t.Error("second submission not served from cache")
+	}
+	if rep2.ID != rep1.ID || rep2.ProfileHash != rep1.ProfileHash {
+		t.Errorf("cached report diverges: %+v vs %+v", rep2, rep1)
+	}
+	if got := s.AnalysesRun(); got != 1 {
+		t.Errorf("analysis re-ran: AnalysesRun = %d, want 1", got)
+	}
+}
+
+// TestBackpressure fills the single-worker queue with blockers and
+// expects a fresh submission to bounce with 429 and Retry-After.
+func TestBackpressure(t *testing.T) {
+	_, blob := corpusCase(t, "seed001.json")
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	// Occupy the worker...
+	if err := s.queue.Submit(func() { close(started); <-release }); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	// ...and the one backlog slot.
+	if err := s.queue.Submit(func() {}); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/cases", "application/json", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated submission: %s, want 429", resp.Status)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 response carries no Retry-After")
+	}
+}
+
+// TestIngestRejections drives the malformed/oversized table: body cap
+// (413), trace content over policy limits (422), garbage bytes (422),
+// missing parameters and bad JSON (400).
+func TestIngestRejections(t *testing.T) {
+	spool := propertySpool(t, 0)
+	spoolBlob, err := os.ReadFile(spool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, blob := corpusCase(t, "seed001.json")
+
+	tests := []struct {
+		name     string
+		cfg      Config
+		path     string
+		body     []byte
+		wantCode int
+		wantErr  string
+	}{
+		{"case over body cap", Config{MaxBody: 16}, "/v1/cases", blob,
+			http.StatusRequestEntityTooLarge, "exceeds"},
+		{"trace over body cap", Config{MaxBody: 16}, "/v1/traces?experiment=x", spoolBlob,
+			http.StatusRequestEntityTooLarge, "exceeds"},
+		{"trace over event limit", Config{Limits: trace.Limits{MaxEvents: 2}}, "/v1/traces?experiment=x", spoolBlob,
+			http.StatusUnprocessableEntity, "events, limit"},
+		{"trace over location limit", Config{Limits: trace.Limits{MaxLocations: 1}}, "/v1/traces?experiment=x", spoolBlob,
+			http.StatusUnprocessableEntity, "locations, limit"},
+		{"garbage trace bytes", Config{}, "/v1/traces?experiment=x", []byte("NOPE not a trace"),
+			http.StatusUnprocessableEntity, "unrecognized trace format"},
+		{"trace without experiment", Config{}, "/v1/traces", spoolBlob,
+			http.StatusBadRequest, "experiment"},
+		{"bad threshold", Config{}, "/v1/traces?experiment=x&threshold=cold", spoolBlob,
+			http.StatusBadRequest, "threshold"},
+		{"bad case JSON", Config{}, "/v1/cases", []byte("{nope"),
+			http.StatusBadRequest, "decoding case"},
+		{"invalid case", Config{}, "/v1/cases", []byte(`{"schema":1,"procs":0,"threads":0}`),
+			http.StatusUnprocessableEntity, "invalid case"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, ts := newTestServer(t, tc.cfg)
+			resp, err := http.Post(ts.URL+tc.path, "application/octet-stream", bytes.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.wantCode {
+				t.Fatalf("status %s, want %d", resp.Status, tc.wantCode)
+			}
+			var payload struct {
+				Error string `json:"error"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+				t.Fatalf("decoding error payload: %v", err)
+			}
+			if !strings.Contains(payload.Error, tc.wantErr) {
+				t.Errorf("error %q does not mention %q", payload.Error, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestBaselineAPI promotes and reads baselines over HTTP.
+func TestBaselineAPI(t *testing.T) {
+	_, blob := corpusCase(t, "seed001.json")
+	_, ts := newTestServer(t, Config{})
+
+	rep, _ := postReport(t, ts.URL+"/v1/cases", "application/json", blob)
+	if rep.Status != StatusDone {
+		t.Fatalf("submission failed: %+v", rep)
+	}
+
+	// No baseline yet.
+	resp, err := http.Get(ts.URL + "/v1/baselines/conformance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET baseline before promotion: %s, want 404", resp.Status)
+	}
+
+	// Promote the stored profile by hash.
+	body, _ := json.Marshal(map[string]string{"hash": rep.ProfileHash})
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/baselines/conformance", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	putResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	putResp.Body.Close()
+	if putResp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT baseline: %s", putResp.Status)
+	}
+
+	getResp, err := http.Get(ts.URL + "/v1/baselines/conformance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer getResp.Body.Close()
+	var info struct {
+		Experiment string   `json:"experiment"`
+		Hash       string   `json:"hash"`
+		History    []string `json:"history"`
+	}
+	if err := json.NewDecoder(getResp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Hash != rep.ProfileHash || len(info.History) != 1 {
+		t.Errorf("baseline info %+v, want hash %s with 1 history entry", info, rep.ProfileHash)
+	}
+
+	// Promoting an unknown object is rejected.
+	bogus, _ := json.Marshal(map[string]string{"hash": strings.Repeat("ab", 32)})
+	req, err = http.NewRequest(http.MethodPut, ts.URL+"/v1/baselines/conformance", bytes.NewReader(bogus))
+	if err != nil {
+		t.Fatal(err)
+	}
+	badResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badResp.Body.Close()
+	if badResp.StatusCode != http.StatusNotFound {
+		t.Errorf("PUT unknown hash: %s, want 404", badResp.Status)
+	}
+}
+
+// TestStats sanity-checks the /v1/stats counters after a dedup pair.
+func TestStats(t *testing.T) {
+	_, blob := corpusCase(t, "seed003.json")
+	_, ts := newTestServer(t, Config{})
+	postReport(t, ts.URL+"/v1/cases", "application/json", blob)
+	postReport(t, ts.URL+"/v1/cases", "application/json", blob)
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.AnalysesRun != 1 || st.DedupHits != 1 || st.Reports != 1 {
+		t.Errorf("stats = %+v, want 1 analysis, 1 dedup hit, 1 report", st)
+	}
+	if st.Queue.Workers <= 0 || st.Queue.Depth <= 0 {
+		t.Errorf("queue stats not populated: %+v", st.Queue)
+	}
+}

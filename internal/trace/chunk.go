@@ -360,6 +360,7 @@ type ChunkReader struct {
 	f        *os.File
 	size     int64
 	indexOff int64
+	lim      Limits
 	streams  []chunkIndexEntry
 }
 
@@ -367,11 +368,18 @@ type ChunkReader struct {
 // trailer, and every index entry (locations sorted and distinct, frame
 // ranges inside the frame section, counts plausible for the file size).
 func OpenChunkFile(path string) (*ChunkReader, error) {
+	return OpenChunkFileLimited(path, Limits{})
+}
+
+// OpenChunkFileLimited is OpenChunkFile with additional policy caps for
+// untrusted network ingest (see Limits); the zero Limits is exactly
+// OpenChunkFile.
+func OpenChunkFileLimited(path string, lim Limits) (*ChunkReader, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	r, err := newChunkReader(f)
+	r, err := newChunkReader(f, lim)
 	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("%s: %w", path, err)
@@ -379,7 +387,7 @@ func OpenChunkFile(path string) (*ChunkReader, error) {
 	return r, nil
 }
 
-func newChunkReader(f *os.File) (*ChunkReader, error) {
+func newChunkReader(f *os.File, lim Limits) (*ChunkReader, error) {
 	st, err := f.Stat()
 	if err != nil {
 		return nil, err
@@ -413,7 +421,7 @@ func newChunkReader(f *os.File) (*ChunkReader, error) {
 	if _, err := f.ReadAt(idx, indexOff); err != nil {
 		return nil, fmt.Errorf("trace: reading chunk index: %w", err)
 	}
-	r := &ChunkReader{f: f, size: size, indexOff: indexOff}
+	r := &ChunkReader{f: f, size: size, indexOff: indexOff, lim: lim}
 	if err := r.parseIndex(idx); err != nil {
 		return nil, err
 	}
@@ -427,6 +435,9 @@ func (r *ChunkReader) parseIndex(idx []byte) error {
 		return fmt.Errorf("trace: chunk index: %w", err)
 	}
 	if err := checkCount(nStreams, minStreamIndexBytes, int64(len(idx)), "chunk stream"); err != nil {
+		return err
+	}
+	if err := r.lim.checkLocations(nStreams); err != nil {
 		return err
 	}
 	bodySize := r.indexOff - chunkHeaderLen
@@ -456,6 +467,9 @@ func (r *ChunkReader) parseIndex(idx []byte) error {
 		if err := checkCount(totalEvents, minEventBytes, bodySize, "chunk event"); err != nil {
 			return err
 		}
+		if err := r.lim.checkEvents(totalEvents); err != nil {
+			return err
+		}
 		nFrames, err := binary.ReadUvarint(br)
 		if err != nil {
 			return fmt.Errorf("trace: chunk index stream %d: %w", i, err)
@@ -476,6 +490,9 @@ func (r *ChunkReader) parseIndex(idx []byte) error {
 			if off < chunkHeaderLen || ln < minFrameBodyBytes ||
 				off > uint64(r.indexOff) || ln > uint64(r.indexOff) || off+ln > uint64(r.indexOff) {
 				return fmt.Errorf("trace: chunk index stream %d frame %d: range [%d,%d) outside frame section", i, j, off, off+ln)
+			}
+			if err := r.lim.checkFrame(int64(ln)); err != nil {
+				return fmt.Errorf("chunk index stream %d frame %d: %w", i, j, err)
 			}
 			frames = append(frames, frameRef{off: int64(off), len: int64(ln)})
 		}

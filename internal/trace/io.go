@@ -273,6 +273,12 @@ func inputSize(r io.Reader) int64 {
 // malicious header claiming, say, 2^60 events fails fast instead of
 // attempting a multi-gigabyte allocation.
 func Read(r io.Reader) (*Trace, error) {
+	return ReadLimited(r, Limits{})
+}
+
+// ReadLimited is Read with additional policy caps for untrusted network
+// ingest (see Limits); the zero Limits is exactly Read.
+func ReadLimited(r io.Reader, lim Limits) (*Trace, error) {
 	size := inputSize(r)
 	br := bufio.NewReader(r)
 	var m [4]byte
@@ -332,6 +338,9 @@ func Read(r io.Reader) (*Trace, error) {
 	if err := checkCount(nLocs, minLocationBytes, size, "location"); err != nil {
 		return nil, err
 	}
+	if err := lim.checkLocations(nLocs); err != nil {
+		return nil, err
+	}
 	t.Locations = make([]Location, 0, sliceCap(nLocs))
 	for i := uint64(0); i < nLocs; i++ {
 		rank, err := binary.ReadVarint(br)
@@ -355,6 +364,9 @@ func Read(r io.Reader) (*Trace, error) {
 		return nil, err
 	}
 	if err := checkCount(nEvents, minEventBytes, size, "event"); err != nil {
+		return nil, err
+	}
+	if err := lim.checkEvents(nEvents); err != nil {
 		return nil, err
 	}
 	t.Events = make([]Event, 0, sliceCap(nEvents))
