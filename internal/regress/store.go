@@ -49,6 +49,28 @@ type refsFile struct {
 	History map[string][]string `json:"history"`
 }
 
+// ErrNoBaseline is wrapped by Baseline when an experiment has no
+// baseline ref; callers distinguish it from store I/O failures with
+// errors.Is.
+var ErrNoBaseline = errors.New("no baseline for experiment")
+
+// ValidHash reports whether hash has the only form the store ever
+// assigns: the 64 lowercase hex characters of profile.Hash.  Lookups
+// reject anything else before building a path, so an attacker-supplied
+// "hash" (../../secret, an absolute path, a %2F-smuggled slash) can
+// never name a file outside objects/.
+func ValidHash(hash string) bool {
+	if len(hash) != 64 {
+		return false
+	}
+	for i := 0; i < len(hash); i++ {
+		if c := hash[i]; (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
 // Store is an on-disk profile store.
 type Store struct {
 	dir string
@@ -171,6 +193,9 @@ func (s *Store) Put(p *profile.Profile) (string, error) {
 // Get loads the object with the given content hash, falling back to the
 // flat legacy layout for stores written before sharding.
 func (s *Store) Get(hash string) (*profile.Profile, error) {
+	if !ValidHash(hash) {
+		return nil, fmt.Errorf("regress: object %q: not a content hash: %w", shortHash(hash), fs.ErrNotExist)
+	}
 	path := s.objectPath(hash)
 	p, err := profile.ReadFile(path)
 	if errors.Is(err, fs.ErrNotExist) {
@@ -189,6 +214,9 @@ func (s *Store) Get(hash string) (*profile.Profile, error) {
 // ObjectReader opens the raw canonical encoding of an object for
 // streaming (the server's GET /v1/store/{hash} path), without decoding.
 func (s *Store) ObjectReader(hash string) (*os.File, error) {
+	if !ValidHash(hash) {
+		return nil, fmt.Errorf("regress: object %q: not a content hash: %w", shortHash(hash), fs.ErrNotExist)
+	}
 	f, err := os.Open(s.objectPath(hash))
 	if errors.Is(err, fs.ErrNotExist) {
 		if legacy := s.legacyObjectPath(hash); legacy != s.objectPath(hash) {
@@ -249,7 +277,7 @@ func (s *Store) Baseline(name string) (*profile.Profile, string, error) {
 	}
 	hash, ok := refs.Baselines[name]
 	if !ok {
-		return nil, "", fmt.Errorf("regress: no baseline for experiment %q", name)
+		return nil, "", fmt.Errorf("regress: %w %q", ErrNoBaseline, name)
 	}
 	p, err := s.Get(hash)
 	if err != nil {

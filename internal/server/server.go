@@ -16,7 +16,10 @@
 // Retry-After header rather than buffered without bound.  Identical
 // submissions (same kind, experiment, analysis options, and content)
 // are deduplicated by content hash: the second submission returns the
-// cached report without re-running the analysis.
+// cached report without re-running the analysis.  The report cache is
+// bounded: once more than Config.MaxReports submissions have completed,
+// the oldest completed reports are evicted (in-flight reports are never
+// evicted, so dedup waiters always see their job finish).
 package server
 
 import (
@@ -24,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -39,6 +43,10 @@ import (
 // request's spool.
 const DefaultMaxBody = 64 << 20
 
+// DefaultMaxReports is the completed-report cache cap applied when
+// Config.MaxReports is zero.
+const DefaultMaxReports = 4096
+
 // Config assembles a Server.  The zero value of every field except
 // Store is usable: missing knobs take the documented defaults.
 type Config struct {
@@ -50,6 +58,11 @@ type Config struct {
 	QueueDepth int
 	// MaxBody caps one request body in bytes (default DefaultMaxBody).
 	MaxBody int64
+	// MaxReports caps the completed-report dedup cache (default
+	// DefaultMaxReports).  When more submissions than this have
+	// completed, the oldest completed reports are evicted — resubmitting
+	// one re-runs its analysis.  In-flight reports are never evicted.
+	MaxReports int
 	// Limits bounds untrusted trace content (events, locations, frame
 	// size).  The zero value is unlimited.
 	Limits trace.Limits
@@ -67,6 +80,10 @@ type Server struct {
 
 	mu      sync.Mutex
 	reports map[string]*Report
+	// doneOrder lists completed report IDs oldest first; retire evicts
+	// from its head once the cache exceeds cfg.MaxReports.  Only
+	// completed IDs enter it, so in-flight reports are never evicted.
+	doneOrder []string
 
 	analyses  atomic.Int64 // analyses actually executed (dedup misses)
 	dedupHits atomic.Int64 // submissions served from the report cache
@@ -81,6 +98,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.MaxBody <= 0 {
 		cfg.MaxBody = DefaultMaxBody
+	}
+	if cfg.MaxReports <= 0 {
+		cfg.MaxReports = DefaultMaxReports
 	}
 	s := &Server{
 		cfg:     cfg,
@@ -174,7 +194,7 @@ func (s *Server) handleBaselineGet(w http.ResponseWriter, r *http.Request) {
 	exp := r.PathValue("experiment")
 	_, hash, err := s.cfg.Store.Baseline(exp)
 	if err != nil {
-		httpError(w, http.StatusNotFound, "%v", err)
+		httpError(w, storeErrorCode(err), "%v", err)
 		return
 	}
 	hist, err := s.cfg.Store.History(exp)
@@ -195,15 +215,36 @@ func (s *Server) handleBaselinePut(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "want body {\"hash\": \"...\"}")
 		return
 	}
+	if !regress.ValidHash(req.Hash) {
+		httpError(w, http.StatusBadRequest, "malformed profile hash %q", req.Hash)
+		return
+	}
 	if err := s.cfg.Store.SetBaseline(exp, req.Hash); err != nil {
-		httpError(w, http.StatusNotFound, "%v", err)
+		httpError(w, storeErrorCode(err), "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, baselineInfo{Experiment: exp, Hash: req.Hash})
 }
 
+// storeErrorCode classifies a store lookup failure: a missing object or
+// missing baseline ref is the client's mistake (404); anything else —
+// refs.json unreadable, object corrupt — is a server fault (500).
+func storeErrorCode(err error) int {
+	if errors.Is(err, fs.ErrNotExist) || errors.Is(err, regress.ErrNoBaseline) {
+		return http.StatusNotFound
+	}
+	return http.StatusInternalServerError
+}
+
 func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
 	hash := r.PathValue("hash")
+	// The path value is attacker-controlled and, under Go 1.22 mux
+	// semantics, may smuggle %2F-encoded slashes into the wildcard
+	// segment; only the exact content-hash form ever reaches the store.
+	if !regress.ValidHash(hash) {
+		httpError(w, http.StatusNotFound, "unknown object %q", hash)
+		return
+	}
 	f, err := s.cfg.Store.ObjectReader(hash)
 	if err != nil {
 		httpError(w, http.StatusNotFound, "unknown object %q", hash)
@@ -226,25 +267,24 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, id string, save 
 	fresh func() (*Report, func(*Report))) (enqueued bool) {
 	s.mu.Lock()
 	rep, hit := s.reports[id]
-	var job func(*Report)
 	if !hit {
+		var job func(*Report)
 		rep, job = fresh()
 		rep.ID = id
 		rep.Status = StatusRunning
 		rep.done = make(chan struct{})
-		s.reports[id] = rep
-	}
-	s.mu.Unlock()
-
-	if !hit {
+		done := rep.done
+		// Enqueue before publishing the report, all under s.mu (Submit
+		// never blocks): a concurrent duplicate must never observe a
+		// pending report whose enqueue then fails, or it would wait on a
+		// done channel nothing will ever close.
 		err := s.queue.Submit(func() {
 			s.analyses.Add(1)
 			job(rep)
-			close(rep.done)
+			close(done)
+			s.retire(id)
 		})
 		if err != nil {
-			s.mu.Lock()
-			delete(s.reports, id)
 			s.mu.Unlock()
 			if errors.Is(err, campaign.ErrSaturated) {
 				w.Header().Set("Retry-After", "1")
@@ -254,8 +294,10 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, id string, save 
 			}
 			return false
 		}
+		s.reports[id] = rep
 		enqueued = true
 	}
+	s.mu.Unlock()
 
 	select {
 	case <-rep.done:
@@ -288,6 +330,22 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, id string, save 
 	}
 	writeJSON(w, http.StatusOK, snap)
 	return enqueued
+}
+
+// retire records a completed report for eviction and drops the oldest
+// completed reports once the cache exceeds cfg.MaxReports, so a
+// long-running server's memory does not grow with every distinct
+// submission it has ever seen.  An evicted report simply re-runs on
+// resubmission; dedup waiters already holding the *Report are
+// unaffected by the map eviction.
+func (s *Server) retire(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.doneOrder = append(s.doneOrder, id)
+	for len(s.doneOrder) > s.cfg.MaxReports {
+		delete(s.reports, s.doneOrder[0])
+		s.doneOrder = s.doneOrder[1:]
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

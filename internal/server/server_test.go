@@ -4,12 +4,15 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/ats"
 	"repro/internal/analyzer"
@@ -415,6 +418,182 @@ func TestBaselineAPI(t *testing.T) {
 	badResp.Body.Close()
 	if badResp.StatusCode != http.StatusNotFound {
 		t.Errorf("PUT unknown hash: %s, want 404", badResp.Status)
+	}
+}
+
+// TestPathTraversalRejected plants a file outside the store exactly
+// where a %2F-smuggled traversal "hash" would land and checks both
+// attacker entry points — GET /v1/store/{hash} and the hash field of
+// PUT /v1/baselines/{experiment} — refuse non-hash names instead of
+// resolving them against the filesystem.
+func TestPathTraversalRejected(t *testing.T) {
+	root := t.TempDir()
+	store, err := regress.Open(filepath.Join(root, "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The legacy flat layout resolves hash "../../secret" to
+	// root/secret.json; a vulnerable server would serve this file.
+	const marker = `{"planted":"secret"}`
+	if err := os.WriteFile(filepath.Join(root, "secret.json"), []byte(marker), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Store: store})
+
+	resp, err := http.Get(ts.URL + "/v1/store/..%2F..%2Fsecret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET traversal hash: %s, want 404", resp.Status)
+	}
+	if strings.Contains(string(body), "planted") {
+		t.Errorf("traversal served the planted file: %s", body)
+	}
+
+	reqBody, _ := json.Marshal(map[string]string{"hash": "../../secret"})
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/baselines/exp", bytes.NewReader(reqBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	putResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	putResp.Body.Close()
+	if putResp.StatusCode != http.StatusBadRequest {
+		t.Errorf("PUT traversal hash: %s, want 400", putResp.Status)
+	}
+}
+
+// TestReportEviction bounds the dedup cache: with MaxReports=1, a
+// second completed submission evicts the first, whose resubmission then
+// re-runs the analysis as a cache miss.
+func TestReportEviction(t *testing.T) {
+	_, blobA := corpusCase(t, "seed001.json")
+	_, blobB := corpusCase(t, "seed002.json")
+	s, ts := newTestServer(t, Config{MaxReports: 1})
+
+	repA, respA := postReport(t, ts.URL+"/v1/cases", "application/json", blobA)
+	if respA.StatusCode != http.StatusOK {
+		t.Fatalf("first submission: %s", respA.Status)
+	}
+	if _, respB := postReport(t, ts.URL+"/v1/cases", "application/json", blobB); respB.StatusCode != http.StatusOK {
+		t.Fatalf("second submission: %s", respB.Status)
+	}
+
+	// Eviction runs on the worker after the submitter's response is
+	// written, so poll for the first report to disappear.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/reports/" + repA.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusNotFound {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("report %s never evicted (last status %s)", repA.ID, resp.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	repA2, _ := postReport(t, ts.URL+"/v1/cases", "application/json", blobA)
+	if repA2.Cached {
+		t.Error("evicted report still served from cache")
+	}
+	if got := s.AnalysesRun(); got != 3 {
+		t.Errorf("AnalysesRun = %d, want 3 (eviction must force a re-run)", got)
+	}
+}
+
+// TestSaturatedDuplicatesAllComplete races identical submissions
+// against a saturated queue: every request must terminate with 429 —
+// none may dedup onto a pending report whose enqueue failed and then
+// wait forever on a done channel nothing will close.
+func TestSaturatedDuplicatesAllComplete(t *testing.T) {
+	_, blob := corpusCase(t, "seed003.json")
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	if err := s.queue.Submit(func() { close(started); <-release }); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if err := s.queue.Submit(func() {}); err != nil {
+		t.Fatal(err)
+	}
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	codes := make([]int, 8)
+	var wg sync.WaitGroup
+	for i := range codes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := client.Post(ts.URL+"/v1/cases", "application/json", bytes.NewReader(blob))
+			if err != nil {
+				t.Errorf("request %d did not complete: %v", i, err)
+				return
+			}
+			resp.Body.Close()
+			codes[i] = resp.StatusCode
+		}(i)
+	}
+	wg.Wait()
+	for i, code := range codes {
+		if code != 0 && code != http.StatusTooManyRequests {
+			t.Errorf("request %d: status %d, want 429", i, code)
+		}
+	}
+}
+
+// TestStoreFaultIs500 corrupts the ref index and checks baseline reads
+// and promotions surface the store fault as 500, not a masked 404.
+func TestStoreFaultIs500(t *testing.T) {
+	root := t.TempDir()
+	store, err := regress.Open(filepath.Join(root, "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, blob := corpusCase(t, "seed001.json")
+	_, ts := newTestServer(t, Config{Store: store})
+	rep, _ := postReport(t, ts.URL+"/v1/cases", "application/json", blob)
+	if rep.Status != StatusDone {
+		t.Fatalf("submission failed: %+v", rep)
+	}
+
+	if err := os.WriteFile(filepath.Join(root, "store", "refs.json"), []byte("{corrupt"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/baselines/conformance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("GET baseline with corrupt refs: %s, want 500", resp.Status)
+	}
+
+	body, _ := json.Marshal(map[string]string{"hash": rep.ProfileHash})
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/baselines/conformance", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	putResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	putResp.Body.Close()
+	if putResp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("PUT baseline with corrupt refs: %s, want 500", putResp.Status)
 	}
 }
 
