@@ -495,6 +495,32 @@ func BenchmarkScale_CompositeRanks(b *testing.B) {
 	}
 }
 
+// BenchmarkScale_EventEngineRanks is the tentpole scale benchmark: the
+// big-rank composite (compute skew, ring exchange, barriers) through the
+// event-driven scheduler and the streaming pipeline at 4096–65536 simulated
+// ranks in one process.  Reported metrics: trace events, peak sampled
+// HeapAlloc (the O(ranks + pending events) memory claim), and event
+// throughput.  The committed baselines under testdata/bench/ track these
+// numbers release to release; doc/PERFORMANCE.md discusses them.
+func BenchmarkScale_EventEngineRanks(b *testing.B) {
+	for _, procs := range []int{4096, 16384, 65536} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.ScaleStreamed(io.Discard, []int{procs})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					r := rows[0]
+					b.ReportMetric(float64(r.Events), "events")
+					b.ReportMetric(float64(r.PeakHeap)/(1<<20), "peak-MiB")
+					b.ReportMetric(r.EventsPerSec, "events/sec")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkStreamAnalyze measures the bounded-memory streaming pipeline —
 // chunk spool, k-way merge, incremental analysis — on the same workload as
 // BenchmarkScale_CompositeRanks, at rank counts where the materialized

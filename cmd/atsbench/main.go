@@ -31,6 +31,8 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 
 	"repro/internal/analyzer"
 	"repro/internal/campaign"
@@ -50,16 +52,24 @@ func main() {
 		procs      = flag.Int("procs", 16, "MPI processes for the figure experiments")
 		threads    = flag.Int("threads", 4, "OpenMP threads")
 		real       = flag.Bool("real", false, "include real-clock experiments")
-		only       = flag.String("only", "", "run a single experiment (fig32, fig33, fig35, positive, negative, perturbed, ch2, ch4, micro, grind, work, ablation, scale)")
+		only       = flag.String("only", "", "run a single experiment (fig32, fig33, fig35, positive, negative, perturbed, ch2, ch4, micro, grind, work, ablation, scale, scalebig)")
 		perturbMax = flag.Int("perturb", 3, "highest perturbation level for the perturbed experiment (0..N)")
 		profDir    = flag.String("profiles", "", "emit canonical profiles (one JSON per analyzed run) into this directory")
 		jobs       = flag.Int("j", 0, "concurrent campaign jobs inside experiments (0: one per CPU)")
 		cpuProf    = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 		memProf    = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 		stream     = flag.Bool("stream", false, "extend the scale experiment to 1024 ranks (streamed vs materialized memory comparison)")
+		engine     = flag.String("engine", "auto", "rank execution engine for virtual-time runs (auto, event, goroutine)")
+		scaleRanks = flag.String("scale-ranks", "4096,16384,65536", "comma-separated rank counts for the scalebig experiment")
 	)
 	flag.Parse()
 	w := os.Stdout
+
+	eng, err := mpi.ParseEngine(*engine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mpi.SetDefaultEngine(eng)
 
 	// -j flows to every campaign.Run/Stream in the experiment layer
 	// through the process-wide default, so the experiment signatures stay
@@ -205,6 +215,18 @@ func main() {
 		_, err := experiments.Scale(w, ranks)
 		return err
 	})
+	// scalebig only runs when asked for by name: 10⁴–10⁵-rank runs are
+	// deliberate acts, not part of the default sweep.
+	if *only == "scalebig" {
+		run("scalebig", func() error {
+			ranks, err := parseRanks(*scaleRanks)
+			if err != nil {
+				return err
+			}
+			_, err = experiments.ScaleStreamed(w, ranks)
+			return err
+		})
+	}
 	run("work", func() error {
 		_, err := experiments.WorkAccuracy(w, *real)
 		return err
@@ -216,4 +238,24 @@ func main() {
 	if *profDir != "" {
 		fmt.Fprintf(w, "\nwrote %d profiles to %s\n", profileCount, *profDir)
 	}
+}
+
+// parseRanks parses a comma-separated -scale-ranks list.
+func parseRanks(s string) ([]int, error) {
+	var ranks []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("scale-ranks: bad rank count %q", part)
+		}
+		ranks = append(ranks, n)
+	}
+	if len(ranks) == 0 {
+		return nil, fmt.Errorf("scale-ranks: empty list")
+	}
+	return ranks, nil
 }

@@ -6,6 +6,7 @@
 //	atsfuzz replay case.json ...      # re-check saved reproducers
 //	atsfuzz corpus                    # list the committed corpus
 //	atsfuzz gen -seeds 10 -out DIR    # write seed cases as corpus files
+//	atsfuzz diff -seeds 20            # byte-compare the event and goroutine engines
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/conformance"
+	"repro/internal/mpi"
 )
 
 func main() {
@@ -37,7 +39,11 @@ commands:
   corpus  [-dir DIR]
           list the corpus cases
   gen     -seeds N [-start S] [-out DIR]
-          write generated seed cases as corpus files`)
+          write generated seed cases as corpus files
+  diff    [-seeds N] [-v]
+          run generated cases on both execution engines (event and
+          goroutine) and byte-compare the serialized traces and profile
+          hashes — the scheduler migration oracle`)
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -54,6 +60,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return cmdCorpus(args[1:], stdout, stderr)
 	case "gen":
 		return cmdGen(args[1:], stdout, stderr)
+	case "diff":
+		return cmdDiff(args[1:], stdout, stderr)
 	case "-h", "--help", "help":
 		usage(stdout)
 		return 0
@@ -76,8 +84,15 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 	jobs := fs.Int("j", 0, "concurrent cases (0: one per CPU)")
 	perturbed := fs.Bool("perturb", false,
 		"sweep every case over the deterministic perturbation ladder (robustness axis)")
+	engine := fs.String("engine", "auto", "rank execution engine (auto, event, goroutine)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if eng, err := mpi.ParseEngine(*engine); err != nil {
+		fmt.Fprintf(stderr, "atsfuzz: %v\n", err)
+		return 2
+	} else {
+		mpi.SetDefaultEngine(eng)
 	}
 	cfg := conformance.Config{}
 	if *procs > 0 {
@@ -247,6 +262,34 @@ func cmdGen(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "wrote %s: %s\n", path, cs)
 	}
+	return 0
+}
+
+func cmdDiff(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seeds := fs.Int("seeds", 20, "number of seeded cases to compare across engines")
+	verbose := fs.Bool("v", false, "print every compared seed, not just the summary")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	compared := 0
+	err := conformance.DiffSeeds(*seeds, func(seed uint64, out conformance.DiffOutcome) {
+		compared++
+		if *verbose {
+			mode := "byte-compared"
+			if !out.BytesCompared {
+				mode = "ran on both engines (nondeterministic waits; bytes not compared)"
+			}
+			fmt.Fprintf(stdout, "ok   seed %-4d %8d trace bytes  %s  %s\n",
+				seed, out.TraceBytes, short(out.Hash), mode)
+		}
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "atsfuzz diff: engines diverge: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "diff: %d seeds, event and goroutine engines agree byte for byte\n", compared)
 	return 0
 }
 

@@ -1,0 +1,153 @@
+package conformance
+
+// Engine differential harness: the migration oracle for the event-driven
+// virtual-time scheduler.  A case is executed twice — once per execution
+// engine — and the serialized ATS1 traces and canonical profile hashes are
+// compared byte for byte.  Any divergence (message matching, collective
+// completion times, wildcard resolution order, OMP team scheduling) shows
+// up as a trace or hash mismatch, so the event engine's claim of
+// observational equivalence with the goroutine engine is checked on the
+// whole conformance surface rather than argued case by case.
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/analyzer"
+	"repro/internal/mpi"
+	"repro/internal/perturb"
+)
+
+// DiffOutcome reports one engine-differential comparison.
+type DiffOutcome struct {
+	// Hash is the profile content hash both engines produced.
+	Hash string
+	// TraceBytes is the size of the serialized ATS1 trace compared.
+	TraceBytes int
+	// BytesCompared is false for cases containing a property in
+	// NondeterministicWaits: their traces legitimately vary run to run
+	// (lock-entry attribution), so only successful completion on both
+	// engines is checked.
+	BytesCompared bool
+}
+
+// engineRun executes the case on one engine and returns the serialized
+// trace plus the canonical profile hash.
+func engineRun(cs Case, prof perturb.Profile, eng mpi.Engine) ([]byte, string, error) {
+	opts := mpi.Options{Procs: cs.Procs, Perturb: perturb.NewModel(prof), Engine: eng}
+	tr, err := mpi.Run(opts, caseBody(cs))
+	if err != nil {
+		return nil, "", fmt.Errorf("engine %s: %w", eng, err)
+	}
+	var buf bytes.Buffer
+	if _, err := tr.Write(&buf); err != nil {
+		return nil, "", fmt.Errorf("engine %s: serialize: %w", eng, err)
+	}
+	rep := analyzer.Analyze(tr, analyzer.Options{Threshold: cs.Threshold})
+	hash, err := caseHash(cs, tr, rep)
+	if err != nil {
+		return nil, "", fmt.Errorf("engine %s: hash: %w", eng, err)
+	}
+	return buf.Bytes(), hash, nil
+}
+
+// DiffEngines runs the case under the given perturbation profile on both
+// the event and goroutine engines and compares the serialized traces and
+// profile hashes byte for byte.  A mismatch is returned as an error naming
+// the first diverging byte offset; the error is the finding.
+func DiffEngines(cs Case, prof perturb.Profile) (DiffOutcome, error) {
+	if err := cs.Validate(); err != nil {
+		return DiffOutcome{}, err
+	}
+	evBytes, evHash, err := engineRun(cs, prof, mpi.EngineEvent)
+	if err != nil {
+		return DiffOutcome{}, err
+	}
+	goBytes, goHash, err := engineRun(cs, prof, mpi.EngineGoroutine)
+	if err != nil {
+		return DiffOutcome{}, err
+	}
+	out := DiffOutcome{Hash: evHash, TraceBytes: len(evBytes)}
+	if hasNondeterministicWaits(cs) {
+		return out, nil
+	}
+	out.BytesCompared = true
+	if evHash != goHash {
+		return out, fmt.Errorf("conformance: engine divergence: profile hash event=%s goroutine=%s", evHash, goHash)
+	}
+	if !bytes.Equal(evBytes, goBytes) {
+		off := diffOffset(evBytes, goBytes)
+		return out, fmt.Errorf("conformance: engine divergence: ATS1 traces differ at byte %d (event %dB, goroutine %dB)",
+			off, len(evBytes), len(goBytes))
+	}
+	return out, nil
+}
+
+// DiffEngineBodies runs an arbitrary rank body at the given scale on both
+// engines and byte-compares the serialized traces — the mpi-level half of
+// the harness, for programs (Ch.4 apps, fig35, hand-written patterns) that
+// are not expressible as conformance cases.  It returns the shared trace
+// size.
+func DiffEngineBodies(procs int, body func(c *mpi.Comm)) (int, error) {
+	ser := func(eng mpi.Engine) ([]byte, error) {
+		tr, err := mpi.Run(mpi.Options{Procs: procs, Engine: eng}, body)
+		if err != nil {
+			return nil, fmt.Errorf("engine %s: %w", eng, err)
+		}
+		var buf bytes.Buffer
+		if _, err := tr.Write(&buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+	evBytes, err := ser(mpi.EngineEvent)
+	if err != nil {
+		return 0, err
+	}
+	goBytes, err := ser(mpi.EngineGoroutine)
+	if err != nil {
+		return 0, err
+	}
+	if !bytes.Equal(evBytes, goBytes) {
+		return len(evBytes), fmt.Errorf("engine divergence: ATS1 traces differ at byte %d (event %dB, goroutine %dB)",
+			diffOffset(evBytes, goBytes), len(evBytes), len(goBytes))
+	}
+	return len(evBytes), nil
+}
+
+// DiffSeeds runs the generated-seed sweep used by `atsfuzz diff` and the
+// CI scale-smoke job: seeds 1..n, each unperturbed plus one perturbation
+// level (cycling 0..MaxLevel by seed), stopping at the first divergence.
+func DiffSeeds(n int, progress func(seed uint64, out DiffOutcome)) error {
+	for seed := uint64(1); seed <= uint64(n); seed++ {
+		cs := Generate(seed, Config{})
+		out, err := DiffEngines(cs, perturb.Profile{})
+		if err != nil {
+			return fmt.Errorf("seed %d (%s): %w", seed, cs, err)
+		}
+		level := int(seed % uint64(perturb.MaxLevel+1))
+		if level > 0 {
+			if _, err := DiffEngines(cs, perturb.Level(seed, level)); err != nil {
+				return fmt.Errorf("seed %d (%s) perturb level %d: %w", seed, cs, level, err)
+			}
+		}
+		if progress != nil {
+			progress(seed, out)
+		}
+	}
+	return nil
+}
+
+// diffOffset returns the first index at which a and b differ.
+func diffOffset(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}

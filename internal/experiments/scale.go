@@ -156,6 +156,86 @@ func runScaleMaterialized(procs int, body func(c *mpi.Comm)) (int, string, error
 	return len(tr.Events), hash, err
 }
 
+// scaleBigRounds/scaleBigInnerRegions size the big-rank scale program.
+// The per-rank event count is deliberately light (~rounds×(2·inner+3)+2 ≈
+// 68): at 10⁴–10⁵ ranks the interesting axis is rank count, not per-rank
+// event volume, and the light body keeps a 65536-rank run inside a CI
+// budget while still exercising every scheduler path (compute, barriers,
+// a neighbor exchange).
+const (
+	scaleBigRounds       = 6
+	scaleBigInnerRegions = 4
+)
+
+// scaleBigBody is the composite program of the big-rank scale experiment:
+// skewed compute segments, barrier resyncs, and a ring Sendrecv so the
+// event scheduler's p2p matching is on the measured path too.
+func scaleBigBody(c *mpi.Comm) {
+	skew := 0.0002 * (1 + float64(c.Rank())/float64(c.Size()))
+	next := (c.Rank() + 1) % c.Size()
+	prev := (c.Rank() - 1 + c.Size()) % c.Size()
+	buf := mpi.AllocBuf(mpi.TypeDouble, 4)
+	defer mpi.FreeBuf(buf)
+	c.Begin("scale_phase")
+	for r := 0; r < scaleBigRounds; r++ {
+		for k := 0; k < scaleBigInnerRegions; k++ {
+			c.Begin("compute")
+			c.Work(skew)
+			c.End()
+		}
+		c.Sendrecv(buf, next, 1, buf, prev, 1)
+		c.Barrier()
+	}
+	c.End()
+}
+
+// ScaleBigRow is one rank-count measurement of the big-rank experiment.
+type ScaleBigRow struct {
+	Procs    int
+	Events   int
+	PeakHeap uint64
+	HostMS   float64
+	// EventsPerSec is trace-event throughput over the whole
+	// run+stream+analyze phase.
+	EventsPerSec float64
+	Hash         string
+}
+
+// ScaleStreamed runs the big-rank scale experiment: the composite program
+// at 10³–10⁵ ranks through the event engine and the streaming pipeline
+// (the materialized pipeline is deliberately absent — holding a 65536-rank
+// trace in memory is the failure mode this experiment demonstrates the
+// absence of).  Memory must stay O(ranks + pending events): the peak-heap
+// column is the evidence, and the committed bench baseline
+// (testdata/bench/) tracks it release to release.
+func ScaleStreamed(w io.Writer, ranks []int) ([]ScaleBigRow, error) {
+	fmt.Fprintln(w, "== scalebig: event-engine composite at 10^3..10^5 ranks (streamed) ==")
+	fmt.Fprintf(w, "(%d rounds x %d compute segments + ring exchange per rank; peak = sampled HeapAlloc high-water mark)\n",
+		scaleBigRounds, scaleBigInnerRegions)
+	fmt.Fprintf(w, "%7s %10s %10s %10s %12s  %s\n",
+		"procs", "events", "peak-MiB", "host-ms", "events/sec", "hash")
+	var rows []ScaleBigRow
+	for _, p := range ranks {
+		var events int
+		var hash string
+		peak, dur, err := measurePeak(func() (err error) {
+			events, hash, err = runScaleStreamed(p, scaleBigBody)
+			return err
+		})
+		if err != nil {
+			return rows, fmt.Errorf("scalebig: P=%d: %w", p, err)
+		}
+		eps := float64(events) / dur.Seconds()
+		rows = append(rows, ScaleBigRow{
+			Procs: p, Events: events, PeakHeap: peak,
+			HostMS: float64(dur.Microseconds()) / 1e3, EventsPerSec: eps, Hash: hash,
+		})
+		fmt.Fprintf(w, "%7d %10d %10.1f %10.0f %12.0f  %s\n",
+			p, events, float64(peak)/(1<<20), float64(dur.Microseconds())/1e3, eps, hash[:12])
+	}
+	return rows, nil
+}
+
 // Scale compares the streamed and materialized analysis pipelines at
 // growing rank counts: same program, same report (the profile hashes must
 // match — the experiment fails otherwise), very different peak memory.

@@ -69,3 +69,33 @@ func TestScaleStreamedHashIndependentOfWorkers(t *testing.T) {
 		}
 	}
 }
+
+// TestScaleStreamedBig runs the big-rank experiment at toy counts: rows
+// must be well-formed and byte-deterministic across repeats (the
+// committed bench baseline depends on the hash being a pure function of
+// the rank count).
+func TestScaleStreamedBig(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := ScaleStreamed(&buf, []int{8, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	again, err := ScaleStreamed(&buf, []int{8, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rows {
+		if r.Events == 0 || r.PeakHeap == 0 || r.EventsPerSec <= 0 {
+			t.Fatalf("row %+v: degenerate measurement", r)
+		}
+		if again[i].Hash != r.Hash || again[i].Events != r.Events {
+			t.Fatalf("P=%d: not deterministic across repeats: %+v vs %+v", r.Procs, r, again[i])
+		}
+	}
+	if !strings.Contains(buf.String(), "scalebig") {
+		t.Fatal("ScaleStreamed wrote no table")
+	}
+}

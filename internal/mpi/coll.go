@@ -50,6 +50,18 @@ type collOp struct {
 	exits []float64
 	out   [][]byte
 	cores []*commCore
+
+	// waiters are the participants parked under the event engine; the
+	// last arriver readies them after computing the operation.
+	waiters []*proc
+}
+
+// collID derives the deterministic trace match id of a collective
+// instance from the communicator and its per-communicator sequence.  A
+// pure function of the program — identical across engines and host
+// schedules — unlike the racy global counter it replaced.
+func collID(cid int32, seq uint64) uint64 {
+	return uint64(uint32(cid))<<32 | (seq+1)&0xffffffff
 }
 
 // collEngine synchronizes the members of one communicator through their
@@ -95,7 +107,7 @@ func (e *collEngine) join(c *Comm, seq uint64, enter float64, args collArgs) col
 	if op == nil {
 		op = &collOp{
 			kind:  args.kind,
-			id:    e.w.collCounter.Add(1),
+			id:    collID(c.core.cid, seq),
 			seq:   seq,
 			size:  size,
 			enter: make([]float64, size),
@@ -125,7 +137,22 @@ func (e *collEngine) join(c *Comm, seq uint64, enter float64, args collArgs) col
 			e.abort(err)
 		}
 		op.done = true
-		e.cond.Broadcast()
+		if e.w.eventMode {
+			// The last arriver is the running rank; the parked
+			// participants become ready at their own (already advanced)
+			// clocks and pick up their results when dispatched.
+			for _, q := range op.waiters {
+				e.w.sched.readyProc(q)
+			}
+			op.waiters = nil
+		} else {
+			e.cond.Broadcast()
+		}
+	} else if e.w.eventMode {
+		op.waiters = append(op.waiters, c.p)
+		e.mu.Unlock()
+		c.p.park(evColl)
+		e.mu.Lock()
 	} else {
 		restore := c.p.blockedSection()
 		for !op.done {

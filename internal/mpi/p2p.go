@@ -37,7 +37,24 @@ type message struct {
 
 	// ack carries the virtual transfer-end time back to a rendezvous
 	// sender (0 in real mode).  Buffered so the receiver never blocks.
+	// Goroutine engine only.
 	ack chan float64
+
+	// Rendezvous completion under the event engine: the receiver stores
+	// the transfer end and readies the parked sender directly (the
+	// scheduler handoff serializes all access, so no channel is needed).
+	acked  bool
+	ackEnd float64
+	waiter *proc // sender parked in waitAck, if any
+}
+
+// matchID derives the deterministic trace match id of a p2p message: the
+// sender's world rank and its program-order send count.  A pure function
+// of the program — identical across engines and host schedules — unlike
+// the racy global counter it replaced.
+func matchID(p *proc) uint64 {
+	p.sendCount++
+	return (uint64(p.rank)+1)<<40 | (p.sendCount & (1<<40 - 1))
 }
 
 // mailbox is a rank's incoming message queue with MPI matching semantics:
@@ -50,12 +67,28 @@ type mailbox struct {
 	// q[head:] holds the pending messages; consuming from the front only
 	// advances head (amortized O(1) even under large backlogs — a sender
 	// racing ahead of its receiver must not make matching quadratic).
-	q    []*message
-	head int
-	w    *World
+	q     []*message
+	head  int
+	w     *World
+	owner *proc // the rank that receives from this mailbox
 	// qlen mirrors the pending count for lock-free inspection by the
 	// spoiler check of other ranks' wildcard receives.
 	qlen atomic.Int32
+}
+
+// setQlen updates the pending-count mirror and maintains the world-wide
+// count of occupied mailboxes (World.mailOcc), which lets the event
+// scheduler's quiescence check conclude "no other rank holds mail, so
+// nothing can spoil this wildcard" in O(1) instead of scanning every proc
+// — the difference between linear and quadratic total cost for
+// master/worker programs at 10⁴–10⁵ ranks.
+func (mb *mailbox) setQlen(n int32) {
+	old := mb.qlen.Swap(n)
+	if old == 0 && n > 0 {
+		mb.w.mailOcc.Add(1)
+	} else if old > 0 && n == 0 {
+		mb.w.mailOcc.Add(-1)
+	}
 }
 
 // removeAt drops the message at index i (absolute index into q), keeping
@@ -75,30 +108,79 @@ func (mb *mailbox) removeAt(i int) {
 		mb.q = append([]*message(nil), mb.q[mb.head:]...)
 		mb.head = 0
 	}
-	mb.qlen.Store(int32(len(mb.q) - mb.head))
+	mb.setQlen(int32(len(mb.q) - mb.head))
 }
 
-func newMailbox(w *World) *mailbox {
-	mb := &mailbox{w: w}
+func newMailbox(w *World, owner *proc) *mailbox {
+	mb := &mailbox{w: w, owner: owner}
 	mb.cond = sync.NewCond(&mb.mu)
 	w.registerWaker(mb)
 	return mb
 }
 
-// wakeAll implements waker for abort propagation.
+// wakeAll implements waker for abort propagation (goroutine engine).
 func (mb *mailbox) wakeAll() {
 	mb.mu.Lock()
 	mb.cond.Broadcast()
 	mb.mu.Unlock()
 }
 
-// post appends a message and wakes the receiver.
+// post appends a message and wakes the receiver.  Under the event engine
+// the poster is the currently running rank; a receiver parked on a
+// specific source that this message satisfies becomes ready, while
+// wildcard receivers stay parked until quiescence (see evScheduler).
 func (mb *mailbox) post(m *message) {
 	mb.mu.Lock()
 	mb.q = append(mb.q, m)
-	mb.qlen.Store(int32(len(mb.q) - mb.head))
+	mb.setQlen(int32(len(mb.q) - mb.head))
+	if mb.w.eventMode {
+		mb.mu.Unlock()
+		p := mb.owner
+		if p.evState.Load() == evRecv && p.evSrc != AnySource &&
+			matches(m, p.evCid, p.evSrc, p.evTag) {
+			mb.w.sched.readyProc(p)
+		}
+		return
+	}
 	mb.cond.Broadcast()
 	mb.mu.Unlock()
+}
+
+// bestAvail returns the earliest virtual arrival among queued messages a
+// wildcard receive for (cid, tag) would match, and its queue index, for
+// the scheduler's quiescence check.  The tie-break (lowest source rank)
+// matches matchEvent's, so the index identifies exactly the message the
+// granted receive will take.
+func (mb *mailbox) bestAvail(cid int32, tag int) (float64, int, bool) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	best := mb.scanBest(cid, AnySource, tag)
+	if best < 0 {
+		return 0, -1, false
+	}
+	return mb.q[best].avail, best, true
+}
+
+// scanBest returns the queue index a receive for (cid, src, tag) matches,
+// or -1.  A fully specified receive matches the oldest message from its
+// source; a wildcard receive matches the earliest virtual arrival, ties
+// to the lowest source rank.  Caller holds mb.mu.
+func (mb *mailbox) scanBest(cid int32, src, tag int) int {
+	best := -1
+	for i := mb.head; i < len(mb.q); i++ {
+		m := mb.q[i]
+		if !matches(m, cid, src, tag) {
+			continue
+		}
+		if src != AnySource {
+			return i
+		}
+		if best < 0 || m.avail < mb.q[best].avail ||
+			(m.avail == mb.q[best].avail && m.src < mb.q[best].src) {
+			best = i
+		}
+	}
+	return best
 }
 
 // matches reports whether m satisfies a receive for (cid, src, tag).
@@ -138,6 +220,9 @@ func (mb *mailbox) take(p *proc, cid int32, src, tag int) *message {
 // the same arguments is guaranteed to match it (the matching rules are
 // deterministic functions of the queue contents).
 func (mb *mailbox) match(p *proc, cid int32, src, tag int, remove bool) *message {
+	if mb.w.eventMode {
+		return mb.matchEvent(p, cid, src, tag, remove)
+	}
 	virtualWild := src == AnySource && p.ctx.Mode() == vtime.Virtual
 	// maxWildcardPolls bounds the quiescence wait (~50ms of real time) so
 	// a rank that holds unconsumed messages forever cannot livelock a
@@ -208,6 +293,49 @@ func (mb *mailbox) match(p *proc, cid int32, src, tag int, remove bool) *message
 	}
 }
 
+// matchEvent is match under the event engine.  A specific-source receive
+// scans for the oldest message from its source and parks until the
+// matching post resumes it.  A wildcard receive parks unconditionally —
+// even with candidates queued — and is granted at quiescence
+// (evScheduler.quiesce), which substitutes deterministic event-queue
+// reasoning for the goroutine engine's spoiler poll loop; the grant
+// carries the chosen candidate's queue index (no rank runs between the
+// quiescence scan and this take, so the queue is unchanged), which keeps
+// a wildcard drain over a deep backlog to one scan per message instead
+// of three.  Parking never holds mb.mu: the posting rank needs it.
+func (mb *mailbox) matchEvent(p *proc, cid int32, src, tag int, remove bool) *message {
+	wild := src == AnySource
+	for {
+		mb.mu.Lock()
+		best := -1
+		if wild {
+			if p.evGrant {
+				if i := p.evGrantIdx; i >= mb.head && i < len(mb.q) && matches(mb.q[i], cid, src, tag) {
+					best = i
+				} else {
+					// The granted index should always validate; rescanning
+					// keeps a broken invariant deterministic, not silent.
+					best = mb.scanBest(cid, src, tag)
+				}
+			}
+		} else {
+			best = mb.scanBest(cid, src, tag)
+		}
+		if best >= 0 {
+			p.evGrant = false
+			m := mb.q[best]
+			if remove {
+				mb.removeAt(best)
+			}
+			mb.mu.Unlock()
+			return m
+		}
+		mb.mu.Unlock()
+		p.evCid, p.evSrc, p.evTag = cid, src, tag
+		p.park(evRecv)
+	}
+}
+
 // sendMode distinguishes the point-to-point send flavors.
 type sendMode uint8
 
@@ -254,10 +382,12 @@ func (c *Comm) postSend(buf *Buf, dest, tag int, mode sendMode, enter float64, f
 		data:      payload,
 		sendEnter: enter,
 		sync:      isSync,
-		match:     w.matchCounter.Add(1),
+		match:     matchID(c.p),
 	}
 	if isSync {
-		m.ack = make(chan float64, 1)
+		if !w.eventMode {
+			m.ack = make(chan float64, 1)
+		}
 		flags |= trace.FlagSync
 	}
 	if c.p.ctx.Mode() == vtime.Virtual {
@@ -284,9 +414,21 @@ func (c *Comm) postSend(buf *Buf, dest, tag int, mode sendMode, enter float64, f
 }
 
 // waitAck blocks a rendezvous sender until the receiver acknowledges, then
-// advances the virtual clock to the transfer end.
+// advances the virtual clock to the transfer end.  Under the event engine
+// the sender parks and the receiver's completeRecv readies it; the
+// Isend/Wait split means the ack may already have been delivered by the
+// time the sender waits, in which case there is nothing to park on.
 func (c *Comm) waitAck(m *message) {
 	w := c.p.w
+	if w.eventMode {
+		if !m.acked {
+			m.waiter = c.p
+			c.p.park(evAck)
+			m.waiter = nil
+		}
+		c.p.ctx.Clock.AdvanceTo(m.ackEnd + w.opt.Cost.Overhead)
+		return
+	}
 	restore := c.p.blockedSection()
 	defer restore()
 	select {
@@ -353,7 +495,15 @@ func (c *Comm) completeRecv(buf *Buf, m *message, enter float64, flags uint8) St
 			}
 			end = start + w.opt.Cost.transfer(bytes) + m.jitter
 		}
-		m.ack <- end
+		if w.eventMode {
+			m.ackEnd = end
+			m.acked = true
+			if m.waiter != nil {
+				w.sched.readyProc(m.waiter)
+			}
+		} else {
+			m.ack <- end
+		}
 		if ctx.Mode() == vtime.Virtual {
 			ctx.Clock.AdvanceTo(end + w.opt.Cost.Overhead)
 		}

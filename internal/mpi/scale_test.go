@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 	"time"
@@ -142,5 +143,33 @@ func TestQuickVBufCountsAgree(t *testing.T) {
 	}
 	if err := quick.Check(inv, &quick.Config{MaxCount: 25}); err != nil {
 		t.Error(err)
+	}
+}
+
+// BenchmarkEventEngineRanks measures raw event-engine dispatch throughput
+// at 10³–10⁵ ranks, untraced, so the scheduler itself (heap churn, park/
+// resume handoffs, collective completion) dominates the measurement
+// rather than trace recording.
+func BenchmarkEventEngineRanks(b *testing.B) {
+	for _, procs := range []int{4096, 16384, 65536} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := Run(Options{Procs: procs, Untraced: true, Engine: EngineEvent,
+					Timeout: 300 * time.Second}, func(c *Comm) {
+					buf := AllocBuf(TypeDouble, 4)
+					defer FreeBuf(buf)
+					next := (c.Rank() + 1) % c.Size()
+					prev := (c.Rank() - 1 + c.Size()) % c.Size()
+					for round := 0; round < 3; round++ {
+						c.Sendrecv(buf, next, 1, buf, prev, 1)
+						c.Allreduce(buf, buf, OpSum)
+					}
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(procs), "ranks")
+		})
 	}
 }

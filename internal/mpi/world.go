@@ -50,6 +50,12 @@ type Options struct {
 	// yields a report byte-identical to the materialized path at
 	// O(locations) memory.  Ignored when Untraced.
 	Sink trace.Sink
+	// Engine selects the rank-execution strategy: EngineAuto (the zero
+	// value) resolves to the event-queue scheduler for Virtual mode and
+	// goroutine-per-rank for Real mode; EngineGoroutine forces the
+	// pre-event-queue behaviour as a migration escape hatch.  Both
+	// engines produce byte-identical traces (see engine_diff_test.go).
+	Engine Engine
 }
 
 func (o Options) withDefaults() Options {
@@ -82,9 +88,21 @@ type World struct {
 
 	procs []*proc
 
-	matchCounter atomic.Uint64 // p2p match ids
-	collCounter  atomic.Uint64 // collective instance ids
-	commCounter  atomic.Int32  // communicator context ids
+	// eventMode marks a run on the event engine (see evsched.go); sched
+	// is its dispatcher.  p2p match ids and collective instance ids need
+	// no counters: they are pure functions of (rank, send count) and
+	// (communicator, sequence) — identical across engines and host
+	// schedules, which is what makes byte-identical traces possible.
+	eventMode bool
+	sched     *evScheduler
+
+	// mailOcc counts mailboxes with pending messages (maintained by
+	// mailbox.setQlen).  The event scheduler's quiescence check reads it
+	// to decide in O(1) that no other rank holds mail that could spoil a
+	// wildcard receive.
+	mailOcc atomic.Int32
+
+	commCounter atomic.Int32 // communicator context ids
 
 	// failure propagation (MPI_Abort semantics): the first panic on any
 	// rank aborts the world; all blocked ranks are woken and unwound.
@@ -118,6 +136,21 @@ func (e abortError) Error() string {
 	return "mpi: run aborted because another rank failed: " + e.cause.Error()
 }
 
+// RankError is the failure Run returns when a rank's body panics: it
+// carries the failing rank's identity out of the event loop so callers
+// (and the conformance shrinker) can attribute the abort.  Err holds the
+// panic value and stack.
+type RankError struct {
+	Rank int
+	Err  error
+}
+
+func (e *RankError) Error() string {
+	return fmt.Sprintf("mpi: rank %d panicked: %v", e.Rank, e.Err)
+}
+
+func (e *RankError) Unwrap() error { return e.Err }
+
 // Execution states used by the conservative wildcard-matching protocol
 // (see mailbox.take): a rank that is blocked or finished cannot produce an
 // earlier message than the best queued candidate.
@@ -143,6 +176,24 @@ type proc struct {
 	// (only allocated under Options.Perturb): the deterministic message
 	// identity that keys latency jitter.  Owned by the rank's goroutine.
 	sendSeq []uint64
+
+	// sendCount numbers this rank's p2p sends in program order; together
+	// with the rank it forms the deterministic trace match id (see
+	// matchID).  Owned by the rank's goroutine.
+	sendCount uint64
+
+	// Event-engine state (see evsched.go).  evResume carries the
+	// scheduler's run token (capacity 1).  evState is written by
+	// whichever side owns the rank at the time and read by the
+	// scheduler's abort and quiescence scans, hence atomic.
+	evResume   chan struct{}
+	evState    atomic.Int32
+	evCid      int32 // parked receive spec, valid when evState == evRecv
+	evSrc      int
+	evTag      int
+	evGrant    bool // scheduler granted the parked wildcard receive
+	evGrantIdx int  // queue index of the granted candidate (evScheduler.quiesce)
+	evInWild   bool // on the scheduler's wildcard-waiter list (scheduler-owned)
 
 	// base default buffer (set_base_comm); per-rank so writes stay local.
 	baseType  Datatype
@@ -233,20 +284,31 @@ func (w *World) fail(err error) {
 }
 
 // registerWaker adds a blocking structure to the abort broadcast set.
+// The event engine has no blocking condition variables to broadcast —
+// parked ranks are resumed by the scheduler's abort scan — so it keeps
+// the set empty instead of accumulating one waker per mailbox and
+// collective engine.
 func (w *World) registerWaker(x waker) {
+	if w.eventMode {
+		return
+	}
 	w.failMu.Lock()
 	w.wakeable = append(w.wakeable, x)
 	w.failMu.Unlock()
+}
+
+// failError returns the recorded first failure.
+func (w *World) failError() error {
+	w.failMu.Lock()
+	defer w.failMu.Unlock()
+	return w.failErr
 }
 
 // checkFailed panics with an abort error if the world has failed; called
 // from every blocking wait loop.
 func (w *World) checkFailed() {
 	if w.failed.Load() {
-		w.failMu.Lock()
-		err := w.failErr
-		w.failMu.Unlock()
-		panic(abortError{cause: err})
+		panic(abortError{cause: w.failError()})
 	}
 }
 
@@ -272,6 +334,7 @@ func Run(opt Options, body func(c *Comm)) (*trace.Trace, error) {
 		work.CalibrateReal()
 	}
 	w := &World{opt: opt, epoch: time.Now(), failCh: make(chan struct{})}
+	w.eventMode = resolveEngine(opt.Engine, opt.Mode) == EngineEvent
 
 	worldCore := &commCore{
 		w:      w,
@@ -334,10 +397,10 @@ func Run(opt Options, body func(c *Comm)) (*trace.Trace, error) {
 			w:         w,
 			rank:      i,
 			ctx:       ctx,
-			mb:        newMailbox(w),
 			baseType:  opt.BaseType,
 			baseCount: opt.BaseCount,
 		}
+		p.mb = newMailbox(w, p)
 		if opt.Perturb != nil {
 			p.sendSeq = make([]uint64, opt.Procs)
 		}
@@ -345,61 +408,18 @@ func Run(opt Options, body func(c *Comm)) (*trace.Trace, error) {
 		comms[i] = &Comm{core: worldCore, p: p, myRank: i}
 	}
 
-	var wg sync.WaitGroup
 	errs := make([]error, opt.Procs)
-	for i := 0; i < opt.Procs; i++ {
-		wg.Add(1)
-		go func(rank int) {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					var err error
-					if ae, ok := r.(abortError); ok {
-						err = ae
-					} else {
-						err = fmt.Errorf("mpi: rank %d panicked: %v\n%s",
-							rank, r, debug.Stack())
-						w.fail(err)
-					}
-					errs[rank] = err
-				}
-			}()
-			defer w.procs[rank].state.Store(stateDone)
-			c := comms[rank]
-			c.init()
-			body(c)
-			c.finalize()
-		}(i)
-	}
-
-	done := make(chan struct{})
-	go func() {
-		wg.Wait()
-		close(done)
-	}()
-	select {
-	case <-done:
-	case <-time.After(opt.Timeout):
-		w.fail(fmt.Errorf("mpi: watchdog timeout after %v (deadlock suspected)", opt.Timeout))
-		select {
-		case <-done:
-		case <-time.After(5 * time.Second):
-			return nil, fmt.Errorf("mpi: ranks failed to unwind after abort; giving up")
-		}
-	}
-
 	var runErr error
-	w.failMu.Lock()
-	runErr = w.failErr
-	w.failMu.Unlock()
-	if runErr == nil {
-		// Pick up any non-aborting rank error (shouldn't happen, but be safe).
-		for _, e := range errs {
-			if e != nil {
-				runErr = e
-				break
-			}
-		}
+	var stuck bool
+	if w.eventMode {
+		runErr, stuck = w.runEvent(comms, errs, body)
+	} else {
+		runErr, stuck = w.runGoroutine(comms, errs, body)
+	}
+	if stuck {
+		// Some rank never unwound after the abort; its goroutine may
+		// still be recording, so the buffers cannot be touched.
+		return nil, runErr
 	}
 
 	if opt.Untraced {
@@ -440,4 +460,105 @@ func Run(opt Options, body func(c *Comm)) (*trace.Trace, error) {
 		b.Release()
 	}
 	return tr, runErr
+}
+
+// runRank executes one rank's init/body/finalize with panic confinement;
+// shared by both engines.
+func (w *World) runRank(c *Comm, body func(c *Comm), errs []error) {
+	rank := c.p.rank
+	defer func() {
+		if r := recover(); r != nil {
+			var err error
+			if ae, ok := r.(abortError); ok {
+				err = ae
+			} else {
+				err = &RankError{Rank: rank, Err: fmt.Errorf("%v\n%s", r, debug.Stack())}
+				w.fail(err)
+			}
+			errs[rank] = err
+		}
+	}()
+	defer c.p.state.Store(stateDone)
+	c.init()
+	body(c)
+	c.finalize()
+}
+
+// runGoroutine executes the world on the goroutine engine: one
+// free-running goroutine per rank, condition-variable blocking, and the
+// spoiler poll loop for wildcard receives.
+func (w *World) runGoroutine(comms []*Comm, errs []error, body func(c *Comm)) (runErr error, stuck bool) {
+	var wg sync.WaitGroup
+	for i := range comms {
+		wg.Add(1)
+		go func(c *Comm) {
+			defer wg.Done()
+			w.runRank(c, body, errs)
+		}(comms[i])
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	return w.awaitDone(done, errs)
+}
+
+// runEvent executes the world on the event engine: rank goroutines gate
+// on their resume channels and the scheduler single-steps them in
+// virtual-clock order (see evsched.go).
+func (w *World) runEvent(comms []*Comm, errs []error, body func(c *Comm)) (runErr error, stuck bool) {
+	s := newEvScheduler(w)
+	w.sched = s
+	s.live = len(w.procs)
+	for _, p := range w.procs {
+		p.evResume = make(chan struct{}, 1)
+		s.readyProc(p)
+	}
+	for i := range comms {
+		go func(c *Comm) {
+			p := c.p
+			<-p.evResume // first dispatch
+			w.runRank(c, body, errs)
+			p.evState.Store(evDone)
+			s.notes <- evNote{p: p, done: true}
+		}(comms[i])
+	}
+	done := make(chan struct{})
+	go func() {
+		s.loop()
+		close(done)
+	}()
+	return w.awaitDone(done, errs)
+}
+
+// awaitDone waits for a run to complete under the real-time watchdog and
+// resolves the run error.  The watchdog remains even though the event
+// engine detects structural deadlocks instantly: runaway user code (an
+// infinite loop inside a rank body) blocks either engine forever and
+// only real time can catch it.  stuck reports that some rank failed to
+// unwind within the grace period, in which case its goroutine may still
+// be running and the trace buffers must not be touched.
+func (w *World) awaitDone(done chan struct{}, errs []error) (runErr error, stuck bool) {
+	select {
+	case <-done:
+	case <-time.After(w.opt.Timeout):
+		w.fail(fmt.Errorf("mpi: watchdog timeout after %v (deadlock suspected)", w.opt.Timeout))
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			return fmt.Errorf("mpi: ranks failed to unwind after abort; giving up"), true
+		}
+	}
+	runErr = w.failError()
+	if runErr == nil {
+		// Pick up any non-aborting rank error (shouldn't happen, but be safe).
+		for _, e := range errs {
+			if e != nil {
+				runErr = e
+				break
+			}
+		}
+	}
+	return runErr, false
 }

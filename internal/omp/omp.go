@@ -21,7 +21,6 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/distr"
 	"repro/internal/trace"
@@ -52,11 +51,15 @@ func DefaultCost() CostModel {
 	}
 }
 
-// teamCounter allocates team ids (trace Comm field for OMP events).
-var teamCounter atomic.Int32
-
-// opCounter allocates team-operation instance ids (trace Match field).
-var opCounter atomic.Uint64
+// teamOpID derives the trace Match id of a team operation from the team id
+// and the construct sequence number, so ids depend only on execution
+// position — identical programs emit identical ids regardless of goroutine
+// interleaving or execution engine (a global counter would not survive the
+// engine differential harness's byte comparison).  Bit 31 of seq
+// distinguishes the implicit join barrier from worksharing constructs.
+func teamOpID(teamID int32, seq uint64) uint64 {
+	return uint64(uint32(teamID))<<32 | (seq+1)&0xffffffff
+}
 
 // team is the shared state of one parallel region.
 type team struct {
@@ -168,7 +171,7 @@ func Parallel(ctx *xctx.Ctx, opt Options, body func(tc *TC)) {
 	opt = opt.withDefaults()
 	n := opt.Threads
 	tm := &team{
-		id:    teamCounter.Add(1),
+		id:    ctx.NextTeamID(),
 		size:  n,
 		cost:  opt.Cost,
 		mode:  ctx.Mode(),
@@ -241,7 +244,7 @@ func Parallel(ctx *xctx.Ctx, opt Options, body func(tc *TC)) {
 		}
 	}
 	joinT += opt.Cost.Join
-	opID := opCounter.Add(1)
+	opID := teamOpID(tm.id, tcs[0].seq|1<<31)
 	for i := n - 1; i >= 0; i-- {
 		tc := tcs[i]
 		if tc.ctx.Mode() == vtime.Virtual {

@@ -93,7 +93,7 @@ func (tm *team) getOp(seq uint64, kind uint8, size int) *teamOp {
 	if op == nil {
 		op = &teamOp{
 			kind:    kind,
-			id:      opCounter.Add(1),
+			id:      teamOpID(tm.id, seq),
 			enter:   make([]float64, size),
 			clocks:  make([]float64, size),
 			inSet:   make([]bool, size),

@@ -35,6 +35,18 @@ type Ctx struct {
 	// run's trace.Sink so its events are spilled as chunk frames while
 	// the thread executes; nil outside streaming runs.
 	Spill func(*trace.Buffer)
+
+	// TeamBase namespaces the OpenMP team ids allocated on this context so
+	// they are a pure function of execution position rather than of global
+	// allocation order: the root context of rank r starts at r<<14, and
+	// each Fork offsets the child by thread<<9.  Identical programs then
+	// produce identical team ids regardless of goroutine interleaving or
+	// execution engine — the property the engine differential harness
+	// byte-compares traces under.
+	TeamBase uint32
+	// teamSeq counts the teams this context has encountered (see
+	// NextTeamID).  Owned by the context's goroutine, like the clock.
+	teamSeq uint32
 }
 
 // New creates a root context for the given location.  The clock must be
@@ -42,7 +54,20 @@ type Ctx struct {
 func New(clock *vtime.Clock, tb *trace.Buffer, rng *work.RNG, loc trace.Location) *Ctx {
 	seq := &atomic.Int32{}
 	seq.Store(loc.Thread)
-	return &Ctx{Clock: clock, TB: tb, RNG: rng, Loc: loc, ThreadSeq: seq}
+	return &Ctx{
+		Clock: clock, TB: tb, RNG: rng, Loc: loc, ThreadSeq: seq,
+		TeamBase: uint32(loc.Rank) << 14,
+	}
+}
+
+// NextTeamID allocates the id of the next OpenMP team encountered on this
+// context, deterministic in (rank, forking thread, team ordinal).  The id
+// is folded into 31 bits so it fits the trace Comm field alongside MPI
+// communicator ids; collisions across the two namespaces are harmless
+// because analyzers key MPI and OMP events separately.
+func (c *Ctx) NextTeamID() int32 {
+	c.teamSeq++
+	return int32((c.TeamBase + c.teamSeq) & 0x7fffffff)
 }
 
 // Now returns the executor's current time.
@@ -86,6 +111,7 @@ func (c *Ctx) Fork() *Ctx {
 		ThreadSeq: c.ThreadSeq,
 		Adopt:     c.Adopt,
 		Spill:     c.Spill,
+		TeamBase:  c.TeamBase + uint32(thread)<<9,
 	}
 	if c.TB != nil {
 		child.TB = trace.NewBuffer(loc)
