@@ -22,6 +22,13 @@
 #                  on a temp store, submit a conformance case and a
 #                  streamed ATSC upload, verify dedup caching, and verify
 #                  injected drift fails the client with exit 1.
+#   make cache-smoke — result-cache smoke: run a seeded atsfuzz sweep
+#                  twice against one cache (warm pass must hit >=95% and
+#                  print byte-identical stdout), check -procs 2 output
+#                  equality, and exercise `atsfuzz cache gc`.
+#   make bench-diff — compare the two newest committed BENCH_*.json
+#                  snapshots; non-zero exit if any benchmark regressed
+#                  more than 25% (override with TOL=<pct>).
 
 GO ?= go
 STORE := testdata/regress-store
@@ -30,7 +37,9 @@ CORPUS := testdata/conformance-corpus
 FUZZ_SEEDS ?= 100
 BENCH_DIR := testdata/bench
 
-.PHONY: check vet build test race smoke fuzz baseline bench-json docs server-smoke
+TOL ?= 25
+
+.PHONY: check vet build test race smoke fuzz baseline bench-json bench-diff docs server-smoke cache-smoke
 
 check: vet build test race smoke docs
 
@@ -69,5 +78,14 @@ bench-json:
 docs:
 	$(GO) test -run '^TestDocs' .
 
+bench-diff:
+	@old=$$(ls $(BENCH_DIR)/BENCH_*.json | sort | tail -2 | head -1) && \
+	new=$$(ls $(BENCH_DIR)/BENCH_*.json | sort | tail -1) && \
+	[ "$$old" != "$$new" ] || { echo "bench-diff: need two snapshots in $(BENCH_DIR)"; exit 1; } && \
+	$(GO) run ./cmd/benchjson -diff -tol $(TOL) "$$old" "$$new"
+
 server-smoke:
 	GO="$(GO)" sh scripts/server-smoke.sh
+
+cache-smoke:
+	GO="$(GO)" sh scripts/cache-smoke.sh

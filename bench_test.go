@@ -10,12 +10,14 @@ package repro_test
 import (
 	"fmt"
 	"io"
+	"path/filepath"
 	"testing"
 	"time"
 
 	"repro/ats"
 	"repro/internal/analyzer"
 	"repro/internal/asl"
+	"repro/internal/conformance"
 	"repro/internal/core"
 	"repro/internal/distr"
 	"repro/internal/experiments"
@@ -24,6 +26,7 @@ import (
 	"repro/internal/microbench"
 	"repro/internal/mpi"
 	"repro/internal/omp"
+	"repro/internal/rescache"
 	"repro/internal/trace"
 	"repro/internal/vtime"
 	"repro/internal/xctx"
@@ -367,6 +370,58 @@ func BenchmarkRuntime_TraceSerialize(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkRuntime_ConformanceSweepCold and ..._Warm measure the result
+// cache (internal/rescache) at the conformance-sweep granularity the
+// tentpole targets: Cold runs a 10-seed oracle sweep against an empty
+// store on every iteration (run+trace+analyze plus write-through), Warm
+// runs the same sweep against a pre-populated store (pure cache
+// replays).  The ratio between the two ns/op figures is the speedup a
+// repeated `atsfuzz run -cache` sweep sees; doc/PERFORMANCE.md records
+// the measured values.
+
+// benchSweep runs one 10-seed conformance sweep through the cache.
+func benchSweep(b *testing.B) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		cs := conformance.Generate(seed, conformance.Config{})
+		if _, err := conformance.CheckCached(cs, conformance.CheckOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRuntime_ConformanceSweepCold(b *testing.B) {
+	defer conformance.SetResultCache(nil)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		store, err := rescache.Open(filepath.Join(b.TempDir(), "rescache"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		conformance.SetResultCache(store)
+		b.StartTimer()
+		benchSweep(b)
+	}
+}
+
+func BenchmarkRuntime_ConformanceSweepWarm(b *testing.B) {
+	store, err := rescache.Open(filepath.Join(b.TempDir(), "rescache"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	conformance.SetResultCache(store)
+	defer conformance.SetResultCache(nil)
+	benchSweep(b) // populate
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSweep(b)
+	}
+	st := store.Stats()
+	if st.Hits == 0 {
+		b.Fatal("warm sweep never hit the cache")
+	}
+	b.ReportMetric(float64(st.Hits)/float64(b.N), "hits/op")
 }
 
 // BenchmarkGenerator_AllPrograms measures single-property program

@@ -36,11 +36,13 @@ import (
 
 	"repro/internal/analyzer"
 	"repro/internal/campaign"
+	"repro/internal/conformance"
 	"repro/internal/experiments"
 	"repro/internal/grindstone"
 	"repro/internal/microbench"
 	"repro/internal/mpi"
 	"repro/internal/profile"
+	"repro/internal/rescache"
 	"repro/internal/trace"
 	"repro/internal/vtime"
 )
@@ -61,6 +63,7 @@ func main() {
 		stream     = flag.Bool("stream", false, "extend the scale experiment to 1024 ranks (streamed vs materialized memory comparison)")
 		engine     = flag.String("engine", "auto", "rank execution engine for virtual-time runs (auto, event, goroutine)")
 		scaleRanks = flag.String("scale-ranks", "4096,16384,65536", "comma-separated rank counts for the scalebig experiment")
+		cacheDir   = flag.String("cache", "", "on-disk result cache directory for memoizable sweeps (empty: no caching)")
 	)
 	flag.Parse()
 	w := os.Stdout
@@ -70,6 +73,25 @@ func main() {
 		log.Fatal(err)
 	}
 	mpi.SetDefaultEngine(eng)
+
+	// -cache memoizes the sweeps that are pure functions of their
+	// coordinates (conformance checks, the perturbed table) in the shared
+	// on-disk result store; stats go to stderr so stdout stays
+	// byte-identical cold or warm.  Sweeps that must execute for real
+	// (e.g. any run feeding -profiles) bypass the cache automatically.
+	if *cacheDir != "" {
+		c, err := rescache.Open(*cacheDir)
+		if err != nil {
+			log.Fatalf("cache: %v", err)
+		}
+		conformance.SetResultCache(c)
+		experiments.SetResultCache(c)
+		defer func() {
+			st := c.Stats()
+			fmt.Fprintf(os.Stderr, "rescache: %d hits, %d misses, %d writes at %s\n",
+				st.Hits, st.Misses, st.Puts, c.Dir())
+		}()
+	}
 
 	// -j flows to every campaign.Run/Stream in the experiment layer
 	// through the process-wide default, so the experiment signatures stay

@@ -3,23 +3,29 @@
 // native fuzz harnesses and the quick-mode unit test.
 //
 //	atsfuzz run -seeds 100            # fuzz 100 seeded cases, shrink failures
+//	atsfuzz run -cache auto -procs 4  # memoized sweep fanned across 4 processes
 //	atsfuzz replay case.json ...      # re-check saved reproducers
 //	atsfuzz corpus                    # list the committed corpus
 //	atsfuzz gen -seeds 10 -out DIR    # write seed cases as corpus files
 //	atsfuzz diff -seeds 20            # byte-compare the event and goroutine engines
+//	atsfuzz worker                    # campaign worker process (spawned by -procs)
+//	atsfuzz cache gc -dir DIR         # drop stale-version result-cache entries
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
 
 	"repro/internal/campaign"
 	"repro/internal/conformance"
 	"repro/internal/mpi"
+	"repro/internal/rescache"
 )
 
 func main() {
@@ -30,20 +36,30 @@ func usage(w io.Writer) {
 	fmt.Fprintln(w, `usage: atsfuzz <command> [flags]
 
 commands:
-  run     -seeds N [-start S] [-procs P] [-threads T] [-corpus DIR] [-j N] [-v] [-perturb]
+  run     -seeds N [-start S] [-ranks P] [-threads T] [-corpus DIR] [-j N]
+          [-procs M] [-cache DIR] [-v] [-perturb]
           generate and check N seeded cases; shrink and save failures
-          (-j runs cases concurrently; output is identical for any -j;
-          -perturb sweeps each case over the deterministic perturbation ladder)
+          (-j runs cases concurrently and -procs fans them across worker
+          processes; output is identical for any -j and -procs;
+          -perturb sweeps each case over the deterministic perturbation
+          ladder; -cache memoizes verdicts on disk so repeated sweeps
+          are free — "auto" picks the default location)
   replay  <case.json> [...]
           re-run saved cases through the oracle
   corpus  [-dir DIR]
           list the corpus cases
   gen     -seeds N [-start S] [-out DIR]
           write generated seed cases as corpus files
-  diff    [-seeds N] [-v]
+  diff    [-seeds N] [-cache DIR] [-v]
           run generated cases on both execution engines (event and
           goroutine) and byte-compare the serialized traces and profile
-          hashes — the scheduler migration oracle`)
+          hashes — the scheduler migration oracle
+  worker  [-j N] [-cache DIR] [-engine E]
+          serve conformance checks over the campaign worker protocol
+          (line-delimited JSON on stdin/stdout; spawned by run -procs)
+  cache   gc|stats [-dir DIR]
+          result-cache maintenance: gc drops entries recorded under a
+          stale engine version or profile schema; stats counts entries`)
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -62,6 +78,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return cmdGen(args[1:], stdout, stderr)
 	case "diff":
 		return cmdDiff(args[1:], stdout, stderr)
+	case "worker":
+		return cmdWorker(args[1:], stdout, stderr)
+	case "cache":
+		return cmdCache(args[1:], stdout, stderr)
 	case "-h", "--help", "help":
 		usage(stdout)
 		return 0
@@ -72,16 +92,104 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 }
 
+// resolveCacheDir maps a -cache flag value to a directory: "auto"
+// selects the corpus-adjacent default when a corpus directory is in
+// play, the repository default otherwise; anything else is taken
+// verbatim.
+func resolveCacheDir(flagVal, corpusDir string) string {
+	if flagVal != "auto" {
+		return flagVal
+	}
+	if corpusDir != "" {
+		return filepath.Join(corpusDir, ".rescache")
+	}
+	return rescache.DefaultDir
+}
+
+// openCache opens the result cache and installs it process-wide.  The
+// returned reporter prints hit/miss statistics to stderr — stderr, not
+// stdout, so a warm sweep's stdout stays byte-identical to a cold one.
+func openCache(dir string, stderr io.Writer) (*rescache.Store, func(), error) {
+	c, err := rescache.Open(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	conformance.SetResultCache(c)
+	report := func() {
+		conformance.SetResultCache(nil)
+		st := c.Stats()
+		total := st.Hits + st.Misses
+		rate := 0.0
+		if total > 0 {
+			rate = float64(st.Hits) / float64(total) * 100
+		}
+		fmt.Fprintf(stderr, "rescache: %d hits, %d misses, %d writes (%.1f%% hit rate) at %s\n",
+			st.Hits, st.Misses, st.Puts, rate, c.Dir())
+	}
+	return c, report, nil
+}
+
+// seedJob is the worker-protocol payload of one conformance sweep job.
+type seedJob struct {
+	Case      conformance.Case `json:"case"`
+	Perturbed bool             `json:"perturbed"`
+}
+
+// seedResult is one job's result: the oracle verdict plus, on failure,
+// the shrunken reproducer.
+type seedResult struct {
+	Out conformance.Outcome `json:"out"`
+	Min *conformance.Case   `json:"min,omitempty"`
+}
+
+// checkSeedCase runs one case through the oracle (the full robustness
+// ladder with perturbed set) and shrinks failures — the unit of work
+// shared verbatim by the in-process pool, the worker protocol, and the
+// result cache, which is what keeps every execution strategy
+// byte-identical.
+func checkSeedCase(cs conformance.Case, opt conformance.CheckOptions, perturbed bool) (seedResult, error) {
+	shrinkOpt := opt
+	var out conformance.Outcome
+	if perturbed {
+		ro, err := conformance.CheckRobust(cs, opt, nil)
+		if err != nil {
+			return seedResult{}, fmt.Errorf("seed %d: %v", cs.Seed, err)
+		}
+		if ro.OK() {
+			out = ro.Outcomes[0]
+		} else {
+			// Shrink against the level that failed, so the minimized
+			// case reproduces under replay.
+			out = ro.FailOutcome()
+			shrinkOpt.Perturb = ro.FailProfile()
+		}
+	} else {
+		var err error
+		out, err = conformance.CheckCached(cs, opt)
+		if err != nil {
+			return seedResult{}, fmt.Errorf("seed %d: %v", cs.Seed, err)
+		}
+	}
+	res := seedResult{Out: out}
+	if !out.OK() {
+		min := conformance.Shrink(cs, shrinkOpt)
+		res.Min = &min
+	}
+	return res, nil
+}
+
 func cmdRun(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	seeds := fs.Int("seeds", 50, "number of seeded cases to check")
 	start := fs.Uint64("start", 1, "first seed")
-	procs := fs.Int("procs", 0, "fix the rank count (0: random per case)")
+	ranks := fs.Int("ranks", 0, "fix the rank count of generated cases (0: random per case)")
 	threads := fs.Int("threads", 0, "fix the thread count (0: random per case)")
 	corpus := fs.String("corpus", "", "directory to save shrunken reproducers into")
 	verbose := fs.Bool("v", false, "print every case, not just failures")
-	jobs := fs.Int("j", 0, "concurrent cases (0: one per CPU)")
+	jobs := fs.Int("j", 0, "concurrent cases per process (0: one per CPU)")
+	procs := fs.Int("procs", 1, "worker processes to fan the sweep across (1: in-process)")
+	cacheDir := fs.String("cache", "", `on-disk result cache directory ("auto": default location; empty: no caching)`)
 	perturbed := fs.Bool("perturb", false,
 		"sweep every case over the deterministic perturbation ladder (robustness axis)")
 	engine := fs.String("engine", "auto", "rank execution engine (auto, event, goroutine)")
@@ -94,9 +202,19 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 	} else {
 		mpi.SetDefaultEngine(eng)
 	}
+	var cache *rescache.Store
+	if *cacheDir != "" {
+		c, report, err := openCache(resolveCacheDir(*cacheDir, *corpus), stderr)
+		if err != nil {
+			fmt.Fprintf(stderr, "atsfuzz: %v\n", err)
+			return 2
+		}
+		cache = c
+		defer report()
+	}
 	cfg := conformance.Config{}
-	if *procs > 0 {
-		cfg.Procs = []int{*procs}
+	if *ranks > 0 {
+		cfg.Procs = []int{*ranks}
 	}
 	if *threads > 0 {
 		cfg.Threads = []int{*threads}
@@ -106,70 +224,50 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 	// Each seed is one campaign job: generate, check, and (only on
 	// failure) shrink — all deterministic functions of the seed.  The
 	// sink owns every output byte and all corpus writes, and runs in seed
-	// order, so the output stream is byte-identical for any -j.
-	type outcome struct {
-		cs  conformance.Case
-		out conformance.Outcome
-		min conformance.Case // shrunken reproducer, valid when !out.OK()
-	}
+	// order, so the output stream is byte-identical for any -j and any
+	// -procs.
 	failures := 0
-	err := campaign.Stream(*seeds,
-		campaign.Options{Workers: *jobs},
-		func(i int) (outcome, error) {
-			seed := *start + uint64(i)
-			cs := conformance.Generate(seed, cfg)
-			shrinkOpt := opt
-			var out conformance.Outcome
-			if *perturbed {
-				ro, err := conformance.CheckRobust(cs, opt, nil)
-				if err != nil {
-					return outcome{}, fmt.Errorf("seed %d: %v", seed, err)
-				}
-				if ro.OK() {
-					out = ro.Outcomes[0]
-				} else {
-					// Shrink against the level that failed, so the
-					// minimized case reproduces under replay.
-					out = ro.FailOutcome()
-					shrinkOpt.Perturb = ro.FailProfile()
-				}
-			} else {
-				var err error
-				out, err = conformance.Check(cs, opt)
-				if err != nil {
-					return outcome{}, fmt.Errorf("seed %d: %v", seed, err)
-				}
-			}
-			oc := outcome{cs: cs, out: out}
-			if !out.OK() {
-				oc.min = conformance.Shrink(cs, shrinkOpt)
-			}
-			return oc, nil
-		},
-		func(i int, oc outcome) error {
-			seed := *start + uint64(i)
-			if oc.out.OK() {
-				if *verbose {
-					fmt.Fprintf(stdout, "ok   %s (%d events, %d findings, %s)\n",
-						oc.cs, oc.out.Events, oc.out.Findings, short(oc.out.Hash))
-				}
-				return nil
-			}
-			failures++
-			fmt.Fprintf(stdout, "FAIL %s\n", oc.cs)
-			for _, v := range oc.out.Violations {
-				fmt.Fprintf(stdout, "     %s\n", v)
-			}
-			fmt.Fprintf(stdout, "     shrunk to %s\n", oc.min)
-			if *corpus != "" {
-				path := filepath.Join(*corpus, fmt.Sprintf("seed%d.json", seed))
-				if err := conformance.WriteCase(path, oc.min); err != nil {
-					return fmt.Errorf("save %s: %v", path, err)
-				}
-				fmt.Fprintf(stdout, "     saved %s\n", path)
+	sink := func(i int, cs conformance.Case, res seedResult) error {
+		seed := *start + uint64(i)
+		if res.Out.OK() {
+			if *verbose {
+				fmt.Fprintf(stdout, "ok   %s (%d events, %d findings, %s)\n",
+					cs, res.Out.Events, res.Out.Findings, short(res.Out.Hash))
 			}
 			return nil
-		})
+		}
+		failures++
+		fmt.Fprintf(stdout, "FAIL %s\n", cs)
+		for _, v := range res.Out.Violations {
+			fmt.Fprintf(stdout, "     %s\n", v)
+		}
+		fmt.Fprintf(stdout, "     shrunk to %s\n", *res.Min)
+		if *corpus != "" {
+			path := filepath.Join(*corpus, fmt.Sprintf("seed%d.json", seed))
+			if err := conformance.WriteCase(path, *res.Min); err != nil {
+				return fmt.Errorf("save %s: %v", path, err)
+			}
+			fmt.Fprintf(stdout, "     saved %s\n", path)
+		}
+		return nil
+	}
+
+	var err error
+	if *procs > 1 {
+		err = dispatchRun(*seeds, *start, cfg, *perturbed, dispatchConfig{
+			procs: *procs, jobs: *jobs, engine: *engine, cache: cache, stderr: stderr,
+		}, sink)
+	} else {
+		err = campaign.Stream(*seeds,
+			campaign.Options{Workers: *jobs},
+			func(i int) (seedResult, error) {
+				cs := conformance.Generate(*start+uint64(i), cfg)
+				return checkSeedCase(cs, opt, *perturbed)
+			},
+			func(i int, res seedResult) error {
+				return sink(i, conformance.Generate(*start+uint64(i), cfg), res)
+			})
+	}
 	if err != nil {
 		var ce *campaign.Error
 		if errors.As(err, &ce) {
@@ -183,6 +281,153 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// dispatchConfig carries the fan-out parameters of a -procs run.
+type dispatchConfig struct {
+	procs  int
+	jobs   int
+	engine string
+	cache  *rescache.Store
+	stderr io.Writer
+}
+
+// workerEnv marks spawned processes so the test binary's TestMain can
+// route itself into worker mode (the production binary ignores it — its
+// argv already says "worker").
+const workerEnv = "ATSFUZZ_WORKER=1"
+
+// dispatchRun fans the sweep across `atsfuzz worker` processes.  The
+// workers inherit the engine, per-process concurrency, and — crucially —
+// the cache directory, so every result they compute lands in the same
+// store the next (or a crash-recovering) sweep reads.
+func dispatchRun(seeds int, start uint64, cfg conformance.Config, perturbed bool, dc dispatchConfig, sink func(int, conformance.Case, seedResult) error) error {
+	exe, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("locate worker binary: %v", err)
+	}
+	argv := []string{exe, "worker"}
+	if dc.jobs > 0 {
+		argv = append(argv, "-j", strconv.Itoa(dc.jobs))
+	}
+	if dc.engine != "" && dc.engine != "auto" {
+		argv = append(argv, "-engine", dc.engine)
+	}
+	if dc.cache != nil {
+		argv = append(argv, "-cache", dc.cache.Dir())
+	}
+	window := dc.jobs
+	if window <= 0 {
+		window = campaign.DefaultWorkers()
+	}
+	return campaign.Dispatch(seeds,
+		campaign.DispatchOptions{
+			Procs:  dc.procs,
+			Window: window,
+			Argv:   argv,
+			Env:    []string{workerEnv},
+			Stderr: dc.stderr,
+		},
+		func(i int) (json.RawMessage, error) {
+			return json.Marshal(seedJob{
+				Case:      conformance.Generate(start+uint64(i), cfg),
+				Perturbed: perturbed,
+			})
+		},
+		func(i int, result json.RawMessage) error {
+			var res seedResult
+			if err := json.Unmarshal(result, &res); err != nil {
+				return fmt.Errorf("worker result: %v", err)
+			}
+			return sink(i, conformance.Generate(start+uint64(i), cfg), res)
+		})
+}
+
+func cmdWorker(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("worker", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jobs := fs.Int("j", 0, "concurrent jobs inside this worker (0: one per CPU)")
+	cacheDir := fs.String("cache", "", "on-disk result cache directory (empty: no caching)")
+	engine := fs.String("engine", "auto", "rank execution engine (auto, event, goroutine)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if eng, err := mpi.ParseEngine(*engine); err != nil {
+		fmt.Fprintf(stderr, "atsfuzz: %v\n", err)
+		return 2
+	} else {
+		mpi.SetDefaultEngine(eng)
+	}
+	if *cacheDir != "" {
+		_, report, err := openCache(*cacheDir, stderr)
+		if err != nil {
+			fmt.Fprintf(stderr, "atsfuzz worker: %v\n", err)
+			return 2
+		}
+		defer report()
+	}
+	workers := *jobs
+	if workers <= 0 {
+		workers = campaign.DefaultWorkers()
+	}
+	err := campaign.ServeWorker(os.Stdin, stdout, workers,
+		func(job json.RawMessage) (json.RawMessage, error) {
+			var sj seedJob
+			if err := json.Unmarshal(job, &sj); err != nil {
+				return nil, fmt.Errorf("bad job payload: %v", err)
+			}
+			res, err := checkSeedCase(sj.Case, conformance.CheckOptions{}, sj.Perturbed)
+			if err != nil {
+				return nil, err
+			}
+			return json.Marshal(res)
+		})
+	if err != nil {
+		fmt.Fprintf(stderr, "atsfuzz worker: %v\n", err)
+		return 2
+	}
+	return 0
+}
+
+func cmdCache(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprintln(stderr, "atsfuzz cache: expected gc or stats")
+		return 2
+	}
+	sub := args[0]
+	fs := flag.NewFlagSet("cache "+sub, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", rescache.DefaultDir, "result cache directory")
+	if err := fs.Parse(args[1:]); err != nil {
+		return 2
+	}
+	store, err := rescache.Open(*dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "atsfuzz cache: %v\n", err)
+		return 2
+	}
+	switch sub {
+	case "gc":
+		res, err := store.GC()
+		if err != nil {
+			fmt.Fprintf(stderr, "atsfuzz cache: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "gc %s: scanned %d, removed %d stale, kept %d\n",
+			store.Dir(), res.Scanned, res.Removed, res.Kept)
+		return 0
+	case "stats":
+		n, err := store.Len()
+		if err != nil {
+			fmt.Fprintf(stderr, "atsfuzz cache: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "%s: %d servable entries\n", store.Dir(), n)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "atsfuzz cache: unknown subcommand %q (want gc or stats)\n", sub)
+		return 2
+	}
 }
 
 func cmdReplay(args []string, stdout, stderr io.Writer) int {
@@ -269,9 +514,18 @@ func cmdDiff(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	seeds := fs.Int("seeds", 20, "number of seeded cases to compare across engines")
+	cacheDir := fs.String("cache", "", `on-disk result cache directory ("auto": default location; empty: no caching)`)
 	verbose := fs.Bool("v", false, "print every compared seed, not just the summary")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *cacheDir != "" {
+		_, report, err := openCache(resolveCacheDir(*cacheDir, ""), stderr)
+		if err != nil {
+			fmt.Fprintf(stderr, "atsfuzz: %v\n", err)
+			return 2
+		}
+		defer report()
 	}
 	compared := 0
 	err := conformance.DiffSeeds(*seeds, func(seed uint64, out conformance.DiffOutcome) {

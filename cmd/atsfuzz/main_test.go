@@ -10,6 +10,18 @@ import (
 	"repro/internal/conformance"
 )
 
+// TestMain lets the test binary stand in for the production one when
+// `run -procs` re-executes itself: dispatchRun spawns os.Executable()
+// with ATSFUZZ_WORKER=1 in the environment, and under `go test` that
+// executable is this test binary — so route straight into the real CLI
+// entry point instead of the test runner.
+func TestMain(m *testing.M) {
+	if os.Getenv("ATSFUZZ_WORKER") == "1" {
+		os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
+
 func runCmd(t *testing.T, args ...string) (int, string, string) {
 	t.Helper()
 	var stdout, stderr bytes.Buffer
@@ -120,6 +132,128 @@ func TestReplayRejectsBadCase(t *testing.T) {
 	}
 	if !strings.Contains(errOut, "invalid shape") {
 		t.Fatalf("stderr: %s", errOut)
+	}
+}
+
+// TestRunMultiProcessOutputMatchesInProcess asserts the tentpole
+// determinism claim at the CLI surface: `-procs 2` (real worker
+// processes over the JSON protocol) must produce byte-identical stdout
+// to `-procs 1` (in-process pool), up to documented-nondeterministic
+// hashes.
+func TestRunMultiProcessOutputMatchesInProcess(t *testing.T) {
+	seeds := "40"
+	if testing.Short() {
+		seeds = "12"
+	}
+	outputs := make(map[string]string)
+	for _, procs := range []string{"1", "2"} {
+		code, out, errOut := runCmd(t, "run", "-seeds", seeds, "-v", "-j", "2", "-procs", procs)
+		if code != 0 {
+			t.Fatalf("-procs %s: exit %d, stderr:\n%s", procs, code, errOut)
+		}
+		outputs[procs] = normalizeNondetHashes(out)
+	}
+	if outputs["1"] != outputs["2"] {
+		t.Fatalf("multi-process output diverges from in-process:\n-procs 1:\n%s\n-procs 2:\n%s",
+			outputs["1"], outputs["2"])
+	}
+}
+
+// TestRunWarmCacheOutputIdentical: a warm `-cache` rerun must hit the
+// cache (stderr reports it) while stdout stays byte-for-byte identical
+// to the cold run.
+func TestRunWarmCacheOutputIdentical(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	args := []string{"run", "-seeds", "10", "-v", "-cache", dir}
+
+	code, cold, coldErr := runCmd(t, args...)
+	if code != 0 {
+		t.Fatalf("cold: exit %d, stderr:\n%s", code, coldErr)
+	}
+	if !strings.Contains(coldErr, "rescache:") {
+		t.Fatalf("cold run did not report cache stats on stderr:\n%s", coldErr)
+	}
+
+	code, warm, warmErr := runCmd(t, args...)
+	if code != 0 {
+		t.Fatalf("warm: exit %d, stderr:\n%s", code, warmErr)
+	}
+	if warm != cold {
+		t.Fatalf("warm stdout diverges from cold:\ncold:\n%s\nwarm:\n%s", cold, warm)
+	}
+	if !strings.Contains(warmErr, " 0 misses") || strings.Contains(warmErr, " 0 hits") {
+		t.Fatalf("warm run was not fully served from cache:\n%s", warmErr)
+	}
+}
+
+// TestRunPerturbedWarmCache: the robustness ladder caches per level and
+// replays identically.
+func TestRunPerturbedWarmCache(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	args := []string{"run", "-seeds", "4", "-v", "-perturb", "-cache", dir}
+	code, cold, _ := runCmd(t, args...)
+	if code != 0 {
+		t.Fatalf("cold perturbed run failed: %d", code)
+	}
+	code, warm, warmErr := runCmd(t, args...)
+	if code != 0 {
+		t.Fatalf("warm perturbed run failed: %d", code)
+	}
+	if warm != cold {
+		t.Fatalf("perturbed warm stdout diverges:\n%s\nvs\n%s", cold, warm)
+	}
+	if !strings.Contains(warmErr, " 0 misses") {
+		t.Fatalf("perturbed warm run missed the cache:\n%s", warmErr)
+	}
+}
+
+// TestCacheGCAndStats drives the maintenance subcommands end to end: a
+// populated cache reports its entries, gc keeps valid ones, and a
+// corrupted entry is collected.
+func TestCacheGCAndStats(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	if code, _, errOut := runCmd(t, "run", "-seeds", "3", "-cache", dir); code != 0 {
+		t.Fatalf("populate: %s", errOut)
+	}
+
+	code, out, _ := runCmd(t, "cache", "stats", "-dir", dir)
+	if code != 0 || !strings.Contains(out, "servable entries") {
+		t.Fatalf("stats: exit %d, out: %s", code, out)
+	}
+
+	// Corrupt one entry file, then gc: it must be removed, the rest kept.
+	entries, err := filepath.Glob(filepath.Join(dir, "objects", "*", "*.json"))
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no cache entries written: %v (%v)", entries, err)
+	}
+	if err := os.WriteFile(entries[0], []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ = runCmd(t, "cache", "gc", "-dir", dir)
+	if code != 0 {
+		t.Fatalf("gc exit %d", code)
+	}
+	if !strings.Contains(out, "removed 1 stale") {
+		t.Fatalf("gc did not collect the corrupted entry: %s", out)
+	}
+
+	// The sweep still works (and recomputes the collected entry).
+	if code, _, _ := runCmd(t, "run", "-seeds", "3", "-cache", dir); code != 0 {
+		t.Fatal("post-gc run failed")
+	}
+}
+
+// TestWorkerSubcommandRejectsBadFlags keeps the worker's CLI surface
+// honest without speaking the protocol by hand.
+func TestWorkerSubcommandRejectsBadFlags(t *testing.T) {
+	if code, _, errOut := runCmd(t, "worker", "-engine", "warp"); code != 2 || !strings.Contains(errOut, "unknown engine") {
+		t.Fatalf("bad engine: exit %d, stderr: %s", code, errOut)
+	}
+	if code, _, _ := runCmd(t, "cache"); code != 2 {
+		t.Fatal("bare cache subcommand should exit 2")
+	}
+	if code, _, _ := runCmd(t, "cache", "bogus"); code != 2 {
+		t.Fatal("unknown cache subcommand should exit 2")
 	}
 }
 

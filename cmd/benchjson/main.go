@@ -5,6 +5,12 @@
 // re-parsing benchmark text.
 //
 //	go test -run '^$' -bench . . | benchjson -out testdata/bench/BENCH_20260805.json
+//
+// With -diff it instead compares two snapshots and exits non-zero when
+// any shared benchmark slowed down past the tolerance — the CI guard
+// that turns the committed BENCH_*.json trail into a regression gate:
+//
+//	benchjson -diff -tol 25 testdata/bench/BENCH_old.json BENCH_new.json
 package main
 
 import (
@@ -48,7 +54,16 @@ func main() {
 	log.SetPrefix("benchjson: ")
 	out := flag.String("out", "", "output path (default: stdout)")
 	stamp := flag.String("stamp", time.Now().Format("20060102"), "snapshot stamp")
+	diff := flag.Bool("diff", false, "compare two snapshot files (old new) instead of parsing stdin")
+	tol := flag.Float64("tol", 20, "with -diff: ns/op regression tolerance in percent")
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			log.Fatal("usage: benchjson -diff [-tol pct] old.json new.json")
+		}
+		os.Exit(diffDocs(os.Stdout, flag.Arg(0), flag.Arg(1), *tol))
+	}
 
 	doc := Doc{Schema: 1, Stamp: *stamp}
 	sc := bufio.NewScanner(os.Stdin)
@@ -90,6 +105,82 @@ func main() {
 		log.Fatalf("write: %v", err)
 	}
 	fmt.Printf("wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+}
+
+// readDoc loads one snapshot file.
+func readDoc(path string) (Doc, error) {
+	var doc Doc
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		return doc, fmt.Errorf("%s: %v", path, err)
+	}
+	if doc.Schema != 1 {
+		return doc, fmt.Errorf("%s: unsupported schema %d", path, doc.Schema)
+	}
+	return doc, nil
+}
+
+// diffDocs compares two snapshots benchmark by benchmark and returns the
+// process exit code: 0 when every shared benchmark's ns/op stayed within
+// tol percent of the old value, 1 when any regressed past it.  Added and
+// removed benchmarks are reported but are not failures — the benchmark
+// set is allowed to grow.
+func diffDocs(w *os.File, oldPath, newPath string, tol float64) int {
+	oldDoc, err := readDoc(oldPath)
+	if err != nil {
+		log.Fatalf("diff: %v", err)
+	}
+	newDoc, err := readDoc(newPath)
+	if err != nil {
+		log.Fatalf("diff: %v", err)
+	}
+	oldBy := make(map[string]Benchmark, len(oldDoc.Benchmarks))
+	for _, b := range oldDoc.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	newBy := make(map[string]Benchmark, len(newDoc.Benchmarks))
+	for _, b := range newDoc.Benchmarks {
+		newBy[b.Name] = b
+	}
+
+	regressions := 0
+	for _, nb := range newDoc.Benchmarks {
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			fmt.Fprintf(w, "added    %-50s %12.0f ns/op\n", nb.Name, nb.NsPerOp)
+			continue
+		}
+		if ob.NsPerOp <= 0 {
+			continue
+		}
+		pct := (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp * 100
+		switch {
+		case pct > tol:
+			regressions++
+			fmt.Fprintf(w, "SLOWER   %-50s %12.0f -> %12.0f ns/op (%+.1f%%, tol %.0f%%)\n",
+				nb.Name, ob.NsPerOp, nb.NsPerOp, pct, tol)
+		case pct < -tol:
+			fmt.Fprintf(w, "faster   %-50s %12.0f -> %12.0f ns/op (%+.1f%%)\n",
+				nb.Name, ob.NsPerOp, nb.NsPerOp, pct)
+		default:
+			fmt.Fprintf(w, "ok       %-50s %12.0f -> %12.0f ns/op (%+.1f%%)\n",
+				nb.Name, ob.NsPerOp, nb.NsPerOp, pct)
+		}
+	}
+	for _, ob := range oldDoc.Benchmarks {
+		if _, ok := newBy[ob.Name]; !ok {
+			fmt.Fprintf(w, "removed  %-50s\n", ob.Name)
+		}
+	}
+	fmt.Fprintf(w, "%d benchmarks compared (%s -> %s), %d regressions\n",
+		len(newDoc.Benchmarks), oldDoc.Stamp, newDoc.Stamp, regressions)
+	if regressions > 0 {
+		return 1
+	}
+	return 0
 }
 
 // parseLine parses one result line:

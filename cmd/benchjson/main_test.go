@@ -1,0 +1,71 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	b, ok := parseLine("BenchmarkScale_CompositeRanks/procs=16-4   3   306581 ns/op   288.0 events")
+	if !ok {
+		t.Fatal("parseLine rejected a valid line")
+	}
+	if b.Name != "BenchmarkScale_CompositeRanks/procs=16" {
+		t.Fatalf("name = %q (GOMAXPROCS suffix not stripped)", b.Name)
+	}
+	if b.Iterations != 3 || b.NsPerOp != 306581 || b.Metrics["events"] != 288 {
+		t.Fatalf("parsed %+v", b)
+	}
+	if _, ok := parseLine("BenchmarkBroken"); ok {
+		t.Fatal("parseLine accepted a truncated line")
+	}
+}
+
+func writeDoc(t *testing.T, path string, benchmarks []Benchmark) {
+	t.Helper()
+	doc := Doc{Schema: 1, Stamp: "test", Benchmarks: benchmarks}
+	blob, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiffDocs(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeDoc(t, oldPath, []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 1000},
+		{Name: "BenchmarkB", NsPerOp: 2000},
+		{Name: "BenchmarkGone", NsPerOp: 500},
+	})
+
+	// Within tolerance (+10% on A, faster B, one added, one removed): ok.
+	writeDoc(t, newPath, []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 1100},
+		{Name: "BenchmarkB", NsPerOp: 1500},
+		{Name: "BenchmarkNew", NsPerOp: 42},
+	})
+	if code := diffDocs(os.Stdout, oldPath, newPath, 20); code != 0 {
+		t.Fatalf("within-tolerance diff exited %d", code)
+	}
+
+	// Past tolerance: non-zero exit.
+	writeDoc(t, newPath, []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 1500},
+		{Name: "BenchmarkB", NsPerOp: 2000},
+	})
+	if code := diffDocs(os.Stdout, oldPath, newPath, 20); code != 1 {
+		t.Fatalf("regression diff exited %d; want 1", code)
+	}
+
+	// The same regression passes under a looser tolerance.
+	if code := diffDocs(os.Stdout, oldPath, newPath, 60); code != 0 {
+		t.Fatalf("loose-tolerance diff exited %d", code)
+	}
+}

@@ -1,0 +1,62 @@
+package campaign
+
+import "encoding/json"
+
+// Cache is the minimal interface a campaign needs from a result cache:
+// byte-blob get/put under a content-addressed key.  internal/rescache
+// implements it with an on-disk, engine-versioned store; tests implement
+// it with a map.  Implementations must be safe for concurrent use —
+// Memo-wrapped jobs run on the campaign pool.
+type Cache interface {
+	// Get returns the cached value for key, or ok=false on a miss.
+	Get(key string) ([]byte, bool)
+	// Put stores value under key.
+	Put(key string, value []byte) error
+}
+
+// Memo wraps a campaign job with content-addressed memoization: on a
+// cache hit the job is skipped entirely and the decoded cached value
+// returned; on a miss the job runs and its result is written through.
+// The contract that makes this safe is the same one the whole suite is
+// built on — jobs are pure functions of their index (and the key must
+// encode every input the result depends on, including engine identity
+// and version; see rescache.Key), so the cached value IS the value a
+// cold run would have produced.
+//
+// Degradation is always toward recomputation, never toward wrong
+// results: a nil cache or an empty key disables memoization for that
+// job; a corrupted or undecodable cached entry falls through to the job
+// and is overwritten; a failed cache write is ignored (the sweep's
+// correctness never depends on the cache accepting writes — a read-only
+// or full cache just stays cold).  Job errors are not cached: failures
+// of the environment (as opposed to deterministic oracle verdicts, which
+// are ordinary values) must stay re-observable.
+//
+// Panic confinement is unchanged: a panicking job propagates out of the
+// wrapper and is confined per-job by the pool exactly as without Memo.
+func Memo[T any](cache Cache, key func(i int) string, job func(i int) (T, error)) func(int) (T, error) {
+	if cache == nil {
+		return job
+	}
+	return func(i int) (T, error) {
+		k := key(i)
+		if k == "" {
+			return job(i)
+		}
+		if blob, ok := cache.Get(k); ok {
+			var v T
+			if err := json.Unmarshal(blob, &v); err == nil {
+				return v, nil
+			}
+			// Undecodable entry: recompute below; the Put overwrites it.
+		}
+		v, err := job(i)
+		if err != nil {
+			return v, err
+		}
+		if blob, merr := json.Marshal(v); merr == nil {
+			_ = cache.Put(k, blob) // best-effort write-through
+		}
+		return v, nil
+	}
+}

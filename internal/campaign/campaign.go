@@ -110,30 +110,132 @@ type result[T any] struct {
 	done  bool
 }
 
+// pool coordinates the three roles every campaign shares — producers
+// claiming job indices, producers recording finished results, and the
+// single collector delivering them in strict index order.  It is the
+// common machinery under runPool (goroutine workers in this process) and
+// Dispatch (worker processes on the other end of a pipe): both get
+// identical ordering, lowest-failing-index, and abandoned-suffix
+// semantics because both run through this one implementation.
+type pool[T any] struct {
+	n int
+	// next is the dispatch cursor; stopAt is an exclusive upper bound on
+	// indices worth starting, lowered to the first failing index so a
+	// campaign does not keep burning CPU on work whose results are
+	// already unreachable.
+	next   atomic.Int64
+	stopAt atomic.Int64
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	results []result[T]
+	// prodDone flips when all producers have exited (covers the
+	// abandoned-suffix case, where no completion signal would arrive for
+	// indices that were never started).
+	prodDone atomic.Bool
+}
+
+func newPool[T any](n int) *pool[T] {
+	p := &pool[T]{n: n, results: make([]result[T], n)}
+	p.cond = sync.NewCond(&p.mu)
+	p.stopAt.Store(int64(n))
+	return p
+}
+
+// claim returns the next job index to start, or -1 when none remain
+// (exhausted, or abandoned past the lowest known failure).
+func (p *pool[T]) claim() int {
+	i := int(p.next.Add(1) - 1)
+	if i >= p.n || int64(i) >= p.stopAt.Load() {
+		return -1
+	}
+	return i
+}
+
+// record stores one finished job and wakes the collector.  A failure
+// lowers stopAt to this index if it is the lowest seen so far.
+func (p *pool[T]) record(i int, v T, err error) {
+	if err != nil {
+		for {
+			cur := p.stopAt.Load()
+			if int64(i) >= cur || p.stopAt.CompareAndSwap(cur, int64(i)) {
+				break
+			}
+		}
+	}
+	p.mu.Lock()
+	p.results[i] = result[T]{value: v, err: err, done: true}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// finish signals that no further results will arrive.
+func (p *pool[T]) finish() {
+	p.mu.Lock()
+	p.prodDone.Store(true)
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// collect invokes deliver(i, res) in strict index order as a contiguous
+// prefix of jobs completes.  deliver runs on the collecting goroutine
+// only, never concurrently.  The lowest failing index wins; anything
+// producers completed beyond it is discarded unseen.
+func (p *pool[T]) collect(deliver func(int, T) error) error {
+	var firstErr *Error
+	p.mu.Lock()
+	for i := 0; i < p.n; i++ {
+		for !p.results[i].done {
+			if p.prodDone.Load() {
+				break // abandoned suffix: job was never started
+			}
+			p.cond.Wait()
+		}
+		if !p.results[i].done {
+			if firstErr == nil && p.stopAt.Load() >= int64(p.n) {
+				// Producers quit with work left and no recorded failure.
+				// Impossible for in-process workers (they only exit once
+				// claims run dry), but a dispatch whose worker processes
+				// all exited early lands here; silence would misreport a
+				// truncated sweep as a complete one.
+				firstErr = &Error{Index: i, Err: fmt.Errorf("job abandoned: all workers exited before running it")}
+			}
+			break
+		}
+		r := &p.results[i]
+		if r.err != nil {
+			firstErr = &Error{Index: i, Err: r.err}
+			break
+		}
+		p.mu.Unlock()
+		err := deliver(i, r.value)
+		p.mu.Lock()
+		if err != nil {
+			firstErr = &Error{Index: i, Err: err}
+			break
+		}
+	}
+	// Stop producers from claiming anything further before returning.
+	p.stopAt.Store(-1)
+	p.mu.Unlock()
+	if firstErr != nil {
+		return firstErr
+	}
+	return nil
+}
+
 // runPool executes jobs 0..n-1 on w workers and invokes deliver(i, res)
-// in strict index order as a contiguous prefix of jobs completes.  deliver
-// runs on the collecting goroutine only, never concurrently.  When a job
-// fails, indices above the lowest known failure are abandoned (workers
-// stop claiming them), matching the prefix a sequential loop would have
-// executed; in-flight jobs run to completion but their results past the
-// failure are discarded.
+// in strict index order as a contiguous prefix of jobs completes.  When a
+// job fails, indices above the lowest known failure are abandoned
+// (workers stop claiming them), matching the prefix a sequential loop
+// would have executed; in-flight jobs run to completion but their results
+// past the failure are discarded.
 func runPool[T any](n int, opt Options, job func(int) (T, error), deliver func(int, T) error) error {
 	if n <= 0 {
 		return nil
 	}
 	workers := opt.workers(n)
-
-	// next is the dispatch cursor; stopAt is an exclusive upper bound on
-	// indices worth starting, lowered to the first failing index so a
-	// campaign does not keep burning CPU on work whose results are
-	// already unreachable.
-	var next atomic.Int64
-	stopAt := atomic.Int64{}
-	stopAt.Store(int64(n))
-
-	results := make([]result[T], n)
-	var mu sync.Mutex
-	cond := sync.NewCond(&mu)
+	p := newPool[T](n)
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -141,77 +243,25 @@ func runPool[T any](n int, opt Options, job func(int) (T, error), deliver func(i
 		go func() {
 			defer wg.Done()
 			for {
-				i := int(next.Add(1) - 1)
-				if i >= n || int64(i) >= stopAt.Load() {
+				i := p.claim()
+				if i < 0 {
 					return
 				}
 				v, err := runJob(job, i)
-				if err != nil {
-					// Lower stopAt to this failure if it is the lowest
-					// seen so far.
-					for {
-						cur := stopAt.Load()
-						if int64(i) >= cur || stopAt.CompareAndSwap(cur, int64(i)) {
-							break
-						}
-					}
-				}
-				mu.Lock()
-				results[i] = result[T]{value: v, err: err, done: true}
-				cond.Broadcast()
-				mu.Unlock()
+				p.record(i, v, err)
 			}
 		}()
 	}
-	// Wake the collector when all workers have exited (covers the
-	// abandoned-suffix case, where no completion signal would arrive for
-	// indices that were never started).
-	workersDone := atomic.Bool{}
 	go func() {
 		wg.Wait()
-		mu.Lock()
-		workersDone.Store(true)
-		cond.Broadcast()
-		mu.Unlock()
+		p.finish()
 	}()
 
-	// Collect in index order.
-	var firstErr *Error
-	mu.Lock()
-	for i := 0; i < n; i++ {
-		for !results[i].done {
-			if workersDone.Load() {
-				break // abandoned suffix: job was never started
-			}
-			cond.Wait()
-		}
-		if !results[i].done {
-			break
-		}
-		r := &results[i]
-		if r.err != nil {
-			// The lowest failing index wins; anything the workers
-			// completed beyond it is discarded unseen.
-			firstErr = &Error{Index: i, Err: r.err}
-			break
-		}
-		mu.Unlock()
-		err := deliver(i, r.value)
-		mu.Lock()
-		if err != nil {
-			firstErr = &Error{Index: i, Err: err}
-			break
-		}
-	}
+	err := p.collect(deliver)
 	// Let any straggling workers finish before returning so no job is
 	// still touching caller state after the campaign reports completion.
-	stopAt.Store(-1)
-	mu.Unlock()
 	wg.Wait()
-	if firstErr != nil {
-		return firstErr
-	}
-	return nil
+	return err
 }
 
 // runJob invokes one job with panic confinement.

@@ -1,0 +1,387 @@
+package campaign
+
+// Process-level fan-out: the same deterministic campaign contract —
+// index-ordered delivery, lowest-failing-index errors, per-job failure
+// confinement — extended past one process.  Dispatch shells out to M
+// worker processes speaking a line-delimited JSON protocol over
+// stdin/stdout and multiplexes jobs onto them; ServeWorker is the other
+// side of the pipe, run by a CLI's `worker` subcommand.  A worker
+// process that crashes fails the jobs it had in flight (they surface as
+// ordinary job errors at their indices), not the dispatcher: surviving
+// workers keep draining, and because workers write results through the
+// shared on-disk cache (internal/rescache), a rerun after a crash
+// resumes where the completed prefix stopped instead of recomputing it.
+//
+// Protocol (one JSON object per line, both directions):
+//
+//	parent → worker: {"id": 17, "job": <opaque payload>}
+//	worker → parent: {"id": 17, "result": <opaque payload>}
+//	                 {"id": 17, "err": "message"}        on job failure
+//
+// Ids echo the job index; responses may arrive in any order (workers run
+// jobs concurrently on their internal pool).  The parent closes the
+// worker's stdin when no work remains; the worker finishes its in-flight
+// jobs, flushes its responses, and exits 0.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+)
+
+// Request is one parent→worker job assignment.
+type Request struct {
+	// ID is the job index; the response echoes it.
+	ID int `json:"id"`
+	// Job is the caller-defined payload (opaque to the protocol).
+	Job json.RawMessage `json:"job,omitempty"`
+}
+
+// Response is one worker→parent job result.
+type Response struct {
+	// ID echoes the request's job index.
+	ID int `json:"id"`
+	// Err is the job's failure message; empty on success.
+	Err string `json:"err,omitempty"`
+	// Result is the caller-defined result payload; nil on failure.
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// DispatchOptions tunes a process fan-out.
+type DispatchOptions struct {
+	// Procs is the number of worker processes (minimum 1).
+	Procs int
+	// Window bounds the requests in flight per worker; set it to the
+	// worker's internal -j so its pool stays busy (minimum 1).
+	Window int
+	// Argv is the worker command line (Argv[0] is the binary).
+	Argv []string
+	// Env is appended to the parent environment for each worker.
+	Env []string
+	// Stderr receives worker stderr (default os.Stderr), so worker
+	// diagnostics and cache statistics stay visible.  When it is not an
+	// *os.File, Dispatch serializes the workers' writes onto it.
+	Stderr io.Writer
+}
+
+// lockedWriter serializes the stderr streams of multiple worker
+// processes onto one destination.  os/exec copies a worker's stderr on
+// its own goroutine whenever the writer is not an *os.File, so a shared
+// bytes.Buffer (tests, log capture) would otherwise race.
+type lockedWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (lw *lockedWriter) Write(p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.w.Write(p)
+}
+
+func (o DispatchOptions) procs() int {
+	if o.Procs < 1 {
+		return 1
+	}
+	return o.Procs
+}
+
+func (o DispatchOptions) window() int {
+	if o.Window < 1 {
+		return 1
+	}
+	return o.Window
+}
+
+// workerProc is one live worker process: an encoder feeding its stdin, a
+// reader goroutine routing its responses, and the pending-call table
+// joining them.
+type workerProc struct {
+	cmd   *exec.Cmd
+	stdin io.WriteCloser
+	done  chan struct{} // closed by readLoop after the process is reaped
+
+	wmu sync.Mutex // serializes request encoding onto stdin
+	enc *json.Encoder
+
+	mu      sync.Mutex
+	pending map[int]chan Response
+	err     error // set once when the process dies; guards new calls
+}
+
+// startWorker launches one worker process and its response router.
+func startWorker(opt DispatchOptions) (*workerProc, error) {
+	cmd := exec.Command(opt.Argv[0], opt.Argv[1:]...)
+	cmd.Env = append(os.Environ(), opt.Env...)
+	if opt.Stderr != nil {
+		cmd.Stderr = opt.Stderr
+	} else {
+		cmd.Stderr = os.Stderr
+	}
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	wp := &workerProc{
+		cmd:     cmd,
+		stdin:   stdin,
+		done:    make(chan struct{}),
+		enc:     json.NewEncoder(stdin),
+		pending: make(map[int]chan Response),
+	}
+	go wp.readLoop(stdout)
+	return wp, nil
+}
+
+// readLoop routes responses to their waiting calls until the process
+// closes its stdout (exit or crash), then fails every pending call.
+// The cmd.Wait on the exit path also joins os/exec's stderr-copy
+// goroutine, so once done closes the worker has stopped writing to
+// opt.Stderr.
+func (wp *workerProc) readLoop(stdout io.Reader) {
+	defer close(wp.done)
+	dec := json.NewDecoder(stdout)
+	for {
+		var r Response
+		if err := dec.Decode(&r); err != nil {
+			wErr := wp.cmd.Wait()
+			switch {
+			case err == io.EOF && wErr == nil:
+				err = fmt.Errorf("worker exited before responding")
+			case wErr != nil:
+				err = fmt.Errorf("worker died: %v", wErr)
+			default:
+				err = fmt.Errorf("worker protocol error: %v", err)
+			}
+			wp.fail(err)
+			return
+		}
+		wp.mu.Lock()
+		ch := wp.pending[r.ID]
+		delete(wp.pending, r.ID)
+		wp.mu.Unlock()
+		if ch != nil {
+			ch <- r
+		}
+	}
+}
+
+// fail marks the process dead and wakes every pending call with the
+// death reason.
+func (wp *workerProc) fail(err error) {
+	wp.mu.Lock()
+	if wp.err == nil {
+		wp.err = err
+	}
+	pending := wp.pending
+	wp.pending = make(map[int]chan Response)
+	wp.mu.Unlock()
+	for _, ch := range pending {
+		close(ch)
+	}
+}
+
+// call sends one request and waits for its response.  On worker death
+// (before or during the call) it returns the death reason — the caller
+// records it as this job's error, which is exactly the crash-confinement
+// contract: a dead worker fails its in-flight indices, nothing else.
+func (wp *workerProc) call(req Request) (Response, error) {
+	ch := make(chan Response, 1)
+	wp.mu.Lock()
+	if wp.err != nil {
+		err := wp.err
+		wp.mu.Unlock()
+		return Response{}, err
+	}
+	wp.pending[req.ID] = ch
+	wp.mu.Unlock()
+
+	wp.wmu.Lock()
+	err := wp.enc.Encode(&req)
+	wp.wmu.Unlock()
+	if err != nil {
+		// The write side broke; readLoop will observe the death and fail
+		// pending calls (including this one) with the wait error.
+		wp.mu.Lock()
+		delete(wp.pending, req.ID)
+		wp.mu.Unlock()
+		return Response{}, fmt.Errorf("worker write: %v", err)
+	}
+	r, ok := <-ch
+	if !ok {
+		wp.mu.Lock()
+		err := wp.err
+		wp.mu.Unlock()
+		return Response{}, err
+	}
+	return r, nil
+}
+
+// alive reports whether the process can still accept calls.
+func (wp *workerProc) alive() bool {
+	wp.mu.Lock()
+	defer wp.mu.Unlock()
+	return wp.err == nil
+}
+
+// shutdown closes the worker's stdin (the protocol's end-of-work signal)
+// and lets readLoop reap the process.
+func (wp *workerProc) shutdown() { wp.stdin.Close() }
+
+// Dispatch executes n jobs across worker processes and invokes deliver
+// in strict job-index order — the multi-process analogue of Stream.
+// encode(i) builds job i's request payload; deliver(i, result) receives
+// the raw response payload.  All sequential-contract guarantees of Run
+// and Stream hold: delivery order, byte-identical output for any
+// Procs × Window, lowest-failing-index error semantics (wrapped in
+// *Error), and failure confinement — an encode error, a job error
+// reported by a worker, or a worker crash fails that job's index, while
+// jobs on surviving workers continue until the ordered collector stops
+// at the lowest failure.
+//
+// Dispatch returns a plain error (not *Error) only when no worker
+// process could be started at all.
+func Dispatch(n int, opt DispatchOptions, encode func(i int) (json.RawMessage, error), deliver func(i int, result json.RawMessage) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if len(opt.Argv) == 0 {
+		return fmt.Errorf("campaign: dispatch: empty worker argv")
+	}
+	if opt.Stderr != nil {
+		if _, isFile := opt.Stderr.(*os.File); !isFile {
+			opt.Stderr = &lockedWriter{w: opt.Stderr}
+		}
+	}
+
+	procs := opt.procs()
+	if procs > n {
+		procs = n
+	}
+	var workers []*workerProc
+	for w := 0; w < procs; w++ {
+		wp, err := startWorker(opt)
+		if err != nil {
+			if len(workers) == 0 {
+				return fmt.Errorf("campaign: dispatch: start worker: %w", err)
+			}
+			break // run degraded on the workers that did start
+		}
+		workers = append(workers, wp)
+	}
+
+	p := newPool[json.RawMessage](n)
+	var wg sync.WaitGroup
+	for _, wp := range workers {
+		for f := 0; f < opt.window(); f++ {
+			wg.Add(1)
+			go func(wp *workerProc) {
+				defer wg.Done()
+				for wp.alive() {
+					i := p.claim()
+					if i < 0 {
+						return
+					}
+					payload, err := encode(i)
+					if err != nil {
+						p.record(i, nil, err)
+						continue
+					}
+					resp, err := wp.call(Request{ID: i, Job: payload})
+					switch {
+					case err != nil:
+						p.record(i, nil, err)
+					case resp.Err != "":
+						p.record(i, nil, fmt.Errorf("%s", resp.Err))
+					default:
+						p.record(i, resp.Result, nil)
+					}
+				}
+			}(wp)
+		}
+	}
+	go func() {
+		wg.Wait()
+		p.finish()
+	}()
+
+	err := p.collect(deliver)
+	wg.Wait()
+	for _, wp := range workers {
+		wp.shutdown()
+	}
+	// Wait for every worker to be reaped so no stderr-copy goroutine
+	// outlives Dispatch — the caller may inspect opt.Stderr immediately.
+	for _, wp := range workers {
+		<-wp.done
+	}
+	return err
+}
+
+// ServeWorker runs the worker side of the Dispatch protocol: read
+// requests from in, execute them concurrently on a bounded pool of
+// `workers` goroutines (minimum 1), and write one response per request
+// to out.  handle receives the request payload and returns the response
+// payload; a panic inside handle is confined to that request and
+// reported as its error, mirroring the in-process pool.  ServeWorker
+// returns when in reaches EOF and every in-flight job has responded —
+// the normal end of a dispatch — or on a malformed request stream.
+func ServeWorker(in io.Reader, out io.Writer, workers int, handle func(job json.RawMessage) (json.RawMessage, error)) error {
+	if workers < 1 {
+		workers = 1
+	}
+	dec := json.NewDecoder(in)
+	enc := json.NewEncoder(out)
+	var wmu sync.Mutex // serializes response encoding onto out
+
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			wg.Wait()
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("campaign: worker: read request: %w", err)
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(req Request) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			result, err := handleJob(handle, req.Job)
+			resp := Response{ID: req.ID}
+			if err != nil {
+				resp.Err = err.Error()
+			} else {
+				resp.Result = result
+			}
+			wmu.Lock()
+			// A write failure means the parent is gone; nothing useful
+			// remains to report it to, and stdin EOF ends the loop.
+			_ = enc.Encode(&resp)
+			wmu.Unlock()
+		}(req)
+	}
+}
+
+// handleJob invokes handle with panic confinement.
+func handleJob(handle func(json.RawMessage) (json.RawMessage, error), job json.RawMessage) (result json.RawMessage, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r}
+		}
+	}()
+	return handle(job)
+}

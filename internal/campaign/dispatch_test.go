@@ -1,0 +1,314 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestMain doubles the test binary as a dispatch worker: when the
+// helper-process env var is set, the process speaks the worker protocol
+// on stdin/stdout instead of running tests — the standard trick for
+// exercising real child processes without a separate binary.
+func TestMain(m *testing.M) {
+	switch os.Getenv("CAMPAIGN_TEST_WORKER") {
+	case "":
+		os.Exit(m.Run())
+	case "square":
+		err := ServeWorker(os.Stdin, os.Stdout, 4, func(job json.RawMessage) (json.RawMessage, error) {
+			var n int
+			if err := json.Unmarshal(job, &n); err != nil {
+				return nil, err
+			}
+			if n < 0 {
+				return nil, fmt.Errorf("negative input %d", n)
+			}
+			if n == 1000 {
+				panic("worker job panic")
+			}
+			return json.Marshal(n * n)
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	case "crash":
+		// Answer the first request, then die without responding to
+		// anything else — the crash-confinement fixture.
+		dec := json.NewDecoder(os.Stdin)
+		enc := json.NewEncoder(os.Stdout)
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			os.Exit(3)
+		}
+		enc.Encode(&Response{ID: req.ID, Result: req.Job})
+		var second Request
+		dec.Decode(&second) // accept one more request, never answer it
+		os.Exit(3)
+	default:
+		os.Exit(2)
+	}
+}
+
+// workerOpts builds DispatchOptions that re-exec this test binary in the
+// given helper mode.
+func workerOpts(t *testing.T, mode string, procs, window int) DispatchOptions {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return DispatchOptions{
+		Procs:  procs,
+		Window: window,
+		Argv:   []string{exe},
+		Env:    []string{"CAMPAIGN_TEST_WORKER=" + mode},
+		Stderr: io.Discard,
+	}
+}
+
+func encodeInt(i int) (json.RawMessage, error) { return json.Marshal(i) }
+
+func TestDispatchDeliversInOrder(t *testing.T) {
+	const n = 25
+	for _, procs := range []int{1, 3} {
+		t.Run(fmt.Sprintf("procs=%d", procs), func(t *testing.T) {
+			var got []int
+			err := Dispatch(n, workerOpts(t, "square", procs, 4), encodeInt,
+				func(i int, result json.RawMessage) error {
+					var v int
+					if err := json.Unmarshal(result, &v); err != nil {
+						return err
+					}
+					if v != i*i {
+						return fmt.Errorf("job %d returned %d", i, v)
+					}
+					got = append(got, i)
+					return nil
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != n {
+				t.Fatalf("delivered %d of %d", len(got), n)
+			}
+			for i, idx := range got {
+				if i != idx {
+					t.Fatalf("out of order at %d: %d", i, idx)
+				}
+			}
+		})
+	}
+}
+
+// TestDispatchMatchesInProcessOutput is the tentpole determinism claim at
+// the package level: a Dispatch sweep and an in-process Stream sweep over
+// the same jobs must drive a byte-producing sink identically.
+func TestDispatchMatchesInProcessOutput(t *testing.T) {
+	const n = 30
+	render := func(runner func(sink func(int, int) error) error) string {
+		var buf bytes.Buffer
+		err := runner(func(i, v int) error {
+			fmt.Fprintf(&buf, "job %d -> %d\n", i, v)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	inProc := render(func(sink func(int, int) error) error {
+		return Stream(n, Options{Workers: 4},
+			func(i int) (int, error) { return i * i, nil }, sink)
+	})
+	dispatched := render(func(sink func(int, int) error) error {
+		return Dispatch(n, workerOpts(t, "square", 2, 3), encodeInt,
+			func(i int, result json.RawMessage) error {
+				var v int
+				if err := json.Unmarshal(result, &v); err != nil {
+					return err
+				}
+				return sink(i, v)
+			})
+	})
+	if inProc != dispatched {
+		t.Fatalf("dispatch output diverges from in-process:\n%s\nvs\n%s", inProc, dispatched)
+	}
+}
+
+func TestDispatchJobErrorReportsLowestIndex(t *testing.T) {
+	// Jobs 7 and 13 fail (negative input); the campaign must surface 7.
+	err := Dispatch(20, workerOpts(t, "square", 2, 2),
+		func(i int) (json.RawMessage, error) {
+			if i == 7 || i == 13 {
+				return json.Marshal(-i)
+			}
+			return json.Marshal(i)
+		},
+		func(i int, result json.RawMessage) error { return nil })
+	var ce *Error
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v; want *Error", err)
+	}
+	if ce.Index != 7 {
+		t.Fatalf("failing index = %d; want 7", ce.Index)
+	}
+	if !strings.Contains(ce.Err.Error(), "negative input") {
+		t.Fatalf("err = %v", ce.Err)
+	}
+}
+
+func TestDispatchWorkerPanicConfined(t *testing.T) {
+	// Input 1000 makes the worker's handler panic; ServeWorker must
+	// convert it to a job error, not kill the worker.
+	delivered := 0
+	err := Dispatch(5, workerOpts(t, "square", 1, 1),
+		func(i int) (json.RawMessage, error) {
+			if i == 3 {
+				return json.Marshal(1000)
+			}
+			return json.Marshal(i)
+		},
+		func(i int, result json.RawMessage) error { delivered++; return nil })
+	var ce *Error
+	if !errors.As(err, &ce) || ce.Index != 3 {
+		t.Fatalf("err = %v; want *Error at 3", err)
+	}
+	if !strings.Contains(ce.Err.Error(), "panic") {
+		t.Fatalf("err = %v; want panic message", ce.Err)
+	}
+	if delivered != 3 {
+		t.Fatalf("delivered %d jobs before the failure; want 3", delivered)
+	}
+}
+
+// TestDispatchSurvivesWorkerCrash: one worker answers a single request
+// and dies; its unanswered in-flight job must fail at its own index
+// while the other worker keeps the sweep going — and the error must name
+// the worker death, not hang or succeed silently.
+func TestDispatchSurvivesWorkerCrash(t *testing.T) {
+	err := Dispatch(10, workerOpts(t, "crash", 1, 1), encodeInt,
+		func(i int, result json.RawMessage) error { return nil })
+	var ce *Error
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v; want *Error from the crashed worker", err)
+	}
+	msg := ce.Err.Error()
+	if !strings.Contains(msg, "worker") {
+		t.Fatalf("err = %v; want a worker-death error", ce.Err)
+	}
+}
+
+// TestDispatchCrashedWorkerDoesNotPoisonSurvivors: with two workers, one
+// of which crashes after its first answer, every index the survivor
+// handles still completes; only the crashed worker's in-flight jobs can
+// fail.  We can't control which worker claims which index, so assert the
+// weaker — but load-bearing — property: the sweep terminates, and any
+// error is a worker-death at some index, not a hang or a protocol error.
+func TestDispatchCrashedWorkerDoesNotPoisonSurvivors(t *testing.T) {
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	derr := Dispatch(12, DispatchOptions{
+		Procs:  2,
+		Window: 1,
+		Argv:   []string{exe},
+		Env:    []string{"CAMPAIGN_TEST_WORKER=crash"},
+		Stderr: io.Discard,
+	}, encodeInt, func(i int, result json.RawMessage) error { delivered++; return nil })
+	// Both workers crash after one answer each, so with 12 jobs the sweep
+	// must fail — but deterministically, with a worker-death *Error*, and
+	// with every job before the first failure delivered.
+	var ce *Error
+	if !errors.As(derr, &ce) {
+		t.Fatalf("err = %v; want *Error", derr)
+	}
+	if delivered > 12 || delivered < ce.Index-1 {
+		t.Fatalf("delivered %d with failure at %d", delivered, ce.Index)
+	}
+}
+
+func TestDispatchEmptyArgvAndZeroJobs(t *testing.T) {
+	if err := Dispatch(0, DispatchOptions{}, encodeInt, nil); err != nil {
+		t.Fatalf("zero jobs: %v", err)
+	}
+	err := Dispatch(3, DispatchOptions{}, encodeInt,
+		func(i int, r json.RawMessage) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "argv") {
+		t.Fatalf("empty argv: %v", err)
+	}
+}
+
+func TestDispatchUnstartableWorker(t *testing.T) {
+	err := Dispatch(3, DispatchOptions{
+		Argv:   []string{"/nonexistent/worker/binary"},
+		Stderr: io.Discard,
+	}, encodeInt, func(i int, r json.RawMessage) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "start worker") {
+		t.Fatalf("err = %v; want start-worker failure", err)
+	}
+}
+
+func TestServeWorkerDirect(t *testing.T) {
+	var in bytes.Buffer
+	enc := json.NewEncoder(&in)
+	for i := 0; i < 5; i++ {
+		blob, _ := json.Marshal(i)
+		enc.Encode(&Request{ID: i, Job: blob})
+	}
+	var out bytes.Buffer
+	err := ServeWorker(&in, &out, 2, func(job json.RawMessage) (json.RawMessage, error) {
+		var n int
+		json.Unmarshal(job, &n)
+		if n == 2 {
+			return nil, errors.New("job two fails")
+		}
+		return json.Marshal(n + 100)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]Response{}
+	dec := json.NewDecoder(&out)
+	for {
+		var r Response
+		if err := dec.Decode(&r); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		seen[r.ID] = r
+	}
+	if len(seen) != 5 {
+		t.Fatalf("got %d responses; want 5", len(seen))
+	}
+	for i := 0; i < 5; i++ {
+		r := seen[i]
+		if i == 2 {
+			if r.Err != "job two fails" {
+				t.Fatalf("job 2: %+v", r)
+			}
+			continue
+		}
+		var v int
+		if err := json.Unmarshal(r.Result, &v); err != nil || v != i+100 {
+			t.Fatalf("job %d: %+v", i, r)
+		}
+	}
+}
+
+func TestServeWorkerMalformedStream(t *testing.T) {
+	err := ServeWorker(strings.NewReader(`{"id":0}{bad json`), io.Discard, 1,
+		func(job json.RawMessage) (json.RawMessage, error) { return job, nil })
+	if err == nil || !strings.Contains(err.Error(), "read request") {
+		t.Fatalf("err = %v; want read-request failure", err)
+	}
+}

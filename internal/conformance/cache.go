@@ -1,0 +1,209 @@
+package conformance
+
+// Result-cache wiring: the conformance oracle is a pure function of
+// (case, options, engine, engine version, perturbation profile), which
+// makes its verdicts ideal content-addressed cache entries — a warm
+// sweep replays stored Outcomes byte-identically instead of re-running
+// run+trace+analyze.  The cache is process-wide (SetResultCache), like
+// campaign.SetDefaultWorkers and mpi.SetDefaultEngine: CLIs install it
+// once from their -cache flag and every sweep layer — CheckCached,
+// CheckRobust's per-level loop, noise-floor calibration, the engine
+// differential — shares it.
+
+import (
+	"encoding/json"
+	"sync/atomic"
+
+	"repro/internal/mpi"
+	"repro/internal/perturb"
+	"repro/internal/profile"
+	"repro/internal/rescache"
+)
+
+// resultCache is the installed process-wide store (nil: caching off).
+var resultCache atomic.Pointer[rescache.Store]
+
+// SetResultCache installs (or, with nil, removes) the process-wide
+// result cache consulted by CheckCached, CheckRobust, DiffEnginesCached
+// and CalibratedNoiseFloor.
+func SetResultCache(s *rescache.Store) { resultCache.Store(s) }
+
+// ResultCache returns the installed result cache, or nil.
+func ResultCache() *rescache.Store { return resultCache.Load() }
+
+// checkKeyDoc is everything a Check outcome depends on.  The engine
+// identity and version are load-bearing: an outcome computed under one
+// engine must never be served to a sweep running another (the
+// calibration cache historically omitted exactly this and is the
+// cautionary tale), and an engine change invalidates by version bump.
+type checkKeyDoc struct {
+	Kind            string          `json:"kind"`
+	Case            Case            `json:"case"`
+	NoiseFloor      float64         `json:"noise_floor"`
+	RelTol          float64         `json:"rel_tol"`
+	AbsTol          float64         `json:"abs_tol"`
+	SkipDeterminism bool            `json:"skip_determinism"`
+	DropProperty    string          `json:"drop_property,omitempty"`
+	Perturb         perturb.Profile `json:"perturb"`
+	Engine          string          `json:"engine"`
+	EngineVersion   int             `json:"engine_version"`
+	ProfileSchema   int             `json:"profile_schema"`
+}
+
+// checkKey derives the content key of one oracle invocation.
+func checkKey(cs Case, opt CheckOptions) (string, error) {
+	opt = opt.withDefaults()
+	eng := mpi.EffectiveDefault()
+	return rescache.Key(checkKeyDoc{
+		Kind:            "conformance/check",
+		Case:            cs,
+		NoiseFloor:      opt.NoiseFloor,
+		RelTol:          opt.RelTol,
+		AbsTol:          opt.AbsTol,
+		SkipDeterminism: opt.SkipDeterminism,
+		DropProperty:    opt.DropProperty,
+		Perturb:         opt.Perturb,
+		Engine:          eng.String(),
+		EngineVersion:   eng.Version(),
+		ProfileSchema:   profile.SchemaVersion,
+	})
+}
+
+// CheckCached is Check behind the process-wide result cache: a hit
+// returns the stored Outcome without executing anything; a miss runs
+// Check and writes the verdict through.  Without an installed cache it
+// is exactly Check.  Errors (ill-formed cases) are never cached;
+// failing Outcomes are — a deterministic FAIL verdict is as replayable
+// as an ok one, and a warm rerun of a failing sweep must print the same
+// bytes.
+func CheckCached(cs Case, opt CheckOptions) (Outcome, error) {
+	c := ResultCache()
+	if c == nil {
+		return Check(cs, opt)
+	}
+	key, err := checkKey(cs, opt)
+	if err != nil {
+		return Check(cs, opt)
+	}
+	if blob, ok := c.Get(key); ok {
+		var out Outcome
+		if json.Unmarshal(blob, &out) == nil {
+			return out, nil
+		}
+	}
+	out, err := Check(cs, opt)
+	if err != nil {
+		return out, err
+	}
+	if blob, merr := json.Marshal(out); merr == nil {
+		_ = c.Put(key, blob) // best-effort write-through
+	}
+	return out, nil
+}
+
+// diffKeyDoc keys an engine-differential outcome: it depends on both
+// engines, so both versions are part of the key.
+type diffKeyDoc struct {
+	Kind             string          `json:"kind"`
+	Case             Case            `json:"case"`
+	Perturb          perturb.Profile `json:"perturb"`
+	EventVersion     int             `json:"event_version"`
+	GoroutineVersion int             `json:"goroutine_version"`
+	ProfileSchema    int             `json:"profile_schema"`
+}
+
+// DiffEnginesCached is DiffEngines behind the process-wide result cache.
+// Only agreeing outcomes are cached: a divergence is a finding about the
+// running binary and must be re-observed, never replayed from disk.
+func DiffEnginesCached(cs Case, prof perturb.Profile) (DiffOutcome, error) {
+	c := ResultCache()
+	if c == nil {
+		return DiffEngines(cs, prof)
+	}
+	key, kerr := rescache.Key(diffKeyDoc{
+		Kind:             "conformance/diff",
+		Case:             cs,
+		Perturb:          prof,
+		EventVersion:     mpi.EngineEvent.Version(),
+		GoroutineVersion: mpi.EngineGoroutine.Version(),
+		ProfileSchema:    profile.SchemaVersion,
+	})
+	if kerr != nil {
+		return DiffEngines(cs, prof)
+	}
+	if blob, ok := c.Get(key); ok {
+		var out DiffOutcome
+		if json.Unmarshal(blob, &out) == nil {
+			return out, nil
+		}
+	}
+	out, err := DiffEngines(cs, prof)
+	if err != nil {
+		return out, err
+	}
+	if blob, merr := json.Marshal(out); merr == nil {
+		_ = c.Put(key, blob)
+	}
+	return out, nil
+}
+
+// calKeyDoc keys one noise-floor calibration cell.  The profile's seed
+// is normalized away by the caller (the floor is a property of shape ×
+// disturbance magnitudes alone); the engine identity is not — see the
+// regression test in cache_test.go.
+type calKeyDoc struct {
+	Kind          string          `json:"kind"`
+	Procs         int             `json:"procs"`
+	Threads       int             `json:"threads"`
+	Profile       perturb.Profile `json:"profile"`
+	Engine        string          `json:"engine"`
+	EngineVersion int             `json:"engine_version"`
+}
+
+// calDiskKey derives the on-disk key of one calibration cell.
+func calDiskKey(k calKey) (string, error) {
+	return rescache.Key(calKeyDoc{
+		Kind:          "conformance/calibration",
+		Procs:         k.procs,
+		Threads:       k.threads,
+		Profile:       k.prof,
+		Engine:        k.engine,
+		EngineVersion: mpi.EffectiveDefault().Version(),
+	})
+}
+
+// calCacheLoad consults the on-disk store for a calibration cell.
+func calCacheLoad(k calKey) (float64, bool) {
+	c := ResultCache()
+	if c == nil {
+		return 0, false
+	}
+	key, err := calDiskKey(k)
+	if err != nil {
+		return 0, false
+	}
+	blob, ok := c.Get(key)
+	if !ok {
+		return 0, false
+	}
+	var floor float64
+	if json.Unmarshal(blob, &floor) != nil {
+		return 0, false
+	}
+	return floor, true
+}
+
+// calCacheStore writes a calibration cell through to the on-disk store.
+func calCacheStore(k calKey, floor float64) {
+	c := ResultCache()
+	if c == nil {
+		return
+	}
+	key, err := calDiskKey(k)
+	if err != nil {
+		return
+	}
+	if blob, merr := json.Marshal(floor); merr == nil {
+		_ = c.Put(key, blob)
+	}
+}

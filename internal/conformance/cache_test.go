@@ -1,0 +1,214 @@
+package conformance
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/perturb"
+	"repro/internal/rescache"
+)
+
+// withCache installs a fresh on-disk result cache for the duration of
+// the test and returns it.
+func withCache(t *testing.T) *rescache.Store {
+	t.Helper()
+	s, err := rescache.Open(filepath.Join(t.TempDir(), "rescache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetResultCache(s)
+	t.Cleanup(func() { SetResultCache(nil) })
+	return s
+}
+
+// TestCheckCachedWarmEqualsCold is the tentpole correctness claim at the
+// oracle surface: a warm CheckCached must return an Outcome deeply equal
+// to the cold one — the cached value IS the cold value, replayed — and
+// must come from the cache, not a re-run.
+func TestCheckCachedWarmEqualsCold(t *testing.T) {
+	s := withCache(t)
+	cs := Generate(11, Config{})
+	cold, err := CheckCached(cs, CheckOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().Puts == 0 {
+		t.Fatal("cold check wrote nothing through")
+	}
+	warm, err := CheckCached(cs, CheckOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().Hits == 0 {
+		t.Fatal("warm check did not hit the cache")
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatalf("warm outcome diverges from cold:\ncold: %+v\nwarm: %+v", cold, warm)
+	}
+	// And it must equal what an uncached oracle produces.
+	SetResultCache(nil)
+	plain, err := Check(cs, CheckOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Hash != plain.Hash || warm.Events != plain.Events {
+		t.Fatalf("cached outcome diverges from Check: %+v vs %+v", warm, plain)
+	}
+}
+
+// TestCheckCachedKeySeparatesOptions: different CheckOptions must never
+// share an entry.
+func TestCheckCachedKeySeparatesOptions(t *testing.T) {
+	cs := Generate(11, Config{})
+	base, err := checkKey(cs, CheckOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := []CheckOptions{
+		{NoiseFloor: 99},
+		{SkipDeterminism: true},
+		{Perturb: perturb.Level(cs.Seed, 2)},
+		{DropProperty: "late_sender"},
+	}
+	for _, opt := range variants {
+		k, err := checkKey(cs, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k == base {
+			t.Fatalf("options %+v collide with the default key", opt)
+		}
+	}
+	if k2, _ := checkKey(Generate(12, Config{}), CheckOptions{}); k2 == base {
+		t.Fatal("different cases collide")
+	}
+}
+
+// TestCheckCachedKeySeparatesEngines: the engine identity is part of the
+// key, so a verdict computed under one engine is invisible to the other.
+func TestCheckCachedKeySeparatesEngines(t *testing.T) {
+	prev := mpi.DefaultEngine()
+	defer mpi.SetDefaultEngine(prev)
+	cs := Generate(11, Config{})
+	mpi.SetDefaultEngine(mpi.EngineEvent)
+	kEvent, err := checkKey(cs, CheckOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpi.SetDefaultEngine(mpi.EngineGoroutine)
+	kGo, err := checkKey(cs, CheckOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kEvent == kGo {
+		t.Fatal("event and goroutine engines share a cache key")
+	}
+}
+
+// TestCalibrationCacheKeyedByEngine is the satellite regression test for
+// the calKey engine-identity fix: a calibration floor poisoned into the
+// in-memory cache under one engine's key must NOT be served to a sweep
+// running the other engine.  Before the fix, calKey omitted the engine
+// and this test fails with the sentinel leaking through.
+func TestCalibrationCacheKeyedByEngine(t *testing.T) {
+	prev := mpi.DefaultEngine()
+	defer mpi.SetDefaultEngine(prev)
+
+	const procs, threads = 2, 2
+	prof := perturb.Level(1, 2)
+	prof.Seed = 0
+
+	const sentinel = 123456.0
+	// Poison the event engine's cell...
+	calCache.Store(calKey{procs: procs, threads: threads, engine: mpi.EngineEvent.String(), prof: prof}, sentinel)
+	t.Cleanup(func() {
+		calCache.Delete(calKey{procs: procs, threads: threads, engine: mpi.EngineEvent.String(), prof: prof})
+		calCache.Delete(calKey{procs: procs, threads: threads, engine: mpi.EngineGoroutine.String(), prof: prof})
+	})
+
+	// ...and calibrate under the goroutine engine: the sentinel must not
+	// surface.
+	mpi.SetDefaultEngine(mpi.EngineGoroutine)
+	got := CalibratedNoiseFloor(procs, threads, perturb.Level(1, 2))
+	if got == sentinel {
+		t.Fatal("calibration computed under one engine was served to the other")
+	}
+
+	// The poisoned cell is still served to its own engine — the fix keys
+	// the cache, it does not disable it.
+	mpi.SetDefaultEngine(mpi.EngineEvent)
+	if got := CalibratedNoiseFloor(procs, threads, perturb.Level(1, 2)); got != sentinel {
+		t.Fatalf("event-engine cell = %v; want the sentinel (cache bypassed?)", got)
+	}
+}
+
+// TestCalibrationDiskCacheRoundtrip: with a result cache installed, a
+// calibration computed in one "process" (fresh in-memory cache) is
+// reloaded from disk instead of recomputed.
+func TestCalibrationDiskCacheRoundtrip(t *testing.T) {
+	s := withCache(t)
+	prof := perturb.Level(3, 1)
+	key := calKey{procs: 2, threads: 2, engine: mpi.EffectiveDefault().String(), prof: prof}
+	key.prof.Seed = 0
+
+	floor := CalibratedNoiseFloor(2, 2, prof)
+	if s.Stats().Puts == 0 {
+		t.Fatal("calibration did not write through to disk")
+	}
+	// Simulate a new process: drop the in-memory cell, keep the disk.
+	calCache.Delete(key)
+	hitsBefore := s.Stats().Hits
+	again := CalibratedNoiseFloor(2, 2, prof)
+	if again != floor {
+		t.Fatalf("disk-reloaded floor %v != original %v", again, floor)
+	}
+	if s.Stats().Hits == hitsBefore {
+		t.Fatal("second calibration did not read the disk cache")
+	}
+	calCache.Delete(key)
+}
+
+// TestDiffEnginesCachedWarmEqualsCold: the engine differential memoizes
+// agreeing outcomes and replays them byte-identically.
+func TestDiffEnginesCachedWarmEqualsCold(t *testing.T) {
+	s := withCache(t)
+	cs := Generate(5, Config{})
+	cold, err := DiffEnginesCached(cs, perturb.Profile{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := DiffEnginesCached(cs, perturb.Profile{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().Hits == 0 {
+		t.Fatal("warm differential did not hit the cache")
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatalf("warm diff outcome diverges: %+v vs %+v", cold, warm)
+	}
+}
+
+// TestCheckRobustUsesCachePerLevel: a robust sweep writes one entry per
+// level, and a warm sweep serves every level from the cache.
+func TestCheckRobustUsesCachePerLevel(t *testing.T) {
+	s := withCache(t)
+	cs := Generate(11, Config{})
+	cold, err := CheckRobust(cs, CheckOptions{}, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	missesAfterCold := s.Stats().Misses
+	warm, err := CheckRobust(cs, CheckOptions{}, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().Misses != missesAfterCold {
+		t.Fatal("warm robust sweep missed the cache")
+	}
+	if !reflect.DeepEqual(cold.Outcomes, warm.Outcomes) {
+		t.Fatal("warm robust outcomes diverge from cold")
+	}
+}

@@ -118,16 +118,19 @@ func DiffEngineBodies(procs int, body func(c *mpi.Comm)) (int, error) {
 // DiffSeeds runs the generated-seed sweep used by `atsfuzz diff` and the
 // CI scale-smoke job: seeds 1..n, each unperturbed plus one perturbation
 // level (cycling 0..MaxLevel by seed), stopping at the first divergence.
+// Comparisons go through the process-wide result cache when one is
+// installed (agreeing seeds are free on reruns; divergences always
+// re-execute).
 func DiffSeeds(n int, progress func(seed uint64, out DiffOutcome)) error {
 	for seed := uint64(1); seed <= uint64(n); seed++ {
 		cs := Generate(seed, Config{})
-		out, err := DiffEngines(cs, perturb.Profile{})
+		out, err := DiffEnginesCached(cs, perturb.Profile{})
 		if err != nil {
 			return fmt.Errorf("seed %d (%s): %w", seed, cs, err)
 		}
 		level := int(seed % uint64(perturb.MaxLevel+1))
 		if level > 0 {
-			if _, err := DiffEngines(cs, perturb.Level(seed, level)); err != nil {
+			if _, err := DiffEnginesCached(cs, perturb.Level(seed, level)); err != nil {
 				return fmt.Errorf("seed %d (%s) perturb level %d: %w", seed, cs, level, err)
 			}
 		}

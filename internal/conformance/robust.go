@@ -67,7 +67,10 @@ func (ro RobustOutcome) FailProfile() perturb.Profile {
 // when levels is nil).  Each level perturbs with a profile derived from
 // the case seed, so the sweep — like everything else in the harness — is
 // a pure function of the case.  The returned error reports an ill-formed
-// case, exactly as Check does.
+// case, exactly as Check does.  Levels are checked through the
+// process-wide result cache (CheckCached) when one is installed, at
+// per-level granularity: a sweep interrupted mid-ladder resumes at the
+// first level it had not finished.
 func CheckRobust(cs Case, opt CheckOptions, levels []int) (RobustOutcome, error) {
 	if len(levels) == 0 {
 		levels = DefaultLevels
@@ -76,7 +79,7 @@ func CheckRobust(cs Case, opt CheckOptions, levels []int) (RobustOutcome, error)
 	for i, lvl := range levels {
 		o := opt
 		o.Perturb = perturb.Level(cs.Seed, lvl)
-		out, err := Check(cs, o)
+		out, err := CheckCached(cs, o)
 		if err != nil {
 			return ro, err
 		}
@@ -111,9 +114,17 @@ const (
 	calReps = 3
 )
 
-// calKey caches calibration per shape and per seed-independent profile.
+// calKey caches calibration per shape, per seed-independent profile, and
+// per execution engine.  The engine field is load-bearing: the floor is
+// measured by *running* the clean composite, so it is a fact about the
+// engine that ran it — calibration computed under the event engine must
+// never be served to a `-engine goroutine` sweep (the two are proven
+// byte-identical today, but the cache must not bake that theorem in; a
+// version bump or real divergence would otherwise be masked by a stale
+// floor).  cache_test.go pins this with a poisoned-cache regression test.
 type calKey struct {
 	procs, threads int
+	engine         string
 	prof           perturb.Profile
 }
 
@@ -122,17 +133,24 @@ var calCache sync.Map // calKey -> float64
 // CalibratedNoiseFloor returns the empirical negative-axis noise floor
 // for the given shape under the given perturbation profile: the margin-
 // padded worst spurious wait a correct analysis reports on perturbed
-// clean composites.  The result depends only on the shape and the
-// profile's disturbance magnitudes (the seed is normalized away) and is
-// cached, so a fuzzing campaign pays for each (shape, level) pair once.
+// clean composites.  The result depends only on the shape, the profile's
+// disturbance magnitudes (the seed is normalized away), and the
+// execution engine, and is cached — in-memory always, and through the
+// process-wide result cache when one is installed (SetResultCache), so a
+// fuzzing campaign pays for each (shape, level, engine) cell once per
+// cache lifetime rather than once per process.
 func CalibratedNoiseFloor(procs, threads int, prof perturb.Profile) float64 {
 	if prof.Zero() {
 		return 0
 	}
-	key := calKey{procs: procs, threads: threads, prof: prof}
+	key := calKey{procs: procs, threads: threads, engine: mpi.EffectiveDefault().String(), prof: prof}
 	key.prof.Seed = 0
 	if v, ok := calCache.Load(key); ok {
 		return v.(float64)
+	}
+	if floor, ok := calCacheLoad(key); ok {
+		calCache.Store(key, floor)
+		return floor
 	}
 	var worst float64
 	for s := uint64(1); s <= calSeeds; s++ {
@@ -151,6 +169,7 @@ func CalibratedNoiseFloor(procs, threads int, prof perturb.Profile) float64 {
 	}
 	floor := calMargin * worst
 	calCache.Store(key, floor)
+	calCacheStore(key, floor)
 	return floor
 }
 

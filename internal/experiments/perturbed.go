@@ -78,39 +78,66 @@ func PerturbedNegativeCorrectness(w io.Writer, procs, threads int, levels []int)
 		}
 	}
 	var rows []PerturbedNegativeRow
+
+	// Each cell's job computes the finished row — a pure, serializable
+	// function of (level, program, shape, engine) — so the sweep can be
+	// memoized through the process-wide result cache (SetResultCache): a
+	// warm rerun replays the rows without executing a single world.  The
+	// trace and report ride along unserialized for the profile sink; while
+	// a sink is installed the key function returns "" (memoization off),
+	// because a cache hit cannot re-emit them.
 	type outcome struct {
+		Row PerturbedNegativeRow `json:"row"`
 		tr  *trace.Trace
 		rep *analyzer.Report
 	}
-	err := campaign.Stream(len(cells),
-		campaign.Options{},
+	sinkInstalled := profileSink != nil
+	job := campaign.Memo(memoCache(),
+		func(i int) string {
+			if sinkInstalled {
+				return ""
+			}
+			c := cells[i]
+			key, err := perturbedCellKey(levels[c.level], programs[c.prog].name, procs, threads, perturbSeed)
+			if err != nil {
+				return ""
+			}
+			return key
+		},
 		func(i int) (outcome, error) {
 			c := cells[i]
-			m := perturb.NewModel(perturb.Level(perturbSeed, levels[c.level]))
+			lvl := levels[c.level]
+			name := programs[c.prog].name
+			m := perturb.NewModel(perturb.Level(perturbSeed, lvl))
 			tr, err := programs[c.prog].run(m)
 			if err != nil {
-				return outcome{}, fmt.Errorf("%s L%d: %w", programs[c.prog].name, levels[c.level], err)
+				return outcome{}, fmt.Errorf("%s L%d: %w", name, lvl, err)
 			}
-			return outcome{tr: tr, rep: analyzer.Analyze(tr, analyzer.Options{})}, nil
-		},
+			rep := analyzer.Analyze(tr, analyzer.Options{})
+			row := PerturbedNegativeRow{Level: lvl, Program: name, Clean: true}
+			if top := rep.Top(); top != nil {
+				row.TopProperty, row.TopSeverity = top.Property, top.Severity
+				row.Clean = false
+			}
+			for _, prop := range rep.Properties() {
+				if analyzer.IsInfo(prop) {
+					continue
+				}
+				if wt := rep.Wait(prop); wt > row.MaxWait {
+					row.MaxWait = wt
+				}
+			}
+			return outcome{Row: row, tr: tr, rep: rep}, nil
+		})
+	err := campaign.Stream(len(cells),
+		campaign.Options{},
+		job,
 		func(i int, oc outcome) error {
 			c := cells[i]
 			lvl := levels[c.level]
 			name := programs[c.prog].name
 			emitProfile(fmt.Sprintf("perturbed_negative_L%d_%s", lvl, name), oc.tr, oc.rep)
-			row := PerturbedNegativeRow{Level: lvl, Program: name, Clean: true}
-			if top := oc.rep.Top(); top != nil {
-				row.TopProperty, row.TopSeverity = top.Property, top.Severity
-				row.Clean = false
-			}
-			for _, prop := range oc.rep.Properties() {
-				if analyzer.IsInfo(prop) {
-					continue
-				}
-				if wt := oc.rep.Wait(prop); wt > row.MaxWait {
-					row.MaxWait = wt
-				}
-			}
+			row := oc.Row
 			verdict := "(clean)"
 			if !row.Clean {
 				verdict = row.TopProperty

@@ -51,6 +51,36 @@ func (e Engine) String() string {
 	}
 }
 
+// Engine implementation versions: the invalidation epoch recorded in
+// content-addressed result-cache keys (internal/rescache).  Bump an
+// engine's version whenever a change could alter its observable output —
+// serialized traces, profile hashes, error text surfaced into cached
+// outcomes — even if the change is believed equivalent; a stale bump
+// costs one cold sweep, a missed bump serves wrong results forever.
+const (
+	eventEngineVersion     = 1
+	goroutineEngineVersion = 1
+)
+
+// Version returns the engine's observable-output version (see the bump
+// rules above).  EngineAuto reports the version of the engine it would
+// resolve to for a Virtual-mode run.
+func (e Engine) Version() int {
+	switch resolveEngine(e, vtime.Virtual) {
+	case EngineEvent:
+		return eventEngineVersion
+	case EngineGoroutine:
+		return goroutineEngineVersion
+	default:
+		return 0
+	}
+}
+
+// EffectiveDefault returns the concrete engine a Virtual-mode run with
+// Options.Engine == EngineAuto executes on — the engine identity cache
+// keys and calibration keys must record, since "auto" is not an identity.
+func EffectiveDefault() Engine { return resolveEngine(EngineAuto, vtime.Virtual) }
+
 // ParseEngine parses a -engine flag value.
 func ParseEngine(s string) (Engine, error) {
 	switch s {

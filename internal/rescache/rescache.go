@@ -1,0 +1,331 @@
+// Package rescache is an on-disk, content-addressed memoization layer
+// for analysis and conformance results: the piece that makes repeated
+// sweeps free.  A fuzzing campaign, a calibration pass, or an engine
+// differential recomputes byte-identical (case, engine, perturbation)
+// work on every invocation; rescache stores each such result once, keyed
+// by a content hash over everything the result depends on — the full
+// case, the effective execution engine and its version, the perturbation
+// profile, the oracle options, and the profile schema — so a warm run
+// skips run+trace+analyze entirely while remaining byte-identical to a
+// cold one (the cached value IS the cold value, replayed).
+//
+// Layout follows the regress.Store conventions: immutable JSON entries
+// sharded git-style under objects/<first-two-hex>/<key>.json, written
+// atomically (temp + rename), with keys validated by regress.ValidHash
+// before ever touching a path.  Every entry additionally records the
+// environment it was computed under (engine versions, profile schema);
+// Get refuses to serve an entry whose recorded environment no longer
+// matches the running binary, and GC deletes such stale entries.
+//
+// Invalidation rules: the environment is the *full* set of versioned
+// components, not just the one the entry used — bumping any engine
+// version or the profile schema invalidates every entry.  That is
+// deliberately conservative: correctness of a memoized oracle verdict is
+// worth a cold sweep, and the versions move rarely (see the bump rules
+// in internal/mpi/engine.go).
+//
+// A Store is safe for concurrent use by multiple goroutines and by
+// multiple cooperating processes (the campaign worker fan-out): entries
+// are immutable, content-addressed, and written atomically, so
+// concurrent writers of the same key race benignly.
+package rescache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"repro/internal/mpi"
+	"repro/internal/profile"
+	"repro/internal/regress"
+)
+
+// DefaultDir is the conventional cache location inside a repository,
+// next to the regression store.
+const DefaultDir = ".ats/rescache"
+
+// EntrySchema identifies the on-disk entry format.
+const EntrySchema = 1
+
+// Env is the versioned-component environment an entry was computed
+// under.  Entries are served only while the recorded environment matches
+// CurrentEnv exactly.
+type Env map[string]int
+
+// CurrentEnv returns the running binary's environment: both execution
+// engines' versions plus the profile wire schema.
+func CurrentEnv() Env {
+	return Env{
+		"engine/event":     mpi.EngineEvent.Version(),
+		"engine/goroutine": mpi.EngineGoroutine.Version(),
+		"profile/schema":   profile.SchemaVersion,
+	}
+}
+
+// equal reports whether two environments record identical versions.
+func (e Env) equal(o Env) bool {
+	if len(e) != len(o) {
+		return false
+	}
+	for k, v := range e {
+		ov, ok := o[k]
+		if !ok || ov != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Entry is the on-disk form of one cached result.
+type Entry struct {
+	Schema int             `json:"schema"`
+	Key    string          `json:"key"`
+	Env    Env             `json:"env"`
+	Value  json.RawMessage `json:"value"`
+}
+
+// Stats counts cache traffic since the store was opened.
+type Stats struct {
+	Hits, Misses, Puts int64
+}
+
+// Store is an on-disk result cache.  It implements campaign.Cache.
+type Store struct {
+	dir                string
+	hits, misses, puts atomic.Int64
+}
+
+// Open opens (creating if necessary) the cache rooted at dir.  An empty
+// dir selects DefaultDir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		dir = DefaultDir
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+		return nil, fmt.Errorf("rescache: open: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the cache root.
+func (s *Store) Dir() string { return s.dir }
+
+// Stats returns the hit/miss/put counters accumulated on this handle.
+func (s *Store) Stats() Stats {
+	return Stats{Hits: s.hits.Load(), Misses: s.misses.Load(), Puts: s.puts.Load()}
+}
+
+// entryPath shards entries exactly like regress objects: two hex
+// characters of fan-out so million-entry caches never concentrate one
+// directory.
+func (s *Store) entryPath(key string) string {
+	return filepath.Join(s.dir, "objects", key[:2], key+".json")
+}
+
+// Get returns the cached value for key, or ok=false on a miss.  Absent
+// files, undecodable entries, key echoes that do not match (a corrupted
+// or hand-edited file), and entries whose recorded environment differs
+// from the running binary all count as misses — the caller recomputes
+// and the subsequent Put overwrites the bad entry.
+func (s *Store) Get(key string) ([]byte, bool) {
+	e, ok := s.load(key)
+	if !ok || !e.Env.equal(CurrentEnv()) {
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return e.Value, true
+}
+
+// load reads and structurally validates one entry, without the
+// environment check (GC needs to see stale entries).
+func (s *Store) load(key string) (*Entry, bool) {
+	if !regress.ValidHash(key) {
+		return nil, false
+	}
+	blob, err := os.ReadFile(s.entryPath(key))
+	if err != nil {
+		return nil, false
+	}
+	var e Entry
+	if json.Unmarshal(blob, &e) != nil || e.Schema != EntrySchema || e.Key != key {
+		return nil, false
+	}
+	return &e, true
+}
+
+// Put stores value under key, stamped with the current environment.  The
+// write is atomic (temp + rename), so a crashed writer never leaves a
+// truncated entry, and concurrent writers of the same key — equal by
+// content addressing — race benignly.
+func (s *Store) Put(key string, value []byte) error {
+	if !regress.ValidHash(key) {
+		return fmt.Errorf("rescache: put %q: not a content key", key)
+	}
+	e := Entry{Schema: EntrySchema, Key: key, Env: CurrentEnv(), Value: value}
+	blob, err := json.Marshal(&e)
+	if err != nil {
+		return fmt.Errorf("rescache: put %s: %w", key[:12], err)
+	}
+	path := s.entryPath(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("rescache: put: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+key[:12]+"-*")
+	if err != nil {
+		return fmt.Errorf("rescache: put: %w", err)
+	}
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("rescache: put: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("rescache: put: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("rescache: put: %w", err)
+	}
+	s.puts.Add(1)
+	return nil
+}
+
+// GCResult summarizes one GC pass.
+type GCResult struct {
+	// Scanned is the number of entry files examined.
+	Scanned int
+	// Removed counts entries deleted: stale environment, undecodable,
+	// or wrong schema.
+	Removed int
+	// Kept counts entries still valid for the running binary.
+	Kept int
+}
+
+// GC walks the cache and deletes every entry the running binary would
+// refuse to serve: entries recorded under a different engine version or
+// profile schema, and structurally invalid (corrupt, truncated,
+// mis-keyed) files.  Orphaned temp files from crashed writers are
+// removed too.
+func (s *Store) GC() (GCResult, error) {
+	var res GCResult
+	env := CurrentEnv()
+	shards, err := os.ReadDir(filepath.Join(s.dir, "objects"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return res, nil
+		}
+		return res, fmt.Errorf("rescache: gc: %w", err)
+	}
+	for _, shard := range shards {
+		if !shard.IsDir() {
+			continue
+		}
+		dir := filepath.Join(s.dir, "objects", shard.Name())
+		files, err := os.ReadDir(dir)
+		if err != nil {
+			return res, fmt.Errorf("rescache: gc: %w", err)
+		}
+		for _, f := range files {
+			if f.IsDir() {
+				continue
+			}
+			path := filepath.Join(dir, f.Name())
+			name := f.Name()
+			if len(name) > 0 && name[0] == '.' {
+				// Orphaned temp file from a crashed writer.
+				os.Remove(path)
+				continue
+			}
+			res.Scanned++
+			key := trimJSON(name)
+			e, ok := s.loadFile(path, key)
+			if ok && e.Env.equal(env) {
+				res.Kept++
+				continue
+			}
+			if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+				return res, fmt.Errorf("rescache: gc: %w", err)
+			}
+			res.Removed++
+		}
+	}
+	return res, nil
+}
+
+// loadFile decodes one entry file for GC, validating the key echo.
+func (s *Store) loadFile(path, key string) (*Entry, bool) {
+	if !regress.ValidHash(key) {
+		return nil, false
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	var e Entry
+	if json.Unmarshal(blob, &e) != nil || e.Schema != EntrySchema || e.Key != key {
+		return nil, false
+	}
+	return &e, true
+}
+
+// trimJSON strips the ".json" suffix of an entry file name.
+func trimJSON(name string) string {
+	const ext = ".json"
+	if len(name) > len(ext) && name[len(name)-len(ext):] == ext {
+		return name[:len(name)-len(ext)]
+	}
+	return name
+}
+
+// Len counts the valid, currently servable entries in the store (a full
+// walk; for stats and smoke tests, not hot paths).
+func (s *Store) Len() (int, error) {
+	n := 0
+	env := CurrentEnv()
+	shards, err := os.ReadDir(filepath.Join(s.dir, "objects"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	for _, shard := range shards {
+		if !shard.IsDir() {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(s.dir, "objects", shard.Name()))
+		if err != nil {
+			return 0, err
+		}
+		for _, f := range files {
+			if f.IsDir() || f.Name()[0] == '.' {
+				continue
+			}
+			if e, ok := s.loadFile(filepath.Join(s.dir, "objects", shard.Name(), f.Name()), trimJSON(f.Name())); ok && e.Env.equal(env) {
+				n++
+			}
+		}
+	}
+	return n, nil
+}
+
+// Key derives the content-addressed cache key for any JSON-marshalable
+// key document: the SHA-256 of its canonical encoding (Go's json.Marshal
+// sorts map keys and preserves struct field order, so equal documents
+// hash equally across processes and runs).  Callers must include every
+// input the cached result depends on — including the engine identity and
+// version — in the document; Key itself adds nothing.
+func Key(doc any) (string, error) {
+	blob, err := json.Marshal(doc)
+	if err != nil {
+		return "", fmt.Errorf("rescache: key: %w", err)
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:]), nil
+}

@@ -1,0 +1,74 @@
+#!/usr/bin/env sh
+# End-to-end smoke of the result cache (internal/rescache) at the
+# atsfuzz CLI surface.  Proves the tentpole contract on a real binary:
+#
+#   1. a warm `atsfuzz run -cache` sweep re-serves >=95% of its results
+#      from the cache and prints byte-identical stdout to the cold run;
+#   2. a multi-process sweep (-procs 2) over a fresh cache prints
+#      byte-identical stdout to the in-process cold run;
+#   3. `atsfuzz cache gc` keeps a healthy cache intact and collects a
+#      corrupted entry;
+#   4. a warm run after gc still hits.
+#
+# Run via `make cache-smoke`.
+set -eu
+
+GO=${GO:-go}
+SEEDS=${CACHE_SMOKE_SEEDS:-20}
+
+tmp=$(mktemp -d)
+bin="$tmp/bin"
+cache="$tmp/cache"
+mkdir -p "$bin"
+
+cleanup() { rm -rf "$tmp"; }
+trap cleanup EXIT INT TERM
+
+echo "== building atsfuzz"
+$GO build -o "$bin" ./cmd/atsfuzz
+
+run_sweep() { # extra-args... ; writes stdout to $1, stderr to $2
+    out=$1; err=$2; shift 2
+    "$bin/atsfuzz" run -seeds "$SEEDS" -start 1 -v "$@" >"$out" 2>"$err"
+}
+
+echo "== cold sweep ($SEEDS seeds, empty cache)"
+run_sweep "$tmp/cold.out" "$tmp/cold.err" -cache "$cache"
+grep 'rescache:' "$tmp/cold.err"
+
+echo "== warm sweep (same cache)"
+run_sweep "$tmp/warm.out" "$tmp/warm.err" -cache "$cache"
+grep 'rescache:' "$tmp/warm.err"
+
+echo "== warm stdout must be byte-identical to cold"
+cmp "$tmp/cold.out" "$tmp/warm.out"
+
+echo "== warm hit rate must be >= 95%"
+# stderr line: "rescache: H hits, M misses, P writes (R% hit rate) at DIR"
+hits=$(sed -n 's/^rescache: \([0-9]*\) hits.*/\1/p' "$tmp/warm.err")
+misses=$(sed -n 's/^rescache: [0-9]* hits, \([0-9]*\) misses.*/\1/p' "$tmp/warm.err")
+total=$((hits + misses))
+[ "$total" -gt 0 ] || { echo "no cache traffic on warm run" >&2; exit 1; }
+pct=$((hits * 100 / total))
+echo "   $hits hits / $total lookups = ${pct}%"
+[ "$pct" -ge 95 ] || { echo "warm hit rate ${pct}% < 95%" >&2; exit 1; }
+
+echo "== -procs 2 over a fresh cache must match the in-process sweep"
+run_sweep "$tmp/procs.out" "$tmp/procs.err" -procs 2 -j 2 -cache "$tmp/cache2"
+cmp "$tmp/cold.out" "$tmp/procs.out"
+
+echo "== cache gc keeps a healthy cache"
+"$bin/atsfuzz" cache gc -dir "$cache" | tee "$tmp/gc.out"
+grep 'removed 0 stale' "$tmp/gc.out"
+
+echo "== cache gc collects a corrupted entry"
+victim=$(find "$cache/objects" -name '*.json' | head -1)
+echo garbage >"$victim"
+"$bin/atsfuzz" cache gc -dir "$cache" | grep 'removed 1 stale'
+
+echo "== post-gc warm sweep still serves hits and identical bytes"
+run_sweep "$tmp/post.out" "$tmp/post.err" -cache "$cache"
+cmp "$tmp/cold.out" "$tmp/post.out"
+grep 'rescache:' "$tmp/post.err"
+
+echo "== cache smoke OK"
