@@ -26,6 +26,11 @@
 #                  twice against one cache (warm pass must hit >=95% and
 #                  print byte-identical stdout), check -procs 2 output
 #                  equality, and exercise `atsfuzz cache gc`.
+#   make similar-smoke — similarity-index smoke: index a copy of the
+#                  committed seed store plus generated profiles, assert
+#                  `atsregress similar` top-1 self-match, recall >= 0.9
+#                  vs brute force on 500 synthetic profiles, and
+#                  rebuild == incremental update of the persistent log.
 #   make bench-diff — compare the two newest committed BENCH_*.json
 #                  snapshots; non-zero exit if any benchmark regressed
 #                  more than 25% (override with TOL=<pct>).
@@ -39,7 +44,7 @@ BENCH_DIR := testdata/bench
 
 TOL ?= 25
 
-.PHONY: check vet build test race smoke fuzz baseline bench-json bench-diff docs server-smoke cache-smoke
+.PHONY: check vet build test race smoke fuzz baseline bench-json bench-diff docs server-smoke cache-smoke similar-smoke
 
 check: vet build test race smoke docs
 
@@ -89,3 +94,6 @@ server-smoke:
 
 cache-smoke:
 	GO="$(GO)" sh scripts/cache-smoke.sh
+
+similar-smoke:
+	GO="$(GO)" sh scripts/similar-smoke.sh

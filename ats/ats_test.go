@@ -112,10 +112,16 @@ func TestStreamFacadeMatchesInMemory(t *testing.T) {
 	if out.Ranks != 8 {
 		t.Fatalf("streamed ranks = %d", out.Ranks)
 	}
-	want := profile.FromRun("fig34", tr, rep, profile.RunInfo{})
-	got := profile.FromAnalysis("fig34",
+	want, err := profile.FromRun("fig34", tr, rep, profile.RunInfo{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := profile.FromAnalysis("fig34",
 		profile.TraceInfo{Ranks: out.Ranks, Threads: out.Threads, Events: out.Events},
 		out.Report, profile.RunInfo{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	wantHash, err := want.Hash()
 	if err != nil {
 		t.Fatal(err)

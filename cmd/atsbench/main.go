@@ -54,7 +54,7 @@ func main() {
 		procs      = flag.Int("procs", 16, "MPI processes for the figure experiments")
 		threads    = flag.Int("threads", 4, "OpenMP threads")
 		real       = flag.Bool("real", false, "include real-clock experiments")
-		only       = flag.String("only", "", "run a single experiment (fig32, fig33, fig35, positive, negative, perturbed, ch2, ch4, micro, grind, work, ablation, scale, scalebig)")
+		only       = flag.String("only", "", "run a single experiment (fig32, fig33, fig35, positive, negative, perturbed, ch2, ch4, micro, grind, work, ablation, scale, scalebig, similarity)")
 		perturbMax = flag.Int("perturb", 3, "highest perturbation level for the perturbed experiment (0..N)")
 		profDir    = flag.String("profiles", "", "emit canonical profiles (one JSON per analyzed run) into this directory")
 		jobs       = flag.Int("j", 0, "concurrent campaign jobs inside experiments (0: one per CPU)")
@@ -132,7 +132,10 @@ func main() {
 			log.Fatalf("profiles: %v", err)
 		}
 		emit = func(name string, tr *trace.Trace, rep *analyzer.Report) {
-			p := profile.FromRun(name, tr, rep, profile.RunInfo{Clock: vtime.Virtual.String()})
+			p, err := profile.FromRun(name, tr, rep, profile.RunInfo{Clock: vtime.Virtual.String()})
+			if err != nil {
+				log.Fatalf("profiles: %s: %v", name, err)
+			}
 			path := filepath.Join(*profDir, name+".json")
 			if err := p.WriteFile(path); err != nil {
 				log.Fatalf("profiles: %s: %v", name, err)
@@ -249,6 +252,11 @@ func main() {
 			return err
 		})
 	}
+	run("similarity", func() error {
+		sizes := []int{1000, 5000, 10000}
+		_, err := experiments.Similarity(w, sizes)
+		return err
+	})
 	run("work", func() error {
 		_, err := experiments.WorkAccuracy(w, *real)
 		return err

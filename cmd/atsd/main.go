@@ -65,6 +65,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "atsd: opening store: %v\n", err)
 		return 2
 	}
+	// Warm the similarity index up front: create or rebuild it, backfill
+	// any objects stored while the daemon was down, and keep it current
+	// incrementally on every accepted submission — the first
+	// GET /v1/similar then never pays a full store walk.
+	idx, err := store.EnsureIndex()
+	if err != nil {
+		fmt.Fprintf(stderr, "atsd: similarity index: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "atsd: similarity index covers %d profiles\n", idx.Len())
 	srv := server.New(server.Config{
 		Store:      store,
 		Workers:    *workers,

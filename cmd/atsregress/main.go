@@ -13,6 +13,7 @@
 //	atsregress diff  [-store DIR flags] A.json B.json   diff two files
 //	atsregress diff  [-store DIR flags] -name EXP B.json  vs stored baseline
 //	atsregress check [-store DIR flags] profile.json...  exit 1 on drift
+//	atsregress similar [-store DIR] [-k N] <hash|profile.json>  nearest profiles
 //	atsregress submit -server URL [-experiment E] [-save] file...
 //	atsregress ping   -server URL
 //
@@ -34,6 +35,7 @@ import (
 
 	"repro/internal/profile"
 	"repro/internal/regress"
+	"repro/internal/similarity"
 )
 
 func main() {
@@ -66,6 +68,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err == nil && regressed {
 			return 1
 		}
+	case "similar":
+		err = cmdSimilar(rest, stdout)
 	case "submit":
 		var regressed bool
 		regressed, err = cmdSubmit(rest, stdout)
@@ -100,6 +104,9 @@ commands:
   check [-store DIR] [tolerances] profile.json...
                                             compare against baselines;
                                             exit 1 on any regression
+  similar [-store DIR] [-k N] <hash|profile.json>
+                                            top-k most similar stored
+                                            profiles (LSH index)
   submit -server URL [-experiment E] [-save] [-threshold F] file...
                                             upload cases/traces to an atsd
                                             server; exit 1 on drift
@@ -180,6 +187,65 @@ func cmdList(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "%-36s %-12s %4d %3dx%-2d %6d  %s\n",
 			e.Experiment, e.Hash[:12], e.Versions, e.Ranks, e.Threads, e.Significant, top)
 	}
+	return nil
+}
+
+// cmdSimilar answers "which stored runs does this profile look like?"
+// through the store's persistent LSH index.  The query is a stored
+// object's content hash or a profile file that need not be stored; the
+// index is created and backfilled on first use.
+func cmdSimilar(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("similar", flag.ContinueOnError)
+	dir := storeFlag(fs)
+	k := fs.Int("k", 5, "number of nearest profiles to report")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("similar: want one stored hash or profile file")
+	}
+	store, err := regress.Open(*dir)
+	if err != nil {
+		return err
+	}
+	arg := fs.Arg(0)
+	var (
+		matches []similarity.Match
+		probed  int
+	)
+	if regress.ValidHash(arg) {
+		matches, probed, err = store.Similar(arg, *k)
+	} else {
+		p, rerr := profile.ReadFile(arg)
+		if rerr != nil {
+			return rerr
+		}
+		matches, probed, err = store.SimilarProfile(p, *k)
+	}
+	if err != nil {
+		return err
+	}
+	idx, err := store.EnsureIndex()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "%-12s %10s  %-36s %s\n", "hash", "similarity", "experiment", "top finding")
+	for _, m := range matches {
+		exp, top := "(unreadable)", ""
+		if mp, gerr := store.Get(m.Hash); gerr == nil {
+			exp = mp.Experiment
+			top = "(clean)"
+			worst := 0.0
+			for _, prop := range mp.Significant() {
+				if prop.Severity > worst {
+					worst = prop.Severity
+					top = fmt.Sprintf("%s %.2f%%", prop.Name, prop.Severity*100)
+				}
+			}
+		}
+		fmt.Fprintf(stdout, "%-12s %10.6f  %-36s %s\n", m.Hash[:12], m.Similarity, exp, top)
+	}
+	fmt.Fprintf(stdout, "probed %d of %d indexed profiles\n", probed, idx.Len())
 	return nil
 }
 

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -31,7 +32,10 @@ func writeBarrierProfile(t *testing.T, path string, high float64) {
 	if err != nil {
 		t.Fatalf("barrier run: %v", err)
 	}
-	p := profile.FromRun("barrier_cli", tr, analyzer.Analyze(tr, analyzer.Options{}), profile.RunInfo{})
+	p, err := profile.FromRun("barrier_cli", tr, analyzer.Analyze(tr, analyzer.Options{}), profile.RunInfo{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := p.WriteFile(path); err != nil {
 		t.Fatal(err)
 	}
@@ -167,5 +171,98 @@ func TestErrorPaths(t *testing.T) {
 	}
 	if code, _ := cli("help"); code != 0 {
 		t.Error("help should exit 0")
+	}
+}
+
+// copySeedStore copies the committed testdata/regress-store into a temp
+// dir: similar creates a persistent index inside the store, and the
+// committed tree must never be dirtied by a test run.
+func copySeedStore(t *testing.T) string {
+	t.Helper()
+	src := filepath.Join("..", "..", "testdata", "regress-store")
+	dst := filepath.Join(t.TempDir(), "store")
+	err := filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		out := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(out, 0o755)
+		}
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(out, blob, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dst
+}
+
+// TestSimilarCLI drives `atsregress similar` end to end against a copy
+// of the committed seed store: query by stored hash (top-1 self-match)
+// and by profile file, plus the error paths.
+func TestSimilarCLI(t *testing.T) {
+	const seedHash = "997330b4ad5c416673437df4ad4daff38e6197559734cca7d4d61b1eddb2678d"
+	store := copySeedStore(t)
+
+	// Grow the copied seed with a fresh profile so there is more than
+	// one candidate to rank.
+	dir := t.TempDir()
+	extra := filepath.Join(dir, "extra.json")
+	writeBarrierProfile(t, extra, 0.06)
+	if code, out := cli("save", "-store", store, extra); code != 0 {
+		t.Fatalf("save exit %d:\n%s", code, out)
+	}
+
+	// Query by the committed hash: the top line of the table is the
+	// query itself at similarity 1.
+	code, out := cli("similar", "-store", store, "-k", "2", seedHash)
+	if code != 0 {
+		t.Fatalf("similar exit %d:\n%s", code, out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 3 { // header, >=1 match, probed summary
+		t.Fatalf("short output:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[1], seedHash[:12]) || !strings.Contains(lines[1], "1.000000") {
+		t.Errorf("top-1 not the query itself:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "fig35_two_communicators") {
+		t.Errorf("top-1 does not name the experiment:\n%s", out)
+	}
+	if !strings.Contains(lines[len(lines)-1], "probed") {
+		t.Errorf("no probed summary:\n%s", out)
+	}
+
+	// Query by profile file: the stored copy of the same profile leads.
+	code, out = cli("similar", "-store", store, extra)
+	if code != 0 {
+		t.Fatalf("similar by file exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "barrier_cli") || !strings.Contains(out, "1.000000") {
+		t.Errorf("file query did not find its stored twin:\n%s", out)
+	}
+
+	// Error paths: unknown hash, missing file, extra args.
+	if code, _ := cli("similar", "-store", store, strings.Repeat("0", 64)); code != 2 {
+		t.Error("similar on an unknown hash should exit 2")
+	}
+	if code, _ := cli("similar", "-store", store, filepath.Join(dir, "nope.json")); code != 2 {
+		t.Error("similar on a missing file should exit 2")
+	}
+	if code, _ := cli("similar", "-store", store); code != 2 {
+		t.Error("similar without an argument should exit 2")
+	}
+
+	// The committed tree itself must stay pristine.
+	if _, err := os.Stat(filepath.Join("..", "..", "testdata", "regress-store", "similarity")); !os.IsNotExist(err) {
+		t.Fatalf("committed seed store grew an index: %v", err)
 	}
 }

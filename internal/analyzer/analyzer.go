@@ -36,6 +36,14 @@ const (
 	PropInitFinalize    = "mpi_init_finalize_overhead"
 	PropMPITimeFraction = "mpi_time_fraction"
 	PropTotalWaiting    = "total_waiting"
+
+	// PropRankOutlier is the finding kind of the similarity miner
+	// (package similarity): a rank whose normalized wait vector clusters
+	// away from the majority behavior of its run.  It is derived from a
+	// profile rather than measured from a trace, so the analyzer itself
+	// never reports it; the constant names the finding wherever it
+	// surfaces (server reports, CLI output).
+	PropRankOutlier = "rank_behavior_outlier"
 )
 
 // ExpectedDetection maps each ATS property-function name (package core) to

@@ -313,7 +313,10 @@ func Check(cs Case, opt CheckOptions) (Outcome, error) {
 // caseHash builds the canonical profile of a run and returns its content
 // address — the determinism oracle.
 func caseHash(cs Case, tr *trace.Trace, rep *analyzer.Report) (string, error) {
-	prof := profile.FromRun("conformance", tr, rep, caseRunInfo(cs))
+	prof, err := profile.FromRun("conformance", tr, rep, caseRunInfo(cs))
+	if err != nil {
+		return "", err
+	}
 	return prof.Hash()
 }
 
@@ -339,7 +342,11 @@ func CaseProfile(cs Case, experiment string) (*profile.Profile, *analyzer.Report
 		return nil, nil, err
 	}
 	rep := analyzer.Analyze(tr, analyzer.Options{Threshold: cs.Threshold})
-	return profile.FromRun(experiment, tr, rep, caseRunInfo(cs)), rep, nil
+	prof, err := profile.FromRun(experiment, tr, rep, caseRunInfo(cs))
+	if err != nil {
+		return nil, nil, err
+	}
+	return prof, rep, nil
 }
 
 func caseRunInfo(cs Case) profile.RunInfo {
@@ -390,7 +397,10 @@ func streamedCaseHash(cs Case, prof perturb.Profile) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	p := profile.FromAnalysis("conformance", profile.TraceInfoOfStream(st), rep, caseRunInfo(cs))
+	p, err := profile.FromAnalysis("conformance", profile.TraceInfoOfStream(st), rep, caseRunInfo(cs))
+	if err != nil {
+		return "", err
+	}
 	return p.Hash()
 }
 

@@ -137,8 +137,11 @@ func runScaleStreamed(procs int, body func(c *mpi.Comm)) (int, string, error) {
 	if err != nil {
 		return 0, "", err
 	}
-	prof := profile.FromAnalysis("scale", profile.TraceInfoOfStream(st), rep,
+	prof, err := profile.FromAnalysis("scale", profile.TraceInfoOfStream(st), rep,
 		profile.RunInfo{Procs: procs, Threads: 1})
+	if err != nil {
+		return 0, "", err
+	}
 	hash, err := prof.Hash()
 	return st.Events(), hash, err
 }
@@ -151,7 +154,10 @@ func runScaleMaterialized(procs int, body func(c *mpi.Comm)) (int, string, error
 		return 0, "", err
 	}
 	rep := analyzer.Analyze(tr, analyzer.Options{})
-	prof := profile.FromRun("scale", tr, rep, profile.RunInfo{Procs: procs, Threads: 1})
+	prof, err := profile.FromRun("scale", tr, rep, profile.RunInfo{Procs: procs, Threads: 1})
+	if err != nil {
+		return 0, "", err
+	}
 	hash, err := prof.Hash()
 	return len(tr.Events), hash, err
 }

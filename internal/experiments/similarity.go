@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/similarity"
+)
+
+// SimilarityPoint is one corpus size of the similarity-recall sweep.
+type SimilarityPoint struct {
+	// Profiles is the corpus size the index was built over.
+	Profiles int
+	// Queries is how many stored profiles were replayed as queries.
+	Queries int
+	// K is the result depth compared against brute force.
+	K int
+	// Recall is the mean fraction of the exact top-K the LSH query
+	// returned.
+	Recall float64
+	// Probed is the mean fraction of the corpus the LSH query actually
+	// scored — the sublinearity measure (1.0 would be brute force).
+	Probed float64
+}
+
+// SimilarityResult summarizes the recall-vs-brute-force sweep of the
+// cross-run profile similarity index.
+type SimilarityResult struct {
+	Points []SimilarityPoint
+}
+
+// simCorpusSeed fixes the synthetic corpus, so the table is identical
+// on every run and machine.
+const simCorpusSeed = 7
+
+// Similarity measures the random-hyperplane LSH index (the engine
+// behind `atsregress similar` and GET /v1/similar) against brute-force
+// cosine scan over synthetic profile corpora of the given sizes: for
+// each size it indexes the corpus, replays a sample of stored profiles
+// as queries, and reports top-K recall and the fraction of the corpus
+// probed.  Sublinearity is the point: recall should hold ≥0.9 while the
+// probed fraction falls as the corpus grows.
+func Similarity(w io.Writer, sizes []int) (SimilarityResult, error) {
+	const k = 10
+	var res SimilarityResult
+	fmt.Fprintln(w, "== cross-run profile similarity: LSH recall vs brute force ==")
+	fmt.Fprintf(w, "index: %d-dim embedding, %d bits x %d tables, exact re-rank of candidates\n",
+		similarity.Dims, similarity.DefaultParams.Bits, similarity.DefaultParams.Tables)
+	fmt.Fprintf(w, "%10s %8s %4s %8s %10s\n", "profiles", "queries", "k", "recall", "probed")
+	for _, n := range sizes {
+		ix := similarity.NewIndex(similarity.Params{})
+		vecs := make([][]float64, n)
+		for i := 0; i < n; i++ {
+			vecs[i] = similarity.Embed(similarity.SyntheticProfile(simCorpusSeed, i))
+			if err := ix.Add(fmt.Sprintf("%064x", i), vecs[i]); err != nil {
+				return res, err
+			}
+		}
+		queries := n
+		if queries > 100 {
+			queries = 100
+		}
+		var recallSum, probedSum float64
+		for q := 0; q < queries; q++ {
+			vec := vecs[q*n/queries]
+			approx, probed, err := ix.Query(vec, k)
+			if err != nil {
+				return res, err
+			}
+			exact, err := ix.Scan(vec, k)
+			if err != nil {
+				return res, err
+			}
+			got := make(map[string]bool, len(approx))
+			for _, m := range approx {
+				got[m.Hash] = true
+			}
+			hits := 0
+			for _, m := range exact {
+				if got[m.Hash] {
+					hits++
+				}
+			}
+			recallSum += float64(hits) / float64(len(exact))
+			probedSum += float64(probed) / float64(n)
+		}
+		pt := SimilarityPoint{
+			Profiles: n,
+			Queries:  queries,
+			K:        k,
+			Recall:   recallSum / float64(queries),
+			Probed:   probedSum / float64(queries),
+		}
+		res.Points = append(res.Points, pt)
+		fmt.Fprintf(w, "%10d %8d %4d %8.3f %9.2f%%\n",
+			pt.Profiles, pt.Queries, pt.K, pt.Recall, pt.Probed*100)
+	}
+	return res, nil
+}

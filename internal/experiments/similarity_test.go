@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+)
+
+// TestSimilaritySweep smoke-tests the recall axis at a small corpus
+// size; the full ≥10⁴-profile recall bound lives in internal/similarity
+// (TestQueryRecallAtScale).
+func TestSimilaritySweep(t *testing.T) {
+	res, err := Similarity(io.Discard, []int{2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 1 {
+		t.Fatalf("points = %d, want 1", len(res.Points))
+	}
+	pt := res.Points[0]
+	if pt.Profiles != 2000 || pt.Queries != 100 || pt.K != 10 {
+		t.Fatalf("point shape = %+v", pt)
+	}
+	if pt.Recall < 0.85 {
+		t.Errorf("recall = %.3f at 2000 profiles, want >= 0.85", pt.Recall)
+	}
+	if pt.Probed > 0.25 {
+		t.Errorf("probed = %.1f%% of the corpus, want sublinear", pt.Probed*100)
+	}
+
+	// Determinism: the sweep is a pure function of its sizes.
+	again, err := Similarity(io.Discard, []int{2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Points[0] != pt {
+		t.Errorf("second sweep differs: %+v != %+v", again.Points[0], pt)
+	}
+}

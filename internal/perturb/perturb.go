@@ -230,6 +230,23 @@ func (m *Model) isStraggler(rank, procs int) bool {
 	return smaller < k
 }
 
+// StragglerRanks returns the ranks (sorted ascending) that the model's
+// profile designates as stragglers in a world of procs ranks — the
+// ground-truth oracle for outlier-mining validation (package
+// similarity).  A nil model, or one without stragglers, returns nil.
+func (m *Model) StragglerRanks(procs int) []int {
+	if m == nil {
+		return nil
+	}
+	var out []int
+	for r := 0; r < procs; r++ {
+		if m.isStraggler(r, procs) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
 // Executor returns the per-rank perturber to install on rank's clock
 // (vtime.Clock.SetPerturber) for a world of procs ranks.  A nil model
 // returns nil.

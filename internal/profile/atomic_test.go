@@ -12,7 +12,7 @@ import (
 // partial file at the target path nor temp litter next to it.
 func TestWriteFileAtomic(t *testing.T) {
 	tr, rep := runBarrier(t, 2, 0.06)
-	p := profile.FromRun("barrier", tr, rep, profile.RunInfo{})
+	p := mustFromRun(t, "barrier", tr, rep, profile.RunInfo{})
 
 	dir := t.TempDir()
 	path := filepath.Join(dir, "out.json")

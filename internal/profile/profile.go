@@ -46,8 +46,13 @@ const SchemaVersion = 1
 // which would break content-addressed identity.
 const quantum = 1e-9
 
-// quantize rounds v to the canonical grid.
+// quantize rounds v to the canonical grid.  Non-finite input is poisoned
+// to NaN (±Inf included): there is exactly one non-finite representative,
+// and FromAnalysis rejects it before a profile is ever emitted.
 func quantize(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return math.NaN()
+	}
 	q := math.Round(v/quantum) * quantum
 	if q == 0 {
 		return 0 // normalize -0
@@ -159,8 +164,11 @@ func TraceInfoOfStream(st *trace.Stream) TraceInfo {
 
 // FromRun extracts the canonical profile of one analyzed run.  Zero
 // fields of run are filled from the trace (Procs/Threads from the
-// location grid, Clock defaulting to "virtual").
-func FromRun(experiment string, tr *trace.Trace, rep *analyzer.Report, run RunInfo) *Profile {
+// location grid, Clock defaulting to "virtual").  A report carrying
+// non-finite values (NaN/Inf waits or severities) is rejected: such a
+// profile would hash, store, and then gate as "clean" in every
+// NaN-blind tolerance comparison downstream.
+func FromRun(experiment string, tr *trace.Trace, rep *analyzer.Report, run RunInfo) (*Profile, error) {
 	return FromAnalysis(experiment, TraceInfoOf(tr), rep, run)
 }
 
@@ -168,7 +176,8 @@ func FromRun(experiment string, tr *trace.Trace, rep *analyzer.Report, run RunIn
 // trace-shape metadata — the entry point for streamed runs, whose events
 // were never materialized.  A streamed and a materialized analysis of the
 // same run produce byte-identical profiles (and so the same content hash).
-func FromAnalysis(experiment string, info TraceInfo, rep *analyzer.Report, run RunInfo) *Profile {
+// Like FromRun it rejects reports with non-finite values.
+func FromAnalysis(experiment string, info TraceInfo, rep *analyzer.Report, run RunInfo) (*Profile, error) {
 	if run.Procs == 0 {
 		run.Procs = info.Ranks
 	}
@@ -224,7 +233,49 @@ func FromAnalysis(experiment string, info TraceInfo, rep *analyzer.Report, run R
 		})
 		p.Properties = append(p.Properties, prop)
 	}
-	return p
+	if bad := p.firstNonFinite(); bad != "" {
+		return nil, fmt.Errorf("profile: %s: non-finite %s", experiment, bad)
+	}
+	return p, nil
+}
+
+// firstNonFinite names the first non-finite float recorded anywhere in
+// the profile ("" when all values are finite).  quantize has already
+// collapsed every non-finite input to NaN, so NaN checks suffice.
+func (p *Profile) firstNonFinite() string {
+	bad := func(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) }
+	switch {
+	case bad(p.Duration):
+		return "duration"
+	case bad(p.TotalTime):
+		return "total time"
+	case bad(p.Threshold):
+		return "threshold"
+	case bad(p.Messages.AvgBytes):
+		return "message avg bytes"
+	case bad(p.Messages.Rate):
+		return "message rate"
+	}
+	for i := range p.Properties {
+		prop := &p.Properties[i]
+		if bad(prop.Wait) {
+			return fmt.Sprintf("wait for %s", prop.Name)
+		}
+		if bad(prop.Severity) {
+			return fmt.Sprintf("severity for %s", prop.Name)
+		}
+		for _, pw := range prop.Paths {
+			if bad(pw.Wait) {
+				return fmt.Sprintf("path wait for %s at %s", prop.Name, pw.Path)
+			}
+		}
+		for _, lw := range prop.Locations {
+			if bad(lw.Wait) {
+				return fmt.Sprintf("location wait for %s at %s", prop.Name, lw.Key())
+			}
+		}
+	}
+	return ""
 }
 
 // Get returns the named property, or nil.
@@ -345,6 +396,12 @@ func Decode(r io.Reader) (*Profile, error) {
 	}
 	if p.Experiment == "" {
 		return nil, fmt.Errorf("profile: missing experiment name")
+	}
+	// JSON cannot encode NaN/Inf, but Go's encoder is not the only writer
+	// of profile files: reject hand-crafted non-finite values here so a
+	// poisoned profile can never enter the store or pass gating.
+	if bad := p.firstNonFinite(); bad != "" {
+		return nil, fmt.Errorf("profile: %s: non-finite %s", p.Experiment, bad)
 	}
 	return &p, nil
 }

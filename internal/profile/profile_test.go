@@ -53,9 +53,20 @@ func runBarrier(t *testing.T, procs int, high float64) (*trace.Trace, *analyzer.
 	return tr, analyzer.Analyze(tr, analyzer.Options{})
 }
 
+// mustFromRun extracts a profile from a healthy run, failing the test on
+// the non-finite rejection path (which dedicated tests poke directly).
+func mustFromRun(t *testing.T, experiment string, tr *trace.Trace, rep *analyzer.Report, run profile.RunInfo) *profile.Profile {
+	t.Helper()
+	p, err := profile.FromRun(experiment, tr, rep, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
 func TestFromRunFillsMetadata(t *testing.T) {
 	tr, rep := runBarrier(t, 4, 0.06)
-	p := profile.FromRun("barrier", tr, rep, profile.RunInfo{})
+	p := mustFromRun(t, "barrier", tr, rep, profile.RunInfo{})
 	if p.Schema != profile.SchemaVersion {
 		t.Errorf("schema = %d", p.Schema)
 	}
@@ -86,7 +97,7 @@ func TestFromRunFillsMetadata(t *testing.T) {
 // and match the committed golden file byte for byte.
 func TestFig35RoundTripAndGolden(t *testing.T) {
 	tr, rep := runFig35(t, 8)
-	p := profile.FromRun("fig35_two_communicators", tr, rep, profile.RunInfo{})
+	p := mustFromRun(t, "fig35_two_communicators", tr, rep, profile.RunInfo{})
 	hash1, err := p.Hash()
 	if err != nil {
 		t.Fatal(err)
@@ -111,7 +122,7 @@ func TestFig35RoundTripAndGolden(t *testing.T) {
 
 	// An independent identical run must produce the identical profile.
 	tr2, rep2 := runFig35(t, 8)
-	p2 := profile.FromRun("fig35_two_communicators", tr2, rep2, profile.RunInfo{})
+	p2 := mustFromRun(t, "fig35_two_communicators", tr2, rep2, profile.RunInfo{})
 	hash3, err := p2.Hash()
 	if err != nil {
 		t.Fatal(err)
@@ -143,9 +154,9 @@ func TestFig35RoundTripAndGolden(t *testing.T) {
 
 func TestHashChangesWithContent(t *testing.T) {
 	tr, rep := runBarrier(t, 4, 0.06)
-	p1 := profile.FromRun("barrier", tr, rep, profile.RunInfo{})
+	p1 := mustFromRun(t, "barrier", tr, rep, profile.RunInfo{})
 	tr2, rep2 := runBarrier(t, 4, 0.12)
-	p2 := profile.FromRun("barrier", tr2, rep2, profile.RunInfo{})
+	p2 := mustFromRun(t, "barrier", tr2, rep2, profile.RunInfo{})
 	h1, _ := p1.Hash()
 	h2, _ := p2.Hash()
 	if h1 == h2 {
@@ -160,9 +171,9 @@ func TestHashChangesWithContent(t *testing.T) {
 
 func TestConfigHashSeparatesSetups(t *testing.T) {
 	tr, rep := runBarrier(t, 4, 0.06)
-	a := profile.FromRun("barrier", tr, rep, profile.RunInfo{})
-	b := profile.FromRun("barrier", tr, rep, profile.RunInfo{Params: map[string]string{"high": "0.12"}})
-	c := profile.FromRun("other", tr, rep, profile.RunInfo{})
+	a := mustFromRun(t, "barrier", tr, rep, profile.RunInfo{})
+	b := mustFromRun(t, "barrier", tr, rep, profile.RunInfo{Params: map[string]string{"high": "0.12"}})
+	c := mustFromRun(t, "other", tr, rep, profile.RunInfo{})
 	if a.ConfigHash == b.ConfigHash {
 		t.Error("params ignored by config hash")
 	}
@@ -185,7 +196,7 @@ func TestDecodeRejectsBadInput(t *testing.T) {
 
 func TestWriteReadFile(t *testing.T) {
 	tr, rep := runBarrier(t, 4, 0.06)
-	p := profile.FromRun("barrier", tr, rep, profile.RunInfo{})
+	p := mustFromRun(t, "barrier", tr, rep, profile.RunInfo{})
 	path := filepath.Join(t.TempDir(), "barrier.json")
 	if err := p.WriteFile(path); err != nil {
 		t.Fatal(err)

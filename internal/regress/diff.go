@@ -149,8 +149,15 @@ func Compare(base, cur *profile.Profile, tol Tolerances) *Diff {
 		pd.Disappeared = bSig && !cSig
 		pd.WaitDrifted = math.Abs(pd.AbsDrift) > tol.AbsWait &&
 			math.Abs(pd.AbsDrift) > tol.RelWait*pd.BaseWait
+		// Every `> tol` comparison is false when the operand is NaN, so a
+		// poisoned profile (NaN/Inf wait) would otherwise gate as "clean".
+		// Non-finite on either side is always a regression.
+		if !finite(pd.BaseWait) || !finite(pd.CurWait) || math.IsNaN(pd.AbsDrift) {
+			pd.WaitDrifted = true
+		}
 		pd.Distance, pd.WorstLocation, pd.WorstDelta = locationDrift(bp, cp)
-		pd.ShapeShifted = bp != nil && cp != nil && pd.Distance > tol.OutlierDist
+		pd.ShapeShifted = bp != nil && cp != nil &&
+			(pd.Distance > tol.OutlierDist || math.IsNaN(pd.Distance))
 		d.Deltas = append(d.Deltas, pd)
 	}
 	return d
@@ -204,9 +211,10 @@ func locationDrift(bp, cp *profile.Property) (dist float64, worst string, worstD
 			worst, worstDelta = k, delta
 		}
 	}
-	if bTot > 0 && cTot > 0 {
-		dist = math.Sqrt(sumSq)
-	}
+	// A side with zero total is the zero vector: a distribution that
+	// appears from (or collapses to) nothing is maximal shape drift — the
+	// L2 norm of the surviving normalized vector — not zero drift.
+	dist = math.Sqrt(sumSq)
 	return dist, worst, worstDelta
 }
 
@@ -261,6 +269,11 @@ func (d *Diff) Render() string {
 		b.WriteString("\n")
 	}
 	return b.String()
+}
+
+// finite reports whether v is neither NaN nor ±Inf.
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
 }
 
 func plural(n int, one, many string) string {

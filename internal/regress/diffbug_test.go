@@ -1,0 +1,116 @@
+package regress_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/profile"
+	"repro/internal/regress"
+)
+
+// TestCompareShapeShiftFromNothing is the regression test for the
+// zero-total locationDrift bug: a wait distribution that appears from —
+// or collapses to — nothing used to report distance 0 and sail through
+// the outlier gate.  The missing side is the zero vector, so the
+// distance must be the L2 norm of the surviving normalized vector.
+func TestCompareShapeShiftFromNothing(t *testing.T) {
+	loaded := map[string][]float64{"late_sender": {1, 2, 3}}
+	empty := map[string][]float64{"late_sender": {0, 0, 0}}
+	sig := map[string]bool{"late_sender": true}
+	// ‖(1/6, 2/6, 3/6)‖₂ = √14/6.
+	wantDist := math.Sqrt(14) / 6
+
+	for _, tc := range []struct {
+		name      string
+		base, cur *profile.Profile
+	}{
+		{"collapses to nothing", synthetic(loaded, sig), synthetic(empty, sig)},
+		{"appears from nothing", synthetic(empty, sig), synthetic(loaded, sig)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			d := regress.Compare(tc.base, tc.cur, regress.Tolerances{})
+			pd := findDelta(t, d, "late_sender")
+			if math.Abs(pd.Distance-wantDist) > 1e-12 {
+				t.Errorf("Distance = %v, want %v", pd.Distance, wantDist)
+			}
+			if !pd.ShapeShifted {
+				t.Error("ShapeShifted = false; zero-total side slipped through the outlier gate")
+			}
+			if !d.Regressed() {
+				t.Error("diff not regressed")
+			}
+		})
+	}
+}
+
+// TestCompareNonFiniteIsRegressed is the regression test for NaN-blind
+// gating: every `math.Abs(drift) > tol` comparison is false when the
+// drift is NaN, so a poisoned profile used to be reported "clean".
+func TestCompareNonFiniteIsRegressed(t *testing.T) {
+	healthy := func() *profile.Profile {
+		return synthetic(map[string][]float64{"late_sender": {1, 2, 3}},
+			map[string]bool{"late_sender": true})
+	}
+	poisonWait := func(p *profile.Profile, v float64) *profile.Profile {
+		p.Properties[0].Wait = v
+		return p
+	}
+	poisonLocation := func(p *profile.Profile, v float64) *profile.Profile {
+		p.Properties[0].Locations[1].Wait = v
+		return p
+	}
+
+	for _, tc := range []struct {
+		name      string
+		base, cur *profile.Profile
+	}{
+		{"NaN current wait", healthy(), poisonWait(healthy(), math.NaN())},
+		{"NaN baseline wait", poisonWait(healthy(), math.NaN()), healthy()},
+		{"+Inf current wait", healthy(), poisonWait(healthy(), math.Inf(1))},
+		{"-Inf baseline wait", poisonWait(healthy(), math.Inf(-1)), healthy()},
+		{"NaN on both sides", poisonWait(healthy(), math.NaN()), poisonWait(healthy(), math.NaN())},
+		{"NaN location wait", healthy(), poisonLocation(healthy(), math.NaN())},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			d := regress.Compare(tc.base, tc.cur, regress.Tolerances{})
+			if !d.Regressed() {
+				t.Fatalf("poisoned comparison reported clean:\n%s", d.Render())
+			}
+		})
+	}
+}
+
+// TestCompareWorstLocationTieBreak: with equal |delta| at several
+// locations the reported worst location must be deterministic — the
+// first key in sorted order — not whatever map iteration yields.
+func TestCompareWorstLocationTieBreak(t *testing.T) {
+	base := synthetic(map[string][]float64{"late_sender": {1, 1, 1, 1}},
+		map[string]bool{"late_sender": true})
+	// Rank 1 gains 0.5, rank 2 loses 0.5: equal magnitude, opposite sign.
+	cur := synthetic(map[string][]float64{"late_sender": {1, 1.5, 0.5, 1}},
+		map[string]bool{"late_sender": true})
+
+	for i := 0; i < 20; i++ {
+		d := regress.Compare(base, cur, regress.Tolerances{})
+		pd := findDelta(t, d, "late_sender")
+		if pd.WorstLocation != "1.0" {
+			t.Fatalf("iteration %d: WorstLocation = %q, want %q (first sorted key of the tied pair)",
+				i, pd.WorstLocation, "1.0")
+		}
+		if pd.WorstDelta != 0.5 {
+			t.Fatalf("iteration %d: WorstDelta = %v, want 0.5", i, pd.WorstDelta)
+		}
+	}
+}
+
+// findDelta extracts one property's delta from a diff.
+func findDelta(t *testing.T, d *regress.Diff, name string) *regress.PropertyDelta {
+	t.Helper()
+	for i := range d.Deltas {
+		if d.Deltas[i].Name == name {
+			return &d.Deltas[i]
+		}
+	}
+	t.Fatalf("no delta for %q", name)
+	return nil
+}

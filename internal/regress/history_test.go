@@ -1,0 +1,117 @@
+package regress_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/regress"
+)
+
+// TestHistoryOrderingUnderRepeatedSetBaseline: History must list every
+// baseline move newest first, must not duplicate a no-op re-point, and
+// must record a hash again when the baseline genuinely returns to it.
+func TestHistoryOrderingUnderRepeatedSetBaseline(t *testing.T) {
+	store, err := regress.Open(filepath.Join(t.TempDir(), "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := synthProfile("exp", 0.5)
+	b := synthProfile("exp", 0.75)
+	hashA, err := store.SaveBaseline(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashB, err := store.SaveBaseline(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-pointing at the current baseline is a no-op for history.
+	if err := store.SetBaseline("exp", hashB); err != nil {
+		t.Fatal(err)
+	}
+	hist, err := store.History("exp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{hashB, hashA}; !reflect.DeepEqual(hist, want) {
+		t.Fatalf("history after no-op re-point = %v, want %v", hist, want)
+	}
+
+	// Moving back to A is a real move and prepends again.
+	if err := store.SetBaseline("exp", hashA); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.SetBaseline("exp", hashA); err != nil { // and a second no-op
+		t.Fatal(err)
+	}
+	hist, err = store.History("exp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{hashA, hashB, hashA}; !reflect.DeepEqual(hist, want) {
+		t.Fatalf("history after move back = %v, want %v", hist, want)
+	}
+
+	// The baseline ref agrees with the head of the history.
+	_, cur, err := store.Baseline("exp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur != hashA {
+		t.Fatalf("baseline = %s, want %s", cur, hashA)
+	}
+}
+
+// TestHistorySetBaselineShardedAndLegacy: SetBaseline must resolve
+// objects in both the sharded layout Put writes today and the flat
+// legacy layout older stores carry, and the history it records must be
+// identical either way.
+func TestHistorySetBaselineShardedAndLegacy(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	store, err := regress.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sharded object: stored through Put.
+	sharded := synthProfile("exp", 0.5)
+	hashSharded, err := store.Put(sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "objects", hashSharded[:2], hashSharded+".json")); err != nil {
+		t.Fatalf("object not sharded: %v", err)
+	}
+
+	// Legacy object: written at the flat path by hand, as an old store
+	// version would have left it.
+	legacy := synthProfile("exp", 0.75)
+	hashLegacy, err := legacy.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := legacy.WriteFile(filepath.Join(dir, "objects", hashLegacy+".json")); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := store.SetBaseline("exp", hashSharded); err != nil {
+		t.Fatalf("SetBaseline sharded: %v", err)
+	}
+	if err := store.SetBaseline("exp", hashLegacy); err != nil {
+		t.Fatalf("SetBaseline legacy: %v", err)
+	}
+	if err := store.SetBaseline("exp", hashSharded); err != nil {
+		t.Fatal(err)
+	}
+	hist, err := store.History("exp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{hashSharded, hashLegacy, hashSharded}
+	if !reflect.DeepEqual(hist, want) {
+		t.Fatalf("history across layouts = %v, want %v", hist, want)
+	}
+}

@@ -32,7 +32,11 @@ func barrierProfile(t *testing.T, procs int, high float64) *profile.Profile {
 		t.Fatalf("barrier run: %v", err)
 	}
 	rep := analyzer.Analyze(tr, analyzer.Options{})
-	return profile.FromRun("barrier_drift", tr, rep, profile.RunInfo{})
+	p, err := profile.FromRun("barrier_drift", tr, rep, profile.RunInfo{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
 }
 
 func TestStoreSaveAndRetrieve(t *testing.T) {

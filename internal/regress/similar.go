@@ -1,0 +1,144 @@
+package regress
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/profile"
+	"repro/internal/similarity"
+)
+
+// similaritySubdir holds the persistent LSH index inside a store root,
+// alongside objects/ and refs.json.
+const similaritySubdir = "similarity"
+
+func (s *Store) similarityDir() string { return filepath.Join(s.dir, similaritySubdir) }
+
+// Objects enumerates every object hash in the store (sharded and legacy
+// flat layouts), sorted ascending.  It reads directory names only — no
+// object is opened — so walking a million-profile store stays cheap.
+func (s *Store) Objects() ([]string, error) {
+	root := filepath.Join(s.dir, "objects")
+	ents, err := os.ReadDir(root)
+	if err != nil {
+		return nil, fmt.Errorf("regress: list objects: %w", err)
+	}
+	var out []string
+	add := func(name string) {
+		hash := strings.TrimSuffix(name, ".json")
+		if len(hash) < len(name) && ValidHash(hash) {
+			out = append(out, hash)
+		}
+	}
+	for _, ent := range ents {
+		if !ent.IsDir() {
+			add(ent.Name()) // legacy flat object
+			continue
+		}
+		if len(ent.Name()) != 2 {
+			continue
+		}
+		shard, err := os.ReadDir(filepath.Join(root, ent.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("regress: list objects: %w", err)
+		}
+		for _, obj := range shard {
+			if !obj.IsDir() {
+				add(obj.Name())
+			}
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// EnsureIndex opens the store's persistent similarity index (creating
+// or rebuilding it when absent or stamped by an incompatible schema)
+// and backfills every stored object the index does not know yet.  After
+// it returns, the index covers the whole store; subsequent Puts keep it
+// current incrementally.  The handle is cached on the Store, so calling
+// it repeatedly is cheap.
+func (s *Store) EnsureIndex() (*similarity.PersistentIndex, error) {
+	idx, err := s.openIndex()
+	if err != nil {
+		return nil, err
+	}
+	hashes, err := s.Objects()
+	if err != nil {
+		return nil, err
+	}
+	for _, hash := range hashes {
+		if idx.Has(hash) {
+			continue
+		}
+		p, err := s.Get(hash)
+		if err != nil {
+			return nil, fmt.Errorf("regress: index backfill: %w", err)
+		}
+		if err := idx.Add(hash, similarity.Embed(p)); err != nil {
+			return nil, fmt.Errorf("regress: index backfill: %w", err)
+		}
+	}
+	return idx, nil
+}
+
+// openIndex returns the cached index handle, opening the log on first
+// use.  The index geometry is stamped with the profile schema: bumping
+// either discards and rebuilds.
+func (s *Store) openIndex() (*similarity.PersistentIndex, error) {
+	s.simMu.Lock()
+	defer s.simMu.Unlock()
+	if s.sim != nil {
+		return s.sim, nil
+	}
+	idx, err := similarity.OpenIndex(s.similarityDir(), similarity.DefaultParams, profile.SchemaVersion)
+	if err != nil {
+		return nil, err
+	}
+	s.sim = idx
+	return idx, nil
+}
+
+// indexAdd incrementally indexes a newly stored object — but only when
+// the store has an index at all: plain `atsregress save` runs against
+// index-less stores must not conjure one up.  EnsureIndex (the similar
+// CLI/endpoint path) creates the index and backfills whatever Puts
+// happened before it existed.
+func (s *Store) indexAdd(hash string, p *profile.Profile) error {
+	s.simMu.Lock()
+	cached := s.sim
+	s.simMu.Unlock()
+	if cached == nil && !similarity.IndexExists(s.similarityDir()) {
+		return nil
+	}
+	idx, err := s.openIndex()
+	if err != nil {
+		return err
+	}
+	return idx.Add(hash, similarity.Embed(p))
+}
+
+// Similar returns the k stored profiles most similar to the stored
+// object with the given hash (the query itself is indexed, so its own
+// entry — similarity 1 — leads the result).  The index is ensured
+// first: opened, schema-checked, and backfilled to cover the store.
+func (s *Store) Similar(hash string, k int) ([]similarity.Match, int, error) {
+	p, err := s.Get(hash)
+	if err != nil {
+		return nil, 0, err
+	}
+	return s.SimilarProfile(p, k)
+}
+
+// SimilarProfile is Similar for a profile that need not be stored —
+// the "which past run does this new regression look like?" query.
+func (s *Store) SimilarProfile(p *profile.Profile, k int) ([]similarity.Match, int, error) {
+	idx, err := s.EnsureIndex()
+	if err != nil {
+		return nil, 0, err
+	}
+	return idx.Query(similarity.Embed(p), k)
+}

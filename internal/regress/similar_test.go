@@ -1,0 +1,131 @@
+package regress_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/regress"
+	"repro/internal/similarity"
+)
+
+// TestStoreSimilarSelfMatch: after EnsureIndex, every stored profile's
+// nearest neighbor is itself at similarity 1.
+func TestStoreSimilarSelfMatch(t *testing.T) {
+	store, err := regress.Open(filepath.Join(t.TempDir(), "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashes := make([]string, 0, 30)
+	for i := 0; i < 30; i++ {
+		h, err := store.Put(similarity.SyntheticProfile(21, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hashes = append(hashes, h)
+	}
+	for i := 0; i < len(hashes); i += 7 {
+		h := hashes[i]
+		matches, probed, err := store.Similar(h, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(matches) == 0 || matches[0].Hash != h {
+			t.Fatalf("Similar(%s) top-1 = %+v, want self", h[:12], matches)
+		}
+		if matches[0].Similarity < 0.999999 {
+			t.Fatalf("self similarity = %v", matches[0].Similarity)
+		}
+		if probed <= 0 {
+			t.Fatalf("probed = %d", probed)
+		}
+	}
+}
+
+// TestStorePutUpdatesIndexIncrementally: once a store has an index,
+// every subsequent Put keeps it current — and the incrementally grown
+// index answers exactly like one rebuilt from scratch over the same
+// objects (the rebuild ≡ incremental invariant of the CI smoke).
+func TestStorePutUpdatesIndexIncrementally(t *testing.T) {
+	incDir := filepath.Join(t.TempDir(), "inc")
+	store, err := regress.Open(incDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed a few objects, then create the index (backfills them).
+	for i := 0; i < 5; i++ {
+		if _, err := store.Put(similarity.SyntheticProfile(33, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if similarity.IndexExists(filepath.Join(incDir, "similarity")) {
+		t.Fatal("Put conjured up an index on an index-less store")
+	}
+	idx, err := store.EnsureIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Len() != 5 {
+		t.Fatalf("backfilled index has %d entries, want 5", idx.Len())
+	}
+	// Further Puts land in the index without another EnsureIndex walk.
+	var lastHash string
+	for i := 5; i < 20; i++ {
+		if lastHash, err = store.Put(similarity.SyntheticProfile(33, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if idx.Len() != 20 {
+		t.Fatalf("incremental index has %d entries, want 20", idx.Len())
+	}
+	if !idx.Has(lastHash) {
+		t.Fatal("last Put missing from index")
+	}
+
+	// A second store over the same objects, rebuilt from nothing, must
+	// answer queries identically.
+	rebDir := filepath.Join(t.TempDir(), "reb")
+	rebuilt, err := regress.Open(rebDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 19; i >= 0; i-- { // same profiles, reversed insertion order
+		if _, err := rebuilt.Put(similarity.SyntheticProfile(33, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := rebuilt.EnsureIndex(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i += 7 {
+		p := similarity.SyntheticProfile(33, i)
+		a, _, err := store.SimilarProfile(p, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := rebuilt.SimilarProfile(p, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("query %d: incremental %+v != rebuilt %+v", i, a, b)
+		}
+	}
+}
+
+// TestStoreSimilarUnknownHash: querying a hash the store does not hold
+// is an error, not an empty answer.
+func TestStoreSimilarUnknownHash(t *testing.T) {
+	store, err := regress.Open(filepath.Join(t.TempDir(), "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	missing := fmt.Sprintf("%064d", 7)
+	if _, _, err := store.Similar(missing, 3); err == nil {
+		t.Fatal("Similar on a missing hash succeeded")
+	}
+	if _, _, err := store.Similar("../../etc/passwd", 3); err == nil {
+		t.Fatal("Similar accepted a non-hash")
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"sync"
 
 	"repro/internal/profile"
+	"repro/internal/similarity"
 )
 
 // DefaultStoreDir is the conventional store location inside a repository.
@@ -77,6 +78,9 @@ type Store struct {
 	// mu serializes the refs.json read-modify-write cycle.  Object writes
 	// need no lock: they are content-addressed, atomic, and idempotent.
 	mu sync.Mutex
+	// simMu guards the lazily opened similarity-index handle (similar.go).
+	simMu sync.Mutex
+	sim   *similarity.PersistentIndex
 }
 
 // Open opens (creating if necessary) the store rooted at dir.  An empty
@@ -186,6 +190,12 @@ func (s *Store) Put(p *profile.Profile) (string, error) {
 	// object that later calls would treat as already stored.
 	if err := p.WriteFile(path); err != nil {
 		return "", fmt.Errorf("regress: store object: %w", err)
+	}
+	// Keep the similarity index (when the store has one) covering every
+	// object, incrementally: one O(1) append per new profile instead of
+	// an O(store) rebuild per query.
+	if err := s.indexAdd(hash, p); err != nil {
+		return "", fmt.Errorf("regress: index object: %w", err)
 	}
 	return hash, nil
 }

@@ -15,6 +15,7 @@ import (
 	"repro/internal/conformance"
 	"repro/internal/profile"
 	"repro/internal/regress"
+	"repro/internal/similarity"
 	"repro/internal/trace"
 )
 
@@ -162,7 +163,7 @@ func (s *Server) analyzeSpool(path, experiment string, threshold float64) (*prof
 		if err != nil {
 			return nil, err
 		}
-		return profile.FromAnalysis(experiment, profile.TraceInfoOfStream(st), rep, profile.RunInfo{}), nil
+		return profile.FromAnalysis(experiment, profile.TraceInfoOfStream(st), rep, profile.RunInfo{})
 	case "ATS1":
 		defer f.Close()
 		if _, err := f.Seek(0, io.SeekStart); err != nil {
@@ -173,7 +174,7 @@ func (s *Server) analyzeSpool(path, experiment string, threshold float64) (*prof
 			return nil, err
 		}
 		rep := analyzer.Analyze(tr, opt)
-		return profile.FromRun(experiment, tr, rep, profile.RunInfo{}), nil
+		return profile.FromRun(experiment, tr, rep, profile.RunInfo{})
 	default:
 		f.Close()
 		return nil, fmt.Errorf("unrecognized trace format %q (want ATS1 or ATSC)", magic[:])
@@ -206,11 +207,17 @@ func (s *Server) finish(rep *Report, prof *profile.Profile) {
 		diff = regress.Compare(base, prof, s.cfg.Tol)
 		drift = diff.Regressed()
 	}
+	// Within-run rank clustering: flag straggler/deviant ranks as
+	// analyzer.PropRankOutlier findings on the report.  Derived from the
+	// canonical profile, so the verdict is identical to what the offline
+	// tools compute for the same submission.
+	outliers := similarity.ClusterRanks(prof, similarity.RankOptions{}).Outliers
 	s.mu.Lock()
 	rep.ProfileHash = hash
 	rep.BaselineHash = baseHash
 	rep.Diff = diff
 	rep.Drift = drift
+	rep.RankOutliers = outliers
 	rep.Status = StatusDone
 	s.mu.Unlock()
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 
 	"repro/internal/regress"
+	"repro/internal/similarity"
 )
 
 // Report statuses.  A report is created running, and moves to exactly
@@ -44,8 +45,13 @@ type Report struct {
 	Drift bool `json:"drift"`
 	// Diff is the full property-level comparison, present whenever a
 	// baseline existed.
-	Diff  *regress.Diff `json:"diff,omitempty"`
-	Error string        `json:"error,omitempty"`
+	Diff *regress.Diff `json:"diff,omitempty"`
+	// RankOutliers lists the submission's behavioral outlier ranks
+	// (analyzer.PropRankOutlier findings: stragglers and deviants from
+	// similarity.ClusterRanks); empty when every rank clusters with the
+	// pack or the run is below the severity gate.
+	RankOutliers []similarity.RankFinding `json:"rank_outliers,omitempty"`
+	Error        string                   `json:"error,omitempty"`
 
 	// done is closed when the analysis job completes; dedup waiters and
 	// the submitting handler block on it.

@@ -29,12 +29,14 @@ import (
 	"io"
 	"io/fs"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/regress"
+	"repro/internal/similarity"
 	"repro/internal/trace"
 )
 
@@ -115,6 +117,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/baselines/{experiment}", s.handleBaselineGet)
 	s.mux.HandleFunc("PUT /v1/baselines/{experiment}", s.handleBaselinePut)
 	s.mux.HandleFunc("GET /v1/store/{hash}", s.handleObject)
+	s.mux.HandleFunc("GET /v1/similar/{hash}", s.handleSimilar)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
@@ -253,6 +256,53 @@ func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
 	defer f.Close()
 	w.Header().Set("Content-Type", "application/json")
 	io.Copy(w, f)
+}
+
+// similarInfo is the GET /v1/similar/{hash} payload.
+type similarInfo struct {
+	Query string `json:"query"`
+	// Probed is how many indexed profiles were actually scored — the
+	// LSH candidate set, not the whole store.
+	Probed  int                `json:"probed"`
+	Indexed int                `json:"indexed"`
+	Matches []similarity.Match `json:"matches"`
+}
+
+// handleSimilar serves top-k nearest-profile queries over the store's
+// persistent LSH index.
+//
+//	GET /v1/similar/{hash}?k=5
+func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	if !regress.ValidHash(hash) {
+		httpError(w, http.StatusNotFound, "unknown object %q", hash)
+		return
+	}
+	k := 5
+	if v := r.URL.Query().Get("k"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 || n > 1000 {
+			httpError(w, http.StatusBadRequest, "bad k %q", v)
+			return
+		}
+		k = n
+	}
+	matches, probed, err := s.cfg.Store.Similar(hash, k)
+	if err != nil {
+		httpError(w, storeErrorCode(err), "%v", err)
+		return
+	}
+	idx, err := s.cfg.Store.EnsureIndex()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, similarInfo{
+		Query:   hash,
+		Probed:  probed,
+		Indexed: idx.Len(),
+		Matches: matches,
+	})
 }
 
 // submit runs the dedup-or-enqueue protocol shared by the case and

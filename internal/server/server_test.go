@@ -111,7 +111,10 @@ func offlineSpoolHash(t *testing.T, path, experiment string) string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prof := profile.FromAnalysis(experiment, profile.TraceInfoOfStream(st), rep, profile.RunInfo{})
+	prof, err := profile.FromAnalysis(experiment, profile.TraceInfoOfStream(st), rep, profile.RunInfo{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	hash, err := prof.Hash()
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,122 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"repro/internal/analyzer"
+	"repro/internal/profile"
+	"repro/internal/similarity"
+)
+
+// TestSimilarEndpoint drives GET /v1/similar/{hash} black-box: top-1
+// self-match over a seeded store, parameter validation, and 404 on
+// unknown objects.
+func TestSimilarEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	hashes := make([]string, 0, 12)
+	for i := 0; i < 12; i++ {
+		h, err := s.cfg.Store.Put(similarity.SyntheticProfile(9, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hashes = append(hashes, h)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/similar/" + hashes[3] + "?k=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var info similarInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Query != hashes[3] || info.Indexed != len(hashes) {
+		t.Fatalf("info = %+v", info)
+	}
+	if len(info.Matches) == 0 || info.Matches[0].Hash != hashes[3] {
+		t.Fatalf("top-1 = %+v, want self %s", info.Matches, hashes[3][:12])
+	}
+	if info.Matches[0].Similarity < 0.999999 {
+		t.Fatalf("self similarity = %v", info.Matches[0].Similarity)
+	}
+	if info.Probed <= 0 {
+		t.Fatalf("probed = %d", info.Probed)
+	}
+
+	for _, tc := range []struct {
+		path string
+		code int
+	}{
+		{"/v1/similar/" + hashes[0] + "?k=0", http.StatusBadRequest},
+		{"/v1/similar/" + hashes[0] + "?k=zebra", http.StatusBadRequest},
+		{"/v1/similar/not-a-hash", http.StatusNotFound},
+		{"/v1/similar/" + fmt.Sprintf("%064d", 3), http.StatusNotFound}, // valid form, not stored
+	} {
+		resp, err := http.Get(ts.URL + tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.code {
+			t.Errorf("GET %s: status = %d, want %d", tc.path, resp.StatusCode, tc.code)
+		}
+	}
+}
+
+// TestFinishAttachesRankOutliers: a submission whose profile carries the
+// straggler signature gets its outlier ranks on the report.
+func TestFinishAttachesRankOutliers(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	straggler := &profile.Profile{
+		Schema:     profile.SchemaVersion,
+		Experiment: "straggler_run",
+		Run:        profile.RunInfo{Procs: 8, Threads: 1},
+		Threshold:  0.005,
+		Properties: []profile.Property{{
+			Name: analyzer.PropWaitAtBarrier, Severity: 0.02, Significant: true,
+			Wait: 7,
+			Locations: []profile.LocationWait{
+				{Rank: 0, Wait: 1}, {Rank: 1, Wait: 1.1}, {Rank: 2, Wait: 0.9},
+				{Rank: 3, Wait: 1}, {Rank: 4, Wait: 1.05}, {Rank: 5, Wait: 0.95},
+				{Rank: 6, Wait: 1}, // rank 7 waits for no one: the straggler
+			},
+		}},
+	}
+	rep := &Report{Kind: "trace", Experiment: straggler.Experiment}
+	s.finish(rep, straggler)
+	if rep.Status != StatusDone {
+		t.Fatalf("status = %q (%s)", rep.Status, rep.Error)
+	}
+	if len(rep.RankOutliers) != 1 || rep.RankOutliers[0].Rank != 7 ||
+		rep.RankOutliers[0].Kind != similarity.KindStraggler {
+		t.Fatalf("RankOutliers = %+v, want rank 7 straggler", rep.RankOutliers)
+	}
+
+	// A uniform run reports none.
+	uniform := &profile.Profile{
+		Schema:     profile.SchemaVersion,
+		Experiment: "uniform_run",
+		Run:        profile.RunInfo{Procs: 4, Threads: 1},
+		Threshold:  0.005,
+		Properties: []profile.Property{{
+			Name: analyzer.PropWaitAtBarrier, Severity: 0.02, Significant: true,
+			Wait: 4,
+			Locations: []profile.LocationWait{
+				{Rank: 0, Wait: 1}, {Rank: 1, Wait: 1.02},
+				{Rank: 2, Wait: 0.98}, {Rank: 3, Wait: 1},
+			},
+		}},
+	}
+	rep = &Report{Kind: "trace", Experiment: uniform.Experiment}
+	s.finish(rep, uniform)
+	if len(rep.RankOutliers) != 0 {
+		t.Fatalf("uniform run flagged %+v", rep.RankOutliers)
+	}
+}

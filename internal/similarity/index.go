@@ -1,0 +1,201 @@
+package similarity
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// IndexSchema identifies the on-disk index-log format; bump it on any
+// breaking change to the header or entry encoding below.
+const IndexSchema = 1
+
+// IndexLogName is the index file inside an index directory.
+const IndexLogName = "index.log"
+
+// indexHeader is the first line of the log: the stamp that makes the
+// index self-invalidating.  Any mismatch — format version, LSH
+// geometry, or the profile schema the embeddings were computed from —
+// discards the log and triggers a rebuild, the same discipline the
+// result cache (package rescache) applies to its env stamp.
+type indexHeader struct {
+	Schema        int    `json:"schema"`
+	Params        Params `json:"params"`
+	ProfileSchema int    `json:"profile_schema"`
+}
+
+// indexEntry is one embedding line.  Vec components are rounded to
+// float32 before writing, matching the in-memory representation, so an
+// index reloaded from disk is bit-identical to the one that wrote it.
+type indexEntry struct {
+	Hash string    `json:"hash"`
+	Vec  []float64 `json:"vec"`
+}
+
+// PersistentIndex is an Index backed by an append-only log: every Add
+// lands in memory and as one JSON line on disk, so reopening the log
+// replays the exact index state in O(entries) with no re-embedding.  It
+// is safe for concurrent use by multiple goroutines.
+type PersistentIndex struct {
+	mu   sync.Mutex
+	path string
+	ix   *Index
+	f    *os.File
+}
+
+// IndexExists reports whether dir holds an index log (of any vintage).
+func IndexExists(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, IndexLogName))
+	return err == nil
+}
+
+// OpenIndex opens (creating if necessary) the persistent index in dir.
+// A log whose stamp does not match (params, IndexSchema, profileSchema)
+// is discarded and restarted empty — the caller is expected to backfill
+// from the profile store, which holds the ground truth.  A truncated
+// tail (torn final write) is dropped, not fatal.
+func OpenIndex(dir string, params Params, profileSchema int) (*PersistentIndex, error) {
+	params = params.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("similarity: open index: %w", err)
+	}
+	path := filepath.Join(dir, IndexLogName)
+	want := indexHeader{Schema: IndexSchema, Params: params, ProfileSchema: profileSchema}
+	pi := &PersistentIndex{path: path, ix: NewIndex(params)}
+
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("similarity: read index: %w", err)
+	}
+	good := 0 // byte offset past the last intact, in-stamp line
+	if len(data) > 0 {
+		lines := bytes.SplitAfter(data, []byte("\n"))
+		var have indexHeader
+		first := lines[0]
+		if bytes.HasSuffix(first, []byte("\n")) &&
+			json.Unmarshal(first, &have) == nil && have == want {
+			good = len(first)
+			for _, line := range lines[1:] {
+				if !bytes.HasSuffix(line, []byte("\n")) {
+					break // torn tail: drop it
+				}
+				var e indexEntry
+				if json.Unmarshal(line, &e) != nil {
+					break
+				}
+				if err := pi.ix.Add(e.Hash, e.Vec); err != nil {
+					break
+				}
+				good += len(line)
+			}
+		}
+	}
+
+	if good == 0 {
+		// Fresh log (or stamped by another world): restart with the
+		// header line.  Atomic temp+rename so a crash never leaves a
+		// half-written header behind the existence fast-path.
+		blob, err := json.Marshal(want)
+		if err != nil {
+			return nil, fmt.Errorf("similarity: marshal header: %w", err)
+		}
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, append(blob, '\n'), 0o644); err != nil {
+			return nil, fmt.Errorf("similarity: write index: %w", err)
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			return nil, fmt.Errorf("similarity: write index: %w", err)
+		}
+	} else if good < len(data) {
+		if err := os.Truncate(path, int64(good)); err != nil {
+			return nil, fmt.Errorf("similarity: drop torn index tail: %w", err)
+		}
+	}
+
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("similarity: append index: %w", err)
+	}
+	pi.f = f
+	return pi, nil
+}
+
+// Path returns the log location.
+func (pi *PersistentIndex) Path() string { return pi.path }
+
+// Params returns the index geometry.
+func (pi *PersistentIndex) Params() Params { return pi.ix.Params() }
+
+// Len returns the number of indexed profiles.
+func (pi *PersistentIndex) Len() int {
+	pi.mu.Lock()
+	defer pi.mu.Unlock()
+	return pi.ix.Len()
+}
+
+// Has reports whether the profile hash is indexed.
+func (pi *PersistentIndex) Has(hash string) bool {
+	pi.mu.Lock()
+	defer pi.mu.Unlock()
+	return pi.ix.Has(hash)
+}
+
+// Add indexes one embedding and appends it to the log.  Adding a known
+// hash is a no-op, so replaying a store into an existing index is
+// idempotent.
+func (pi *PersistentIndex) Add(hash string, vec []float64) error {
+	pi.mu.Lock()
+	defer pi.mu.Unlock()
+	if pi.ix.Has(hash) {
+		return nil
+	}
+	if pi.f == nil {
+		return fmt.Errorf("similarity: index is closed")
+	}
+	// Round through float32 first so the logged entry replays to the
+	// exact in-memory vector (rebuild ≡ incremental, bit for bit).
+	rounded := make([]float64, len(vec))
+	for i, x := range vec {
+		rounded[i] = float64(float32(x))
+	}
+	if err := pi.ix.Add(hash, rounded); err != nil {
+		return err
+	}
+	blob, err := json.Marshal(indexEntry{Hash: hash, Vec: rounded})
+	if err != nil {
+		return fmt.Errorf("similarity: marshal entry: %w", err)
+	}
+	if _, err := pi.f.Write(append(blob, '\n')); err != nil {
+		return fmt.Errorf("similarity: append index: %w", err)
+	}
+	return nil
+}
+
+// Query is Index.Query under the lock.
+func (pi *PersistentIndex) Query(vec []float64, k int) ([]Match, int, error) {
+	pi.mu.Lock()
+	defer pi.mu.Unlock()
+	return pi.ix.Query(vec, k)
+}
+
+// Scan is Index.Scan (exact brute force) under the lock.
+func (pi *PersistentIndex) Scan(vec []float64, k int) ([]Match, error) {
+	pi.mu.Lock()
+	defer pi.mu.Unlock()
+	return pi.ix.Scan(vec, k)
+}
+
+// Close releases the append handle.  The index stays readable.
+func (pi *PersistentIndex) Close() error {
+	pi.mu.Lock()
+	defer pi.mu.Unlock()
+	if pi.f == nil {
+		return nil
+	}
+	err := pi.f.Close()
+	pi.f = nil
+	return err
+}

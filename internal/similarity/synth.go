@@ -1,0 +1,73 @@
+package similarity
+
+import (
+	"fmt"
+
+	"repro/internal/analyzer"
+	"repro/internal/profile"
+)
+
+// archetypes are the property combinations the synthetic corpus draws
+// from — a caricature of the real test-suite space: each synthetic
+// profile is one archetype with randomized severities and wait shapes,
+// so profiles of one archetype embed near each other and far from the
+// rest.  Recall experiments need exactly that structure: queries with
+// genuine near neighbors to miss.
+var archetypes = [][]string{
+	{analyzer.PropWaitAtBarrier},
+	{analyzer.PropLateSender},
+	{analyzer.PropLateBroadcast},
+	{analyzer.PropWaitAtNxN},
+	{analyzer.PropLateSender, analyzer.PropWaitAtBarrier},
+	{analyzer.PropLateBroadcast, analyzer.PropEarlyReduce},
+	{analyzer.PropWaitAtNxN, analyzer.PropWaitAtBarrier},
+	{analyzer.PropOMPBarrier},
+	{analyzer.PropOMPLoop, analyzer.PropOMPBarrier},
+	{analyzer.PropLateSender, analyzer.PropLateReceiver},
+	{analyzer.PropWaitAtBarrier, analyzer.PropLateBroadcast, analyzer.PropWaitAtNxN},
+	{analyzer.PropOMPCritical},
+}
+
+// SyntheticProfile generates the i-th profile of a deterministic
+// synthetic corpus: a pure function of (seed, i), cheap enough to
+// build 10⁴–10⁶ of them without executing a single world.  The corpus
+// drives the LSH recall experiments (experiments.Similarity, the
+// similar-smoke CI job) and the index scale tests.
+func SyntheticProfile(seed uint64, i int) *profile.Profile {
+	const domSynth = 0x53594e // "SYN"
+	u := func(tags ...uint64) float64 {
+		key := append([]uint64{domSynth, seed, uint64(i)}, tags...)
+		return float64(mix(key...)>>11) / (1 << 53)
+	}
+	props := archetypes[i%len(archetypes)]
+	ranks := 4 + int(u(0)*28) // 4..31
+	p := &profile.Profile{
+		Schema:     profile.SchemaVersion,
+		Experiment: fmt.Sprintf("synthetic_%d", i),
+		Run:        profile.RunInfo{Clock: "virtual", Procs: ranks, Threads: 1},
+		Duration:   1,
+		TotalTime:  float64(ranks),
+		Threshold:  0.005,
+		Events:     ranks * 64,
+	}
+	for pi, name := range props {
+		sev := 0.005 + 0.1*u(1, uint64(pi))
+		prop := profile.Property{Name: name, Severity: sev, Significant: true}
+		// Wait shape: a ramp with a randomized slope plus one randomized
+		// heavy rank — continuous variation, so embeddings spread within
+		// an archetype instead of collapsing into one LSH bucket.
+		slope := u(2, uint64(pi))
+		heavy := int(u(3, uint64(pi)) * float64(ranks))
+		for r := 0; r < ranks; r++ {
+			w := 0.01 + slope*float64(r)/float64(ranks) + 0.2*u(5, uint64(pi), uint64(r))
+			if r == heavy {
+				w += 1 + u(4, uint64(pi))
+			}
+			prop.Wait += w
+			prop.Locations = append(prop.Locations,
+				profile.LocationWait{Rank: int32(r), Thread: 0, Wait: w})
+		}
+		p.Properties = append(p.Properties, prop)
+	}
+	return p
+}

@@ -1,0 +1,70 @@
+#!/usr/bin/env sh
+# End-to-end smoke of the similarity index (`atsregress similar` and the
+# persistent LSH log): build an index over a copy of the committed seed
+# store plus generated profiles, assert top-1 self-match, recall >= 0.9
+# vs brute force on 500 synthetic profiles, and that an incrementally
+# grown index answers exactly like one rebuilt from scratch.  The
+# committed testdata/regress-store is copied first and never written.
+# Run via `make similar-smoke`.
+set -eu
+
+GO=${GO:-go}
+SEED_STORE=testdata/regress-store
+
+tmp=$(mktemp -d)
+bin="$tmp/bin"
+mkdir -p "$bin"
+trap 'rm -rf "$tmp"' EXIT INT TERM
+
+echo "== building atsregress, atsbench"
+$GO build -o "$bin" ./cmd/atsregress ./cmd/atsbench
+
+echo "== copying committed seed store (the committed tree is never indexed in place)"
+cp -R "$SEED_STORE" "$tmp/store"
+SEED_HASH=$(basename "$(find "$tmp/store/objects" -name '*.json' | head -n 1)" .json)
+
+echo "== growing the store copy with freshly generated profiles"
+"$bin/atsbench" -only fig32 -profiles "$tmp/prof" >/dev/null
+"$bin/atsbench" -only fig33 -profiles "$tmp/prof" >/dev/null
+"$bin/atsbench" -only fig35 -profiles "$tmp/prof" >/dev/null
+"$bin/atsregress" save -store "$tmp/store" "$tmp/prof"/*.json
+
+echo "== similar by committed hash: top-1 must be the query itself"
+out=$("$bin/atsregress" similar -store "$tmp/store" -k 3 "$SEED_HASH")
+echo "$out"
+case "$out" in
+"hash"*) ;;
+*) echo "FAIL: no result table" >&2; exit 1 ;;
+esac
+top=$(echo "$out" | sed -n 2p)
+case "$top" in
+"$(echo "$SEED_HASH" | cut -c1-12)"*1.000000*) ;;
+*) echo "FAIL: top-1 is not the query at similarity 1 (got: $top)" >&2; exit 1 ;;
+esac
+
+echo "== similar by profile file: the stored twin must lead"
+prof=$(ls "$tmp/prof"/*.json | head -n 1)
+out=$("$bin/atsregress" similar -store "$tmp/store" "$prof")
+echo "$out"
+case "$out" in
+*1.000000*) ;;
+*) echo "FAIL: file query did not find its stored twin" >&2; exit 1 ;;
+esac
+
+echo "== recall >= 0.9 vs brute force on 500 synthetic profiles"
+$GO test ./internal/similarity/ -run TestQueryRecallSmall -count=1
+
+echo "== rebuild == incremental (persistent log replay, reversed insertion)"
+$GO test ./internal/regress/ -run 'TestStorePutUpdatesIndexIncrementally|TestStoreSimilarSelfMatch' -count=1
+
+echo "== committed seed store must be untouched"
+if [ -e "$SEED_STORE/similarity" ]; then
+    echo "FAIL: committed seed store grew an index" >&2
+    exit 1
+fi
+if ! git diff --quiet -- "$SEED_STORE" 2>/dev/null; then
+    echo "FAIL: committed seed store was modified" >&2
+    exit 1
+fi
+
+echo "similar-smoke OK"
