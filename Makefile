@@ -31,6 +31,11 @@
 #                  `atsregress similar` top-1 self-match, recall >= 0.9
 #                  vs brute force on 500 synthetic profiles, and
 #                  rebuild == incremental update of the persistent log.
+#   make asl-smoke — ASL scenario-pipeline smoke: register the scenario
+#                  committed in examples/catalog.asl via `atsrun -asl`,
+#                  run it on both rank engines (traces and reports must
+#                  be byte-identical), check the declared detection, and
+#                  sweep it through `atsfuzz run/diff -asl`.
 #   make bench-diff — compare the two newest committed BENCH_*.json
 #                  snapshots; non-zero exit if any benchmark regressed
 #                  more than 25% (override with TOL=<pct>).
@@ -44,7 +49,7 @@ BENCH_DIR := testdata/bench
 
 TOL ?= 25
 
-.PHONY: check vet build test race smoke fuzz baseline bench-json bench-diff docs server-smoke cache-smoke similar-smoke
+.PHONY: check vet build test race smoke fuzz baseline bench-json bench-diff docs server-smoke cache-smoke similar-smoke asl-smoke
 
 check: vet build test race smoke docs
 
@@ -97,3 +102,6 @@ cache-smoke:
 
 similar-smoke:
 	GO="$(GO)" sh scripts/similar-smoke.sh
+
+asl-smoke:
+	GO="$(GO)" sh scripts/asl-smoke.sh

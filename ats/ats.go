@@ -35,6 +35,7 @@ import (
 	"os"
 
 	"repro/internal/analyzer"
+	"repro/internal/asl"
 	"repro/internal/core"
 	"repro/internal/mpi"
 	"repro/internal/omp"
@@ -67,6 +68,20 @@ type (
 // need this facade package — the internal packages are not importable
 // from outside this module.
 func NewArgs() Args { return core.NewArgs() }
+
+// RegisterASL compiles every `scenario` definition in the ASL source text
+// and registers it as a property function, indistinguishable from the
+// built-ins: RunProperty executes it, the generator emits a program for
+// it, and the conformance oracle checks it against its ASL closed form.
+// It returns the registered names.  See doc/ASL.md for the language.
+func RegisterASL(src string) ([]string, error) { return asl.RegisterSource(src) }
+
+// RegisterASLFile is RegisterASL over the contents of an .asl file.
+func RegisterASLFile(path string) ([]string, error) { return asl.RegisterFile(path) }
+
+// EvalASL parses ASL `property` definitions and evaluates them against an
+// analysis report (custom-property checking, cf. examples/customproperty).
+func EvalASL(src string, rep *Report) ([]asl.Finding, error) { return asl.EvalAll(src, rep) }
 
 // Clock modes.
 const (

@@ -22,11 +22,28 @@ import (
 	"path/filepath"
 	"strconv"
 
+	"repro/internal/asl"
 	"repro/internal/campaign"
 	"repro/internal/conformance"
 	"repro/internal/mpi"
 	"repro/internal/rescache"
 )
+
+// loadASL registers the scenarios of an -asl file into the property
+// registry, so generated cases can draw them and replayed cases can
+// resolve them.  An empty path is a no-op.
+func loadASL(path string, stderr io.Writer) bool {
+	if path == "" {
+		return true
+	}
+	names, err := asl.RegisterFile(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "atsfuzz: %v\n", err)
+		return false
+	}
+	fmt.Fprintf(stderr, "registered %d ASL scenario(s) from %s\n", len(names), path)
+	return true
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -35,9 +52,12 @@ func main() {
 func usage(w io.Writer) {
 	fmt.Fprintln(w, `usage: atsfuzz <command> [flags]
 
+Every fuzzing command accepts -asl FILE to register ASL-defined scenarios
+(doc/ASL.md) into the property pool before generating or replaying cases.
+
 commands:
   run     -seeds N [-start S] [-ranks P] [-threads T] [-corpus DIR] [-j N]
-          [-procs M] [-cache DIR] [-v] [-perturb]
+          [-procs M] [-cache DIR] [-v] [-perturb] [-asl FILE]
           generate and check N seeded cases; shrink and save failures
           (-j runs cases concurrently and -procs fans them across worker
           processes; output is identical for any -j and -procs;
@@ -193,6 +213,7 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 	perturbed := fs.Bool("perturb", false,
 		"sweep every case over the deterministic perturbation ladder (robustness axis)")
 	engine := fs.String("engine", "auto", "rank execution engine (auto, event, goroutine)")
+	aslFile := fs.String("asl", "", "register ASL scenarios from this file into the property pool")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -201,6 +222,9 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 		return 2
 	} else {
 		mpi.SetDefaultEngine(eng)
+	}
+	if !loadASL(*aslFile, stderr) {
+		return 2
 	}
 	var cache *rescache.Store
 	if *cacheDir != "" {
@@ -255,7 +279,8 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 	var err error
 	if *procs > 1 {
 		err = dispatchRun(*seeds, *start, cfg, *perturbed, dispatchConfig{
-			procs: *procs, jobs: *jobs, engine: *engine, cache: cache, stderr: stderr,
+			procs: *procs, jobs: *jobs, engine: *engine, cache: cache,
+			aslFile: *aslFile, stderr: stderr,
 		}, sink)
 	} else {
 		err = campaign.Stream(*seeds,
@@ -285,11 +310,12 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 
 // dispatchConfig carries the fan-out parameters of a -procs run.
 type dispatchConfig struct {
-	procs  int
-	jobs   int
-	engine string
-	cache  *rescache.Store
-	stderr io.Writer
+	procs   int
+	jobs    int
+	engine  string
+	cache   *rescache.Store
+	aslFile string
+	stderr  io.Writer
 }
 
 // workerEnv marks spawned processes so the test binary's TestMain can
@@ -315,6 +341,9 @@ func dispatchRun(seeds int, start uint64, cfg conformance.Config, perturbed bool
 	}
 	if dc.cache != nil {
 		argv = append(argv, "-cache", dc.cache.Dir())
+	}
+	if dc.aslFile != "" {
+		argv = append(argv, "-asl", dc.aslFile)
 	}
 	window := dc.jobs
 	if window <= 0 {
@@ -349,6 +378,7 @@ func cmdWorker(args []string, stdout, stderr io.Writer) int {
 	jobs := fs.Int("j", 0, "concurrent jobs inside this worker (0: one per CPU)")
 	cacheDir := fs.String("cache", "", "on-disk result cache directory (empty: no caching)")
 	engine := fs.String("engine", "auto", "rank execution engine (auto, event, goroutine)")
+	aslFile := fs.String("asl", "", "register ASL scenarios from this file into the property pool")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -357,6 +387,9 @@ func cmdWorker(args []string, stdout, stderr io.Writer) int {
 		return 2
 	} else {
 		mpi.SetDefaultEngine(eng)
+	}
+	if !loadASL(*aslFile, stderr) {
+		return 2
 	}
 	if *cacheDir != "" {
 		_, report, err := openCache(*cacheDir, stderr)
@@ -433,7 +466,11 @@ func cmdCache(args []string, stdout, stderr io.Writer) int {
 func cmdReplay(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	aslFile := fs.String("asl", "", "register ASL scenarios from this file into the property pool")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if !loadASL(*aslFile, stderr) {
 		return 2
 	}
 	if fs.NArg() == 0 {
@@ -494,7 +531,11 @@ func cmdGen(args []string, stdout, stderr io.Writer) int {
 	seeds := fs.Int("seeds", 10, "number of cases to generate")
 	start := fs.Uint64("start", 1, "first seed")
 	out := fs.String("out", "testdata/conformance-corpus", "output directory")
+	aslFile := fs.String("asl", "", "register ASL scenarios from this file into the property pool")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if !loadASL(*aslFile, stderr) {
 		return 2
 	}
 	for i := 0; i < *seeds; i++ {
@@ -516,7 +557,11 @@ func cmdDiff(args []string, stdout, stderr io.Writer) int {
 	seeds := fs.Int("seeds", 20, "number of seeded cases to compare across engines")
 	cacheDir := fs.String("cache", "", `on-disk result cache directory ("auto": default location; empty: no caching)`)
 	verbose := fs.Bool("v", false, "print every compared seed, not just the summary")
+	aslFile := fs.String("asl", "", "register ASL scenarios from this file into the property pool")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if !loadASL(*aslFile, stderr) {
 		return 2
 	}
 	if *cacheDir != "" {

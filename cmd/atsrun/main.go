@@ -11,6 +11,7 @@
 //	       -set distr_low=0.01 -set distr_high=0.2 -timeline
 //	atsrun -property late_sender -procs 1024 -stream   # bounded memory
 //	atsrun -property late_sender -spool run.atsc       # spool for atsd upload
+//	atsrun -asl examples/catalog.asl -property ramped_exchange -procs 4
 package main
 
 import (
@@ -54,6 +55,7 @@ func main() {
 		stream    = flag.Bool("stream", false, "stream events through an on-disk spool and analyze incrementally (bounded memory; incompatible with -trace and -timeline)")
 		spoolOut  = flag.String("spool", "", "write the run as an ATSC chunk spool to this file and exit without analyzing (for uploading to atsd)")
 		engine    = flag.String("engine", "auto", "rank execution engine (auto, event, goroutine)")
+		aslFile   = flag.String("asl", "", "register ASL scenario definitions from this file before resolving -property (see doc/ASL.md)")
 	)
 	sets := setFlags{}
 	flag.Var(sets, "set", "set a property parameter: name=value (repeatable)")
@@ -64,6 +66,14 @@ func main() {
 		log.Fatal(err)
 	}
 	ats.SetDefaultEngine(eng)
+
+	if *aslFile != "" {
+		names, err := ats.RegisterASLFile(*aslFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "registered ASL scenarios: %s\n", strings.Join(names, ", "))
+	}
 
 	if *list {
 		for _, spec := range core.All() {

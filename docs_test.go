@@ -12,6 +12,8 @@ import (
 	"regexp"
 	"strings"
 	"testing"
+
+	"repro/internal/asl"
 )
 
 // docFiles are the curated documents the link check walks.  Scratch files
@@ -23,6 +25,7 @@ var docFiles = []string{
 	"ROADMAP.md",
 	"doc/API.md",
 	"doc/ARCHITECTURE.md",
+	"doc/ASL.md",
 	"doc/FORMATS.md",
 	"doc/PERFORMANCE.md",
 }
@@ -131,6 +134,39 @@ func TestDocsCLIReference(t *testing.T) {
 			if !strings.Contains(row, "-"+name) {
 				t.Errorf("README.md: %s row does not mention its -%s flag", tool, name)
 			}
+		}
+	}
+}
+
+// TestDocsASLReference keeps doc/ASL.md in sync with the language the
+// asl package actually implements: every injection primitive (with its
+// detection claim), every severity helper, and every metric function
+// must appear in the reference.
+func TestDocsASLReference(t *testing.T) {
+	data, err := os.ReadFile("doc/ASL.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(data)
+	for _, p := range asl.Primitives() {
+		if !strings.Contains(doc, "`"+p.Name+"`") {
+			t.Errorf("doc/ASL.md: injection primitive %s undocumented", p.Name)
+		}
+		if p.Detects != "" && !strings.Contains(doc, p.Detects) {
+			t.Errorf("doc/ASL.md: %s's detection %q undocumented", p.Name, p.Detects)
+		}
+	}
+	mentions := func(name string) bool {
+		return strings.Contains(doc, "`"+name+"`") || strings.Contains(doc, "`"+name+"(")
+	}
+	for _, name := range asl.ParamFuncs {
+		if !mentions(name) {
+			t.Errorf("doc/ASL.md: severity helper %s undocumented", name)
+		}
+	}
+	for _, name := range asl.MetricFuncs {
+		if !mentions(name) {
+			t.Errorf("doc/ASL.md: metric function %s undocumented", name)
 		}
 	}
 }

@@ -1,9 +1,16 @@
-# Example ASL property catalog for atsanalyze -asl.
+# Example ASL catalog (doc/ASL.md): checking properties for
+# atsanalyze -asl, plus a defining scenario that atsrun/atsfuzz can run
+# as a property function.
 #
-# Evaluate against any serialized trace:
+# Evaluate the properties against any serialized trace:
 #
 #   go run ./cmd/atsrun -property late_sender -procs 8 -trace /tmp/t.ats
 #   go run ./cmd/atsanalyze -asl examples/catalog.asl /tmp/t.ats
+#
+# Run the scenario like a built-in property:
+#
+#   go run ./cmd/atsrun -asl examples/catalog.asl -property ramped_exchange -procs 4
+#   go run ./cmd/atsfuzz run -seeds 25 -asl examples/catalog.asl
 
 property dominant_p2p_waiting {
     condition wait("late_sender") + wait("late_receiver") > 0.05 * total_time();
@@ -23,6 +30,24 @@ property latency_bound_messaging {
 property startup_dominates {
     condition (region_time("MPI_Init") + region_time("MPI_Finalize")) / total_time() > 0.5;
     severity  (region_time("MPI_Init") + region_time("MPI_Finalize")) / total_time();
+}
+
+# A defining scenario: a new synthetic property with late senders
+# alongside a skewed barrier and a message-size ramp.  The severity
+# clause is its closed-form expected wait, so the conformance oracle
+# can hold the analyzer to it; wait_at_mpi_barrier is a companion.
+scenario ramped_exchange {
+    help "late senders alongside a skewed barrier and a size ramp";
+    param base  float = 0.004 in [0.002, 0.008];
+    param extra float = 0.02  in [0.01, 0.04];
+    param work  distr = block2(0.004, 0.02);
+    param r     int   = 2     in [1, 4];
+    inject delayed_send(base, extra, r);
+    inject skewed_barrier(work, r);
+    inject ramp_send(128, 4096, r);
+    detects "late_sender";
+    localize "exchange_core";
+    severity floor(ranks() / 2) * extra * r;
 }
 
 property omp_thread_waiting {

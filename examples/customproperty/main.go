@@ -8,7 +8,11 @@
 //  2. a custom property function registered with the suite (so atsrun
 //     and the generator pick it up like any built-in), and
 //
-//  3. a custom ASL property catalog evaluated against the run.
+//  3. a custom ASL property catalog evaluated against the run, and
+//
+//  4. a custom property *defined* in ASL: a scenario declaration
+//     (doc/ASL.md) compiled into a registered property function with a
+//     closed-form expected severity.
 //
 //     go run ./examples/customproperty
 package main
@@ -97,4 +101,31 @@ func main() {
 			fmt.Printf("  %-24s does not hold\n", f.Name)
 		}
 	}
+
+	// (4) The reverse direction: a new synthetic property defined
+	// entirely in ASL.  The scenario compiles to a core.Spec — the same
+	// registry entry a hand-written Go property gets — and carries its
+	// own closed-form expected wait.
+	names, err := ats.RegisterASL(`
+	scenario paired_delay_probe {
+	    help "every odd rank's receive blocks behind a delayed send";
+	    param extra float = 0.02 in [0.01, 0.04];
+	    param r     int   = 3    in [1, 6];
+	    inject delayed_send(0.002, extra, r);
+	    detects "late_sender";
+	    severity floor(ranks() / 2) * extra * r;
+	}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scenario, _ := core.Get(names[0])
+	tr2, err := ats.RunPropertyDefaults(scenario.Name, 8, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep2 := ats.Analyze(tr2)
+	fmt.Printf("\nASL scenario %s: closed form %.3fs, analyzer measured %.3fs of late_sender wait\n",
+		scenario.Name,
+		scenario.ExpectedWait(8, 1, scenario.Defaults()),
+		rep2.Wait("late_sender"))
 }

@@ -6,6 +6,10 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/asl"
+	"repro/internal/conformance"
+	"repro/internal/core"
 )
 
 // TestExamplesRun executes every example program end to end with `go run`
@@ -34,7 +38,7 @@ func TestExamplesRun(t *testing.T) {
 		{"hybrid", []string{"-procs", "2", "-threads", "2"}, []string{"late_sender", "imbalance_at_omp_barrier"}},
 		{"negative", nil, []string{"clean (no significant findings)"}},
 		{"apps", nil, []string{"jacobi residual", "imbalance_in_omp_loop"}},
-		{"customproperty", nil, []string{"sawtooth_detected", "HOLDS"}},
+		{"customproperty", nil, []string{"sawtooth_detected", "HOLDS", "ASL scenario paired_delay_probe"}},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -66,6 +70,64 @@ func TestExamplesRun(t *testing.T) {
 	for _, e := range entries {
 		if e.IsDir() && !covered[e.Name()] {
 			t.Errorf("example %q not exercised by this test", e.Name())
+		}
+	}
+}
+
+// TestCatalogScenarioConformance holds the committed catalog scenario to
+// the full oracle: detected at its closed-form magnitude (positive
+// axis), nothing but its declared companions (negative axis), and
+// deterministic across reruns and the streamed pipeline.
+func TestCatalogScenarioConformance(t *testing.T) {
+	names, err := asl.RegisterFile("examples/catalog.asl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { asl.Unregister(names...) })
+	spec, ok := core.Get("ramped_exchange")
+	if !ok {
+		t.Fatalf("ramped_exchange not in %v", names)
+	}
+	args := spec.Defaults()
+	out, err := conformance.Check(conformance.Case{
+		Schema: conformance.CaseSchema, Procs: 4, Threads: 1, Threshold: 0.005,
+		Props: []conformance.CaseProp{{
+			Name: spec.Name, Float: args.Float, Int: args.Int, Distr: args.Distr,
+		}},
+	}, conformance.CheckOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.OK() {
+		t.Errorf("catalog scenario fails the oracle: %v", out.Violations)
+	}
+}
+
+// TestCatalogScenarioRoundTrip runs the scenario committed in
+// examples/catalog.asl through the real atsrun binary: registered from
+// the file, executed, and its declared detection reported by the
+// analyzer.  This is the CLI face of the doc/ASL.md pipeline.
+func TestCatalogScenarioRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("go run compile is slow")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go binary not available")
+	}
+	cmd := exec.Command(goBin, "run", "./cmd/atsrun",
+		"-asl", "examples/catalog.asl", "-property", "ramped_exchange", "-procs", "4")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("atsrun failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"registered ASL scenarios: ramped_exchange",
+		"late_sender",         // the declared detection fires...
+		"wait_at_mpi_barrier", // ...and so does the companion primitive's
+	} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("atsrun output missing %q:\n%s", want, out)
 		}
 	}
 }

@@ -1,0 +1,201 @@
+package apps
+
+import (
+	"math"
+
+	"repro/internal/mpi"
+)
+
+// AMRConfig configures the adaptive-mesh-refinement-like phase solver.
+//
+// Performance behaviour: a feature (steep front) moves across a 1-D
+// coarse grid; cells near it are refined, and a refined cell costs 4×
+// per level.  The tuned solver repartitions the grid by cost before
+// every phase (greedy contiguous rebalance), so each phase computes
+// balanced and the per-phase allreduce shows no wait.  InjectImbalance
+// disables rebalancing: the equal-cell static partition leaves the
+// refined region concentrated on whichever rank the feature is
+// crossing, so that rank arrives last at every allreduce —
+// wait_at_nxn, growing with refinement depth, located in the
+// "amr_phase" call path.
+type AMRConfig struct {
+	// Cells sizes the coarse grid (default 128).
+	Cells int
+	// Phases is the phase count; the feature crosses the whole grid
+	// (default 8).
+	Phases int
+	// CellCost is the modeled cost of one coarse-level cell update
+	// (default 2µs); a cell refined to level l costs 4^l times that.
+	CellCost float64
+	// Inject selects a seeded pathology; InjectImbalance disables the
+	// per-phase rebalance.
+	Inject Injection
+}
+
+func (cfg AMRConfig) withDefaults() AMRConfig {
+	if cfg.Cells <= 0 {
+		cfg.Cells = 128
+	}
+	if cfg.Phases <= 0 {
+		cfg.Phases = 8
+	}
+	if cfg.CellCost <= 0 {
+		cfg.CellCost = 2e-6
+	}
+	return cfg
+}
+
+// AMRResult reports the solve outcome.
+type AMRResult struct {
+	// Checksum is the global sum of all cell values after the last
+	// phase (identical on all ranks and for any decomposition).
+	Checksum float64
+	// MaxLevel is the deepest refinement level encountered.
+	MaxLevel int
+	// Rebalances counts executed repartitions.
+	Rebalances int
+}
+
+// amrLevel returns the refinement level of cell i at phase p: level 2
+// within Cells/16 of the moving feature, level 1 within Cells/8.
+func amrLevel(cells, phases, i, p int) int {
+	center := (p*cells + cells/2) / phases
+	d := i - center
+	if d < 0 {
+		d = -d
+	}
+	switch {
+	case d <= cells/16:
+		return 2
+	case d <= cells/8:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// amrCost returns the cost units of cell i at phase p (4^level).
+func amrCost(cells, phases, i, p int) int {
+	return 1 << (2 * amrLevel(cells, phases, i, p))
+}
+
+// amrUpdate is the per-phase contribution of cell i: a pure function of
+// the global cell id, the phase, and the refinement level, so the sum
+// is independent of who owns the cell.
+func amrUpdate(cells, phases, i, p int) float64 {
+	return math.Sin(float64(i*7+p*13)) * float64(1+amrLevel(cells, phases, i, p))
+}
+
+// amrPartition returns the first owned cell per rank (plus the end
+// sentinel) for phase p: equal cell counts when static, greedy
+// cost-balanced cuts when rebalancing.  Deterministic and
+// communication-free — every rank computes the same partition.
+func amrPartition(cfg AMRConfig, size, p int, rebalance bool) []int {
+	cuts := make([]int, size+1)
+	cuts[size] = cfg.Cells
+	if !rebalance {
+		for r := 1; r < size; r++ {
+			cuts[r] = r * cfg.Cells / size
+		}
+		return cuts
+	}
+	total := 0
+	for i := 0; i < cfg.Cells; i++ {
+		total += amrCost(cfg.Cells, cfg.Phases, i, p)
+	}
+	acc, r := 0, 1
+	for i := 0; i < cfg.Cells && r < size; i++ {
+		acc += amrCost(cfg.Cells, cfg.Phases, i, p)
+		if acc*size >= total*r {
+			cuts[r] = i + 1
+			r++
+		}
+	}
+	for ; r < size; r++ {
+		cuts[r] = cfg.Cells
+	}
+	return cuts
+}
+
+// AMR runs the phased adaptive solver on communicator c and returns
+// this rank's result.  Every rank must call it with the same
+// configuration.
+func AMR(c *mpi.Comm, cfg AMRConfig) AMRResult {
+	cfg = cfg.withDefaults()
+	c.Begin("amr")
+	defer c.End()
+
+	size, rank := c.Size(), c.Rank()
+	rebalance := cfg.Inject != InjectImbalance
+
+	values := make([]float64, cfg.Cells)
+	resS := mpi.AllocBuf(mpi.TypeDouble, 1)
+	resR := mpi.AllocBuf(mpi.TypeDouble, 1)
+
+	res := AMRResult{}
+	for p := 0; p < cfg.Phases; p++ {
+		cuts := amrPartition(cfg, size, p, rebalance)
+		if rebalance && p > 0 {
+			res.Rebalances++
+		}
+		lo, hi := cuts[rank], cuts[rank+1]
+
+		c.Begin("amr_phase")
+		cost := 0
+		local := 0.0
+		for i := lo; i < hi; i++ {
+			if l := amrLevel(cfg.Cells, cfg.Phases, i, p); l > res.MaxLevel {
+				res.MaxLevel = l
+			}
+			u := amrUpdate(cfg.Cells, cfg.Phases, i, p)
+			values[i] += u
+			local += u * u
+			cost += amrCost(cfg.Cells, cfg.Phases, i, p)
+		}
+		c.Work(float64(cost) * cfg.CellCost)
+
+		// Phase residual: the synchronization the laggard delays.
+		resS.SetFloat64(0, local)
+		c.Allreduce(resS, resR, mpi.OpSum)
+		c.End()
+	}
+
+	// Each (cell, phase) contribution was added by exactly one rank, so
+	// the global checksum is the allreduce of every rank's whole local
+	// accumulation — ownership migration included.
+	var sum float64
+	for i := 0; i < cfg.Cells; i++ {
+		sum += values[i]
+	}
+	resS.SetFloat64(0, sum)
+	c.Allreduce(resS, resR, mpi.OpSum)
+	res.Checksum = resR.Float64(0)
+	return res
+}
+
+// AMRExpectedChecksum returns the checksum the solver must produce: the
+// serial sum of every cell's per-phase contributions.
+func AMRExpectedChecksum(cells, phases int) float64 {
+	var sum float64
+	for i := 0; i < cells; i++ {
+		for p := 0; p < phases; p++ {
+			sum += amrUpdate(cells, phases, i, p)
+		}
+	}
+	return sum
+}
+
+// AMRScenarioASL restates the rebalance-off pathology as an ASL
+// scenario: per-rank work follows a single-peak distribution (the rank
+// under the feature) into an all-to-all reduction, so the distribution
+// imbalance is exactly the collective wait (see doc/ASL.md).
+const AMRScenarioASL = `
+scenario amr_unbalanced_refinement {
+    help "adaptive refinement concentrated on one rank, rebalance off";
+    param load distr = peak(0.002, 0.016, 0.002, 0);
+    param r    int   = 4 in [1, 8];
+    inject imbalanced_work(load, r);
+    detects "wait_at_nxn";
+    severity r * imbalance(load);
+}
+`

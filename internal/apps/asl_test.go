@@ -1,0 +1,228 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/analyzer"
+	"repro/internal/asl"
+	"repro/internal/conformance"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/perturb"
+)
+
+// appScenarios pairs each application with its ASL restatement: the
+// pathology the app seeds structurally, reduced to primitives with a
+// closed-form severity.  The tests below keep app and restatement in
+// agreement — detection, localization, and magnitude.
+var appScenarios = []struct {
+	app      string
+	src      string
+	scenario string
+	detects  string
+}{
+	{"halo", HaloScenarioASL, "halo_slow_neighbor", analyzer.PropLateSender},
+	{"workstealing", WorkStealScenarioASL, "stealing_disabled", analyzer.PropWaitAtBarrier},
+	{"amr", AMRScenarioASL, "amr_unbalanced_refinement", analyzer.PropWaitAtNxN},
+}
+
+// TestAppScenarioRestatements registers each app's ASL restatement, runs
+// it as a property function, and checks that the analyzer's verdict
+// matches the scenario's own claims: the declared detection fires, it is
+// localized under the scenario region, and the measured wait matches
+// the ASL closed form.
+func TestAppScenarioRestatements(t *testing.T) {
+	const procs = 4
+	for _, tc := range appScenarios {
+		t.Run(tc.scenario, func(t *testing.T) {
+			names, err := asl.RegisterSource(tc.src)
+			if err != nil {
+				t.Fatalf("RegisterSource: %v", err)
+			}
+			t.Cleanup(func() { asl.Unregister(names...) })
+			spec, ok := core.Get(tc.scenario)
+			if !ok {
+				t.Fatalf("scenario %s not registered (got %v)", tc.scenario, names)
+			}
+			args := spec.Defaults()
+			tr, err := mpi.Run(mpi.Options{Procs: procs}, func(c *mpi.Comm) {
+				spec.Run(core.Env{Comm: c, Ctx: c.Ctx()}, args)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := analyze(tr)
+			r := rep.Get(tc.detects)
+			if r == nil || r.Severity < rep.Threshold {
+				t.Fatalf("%s not detected\n%s", tc.detects, rep.Render())
+			}
+			if p := r.TopPath(); !contains(p, tc.scenario) {
+				t.Errorf("wait path %q not under %s", p, tc.scenario)
+			}
+			want := spec.ExpectedWait(procs, 1, args)
+			if want <= 0 {
+				t.Fatalf("scenario has no closed form: %v", want)
+			}
+			got := rep.Wait(tc.detects)
+			if rel := math.Abs(got-want) / want; rel > 0.25 {
+				t.Errorf("measured wait %v vs ASL closed form %v (%.0f%% off)",
+					got, want, rel*100)
+			}
+		})
+	}
+}
+
+// TestAppScenariosPassConformance runs each restatement through the full
+// oracle — positive, negative and determinism axes — with its default
+// arguments, making the three scenarios bona fide fuzz targets.
+func TestAppScenariosPassConformance(t *testing.T) {
+	for _, tc := range appScenarios {
+		t.Run(tc.scenario, func(t *testing.T) {
+			names, err := asl.RegisterSource(tc.src)
+			if err != nil {
+				t.Fatalf("RegisterSource: %v", err)
+			}
+			t.Cleanup(func() { asl.Unregister(names...) })
+			spec, _ := core.Get(tc.scenario)
+			args := spec.Defaults()
+			cs := conformance.Case{
+				Schema: conformance.CaseSchema, Procs: 4, Threads: 1, Threshold: 0.005,
+				Props: []conformance.CaseProp{{
+					Name: tc.scenario, Float: args.Float, Int: args.Int, Distr: args.Distr,
+				}},
+			}
+			out, err := conformance.Check(cs, conformance.CheckOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !out.OK() {
+				t.Errorf("restatement fails the oracle: %v", out.Violations)
+			}
+		})
+	}
+}
+
+// TestNewAppsEngineDiff: the three applications produce byte-identical
+// traces on the event-driven and goroutine engines, tuned and injected.
+func TestNewAppsEngineDiff(t *testing.T) {
+	bodies := map[string]func(c *mpi.Comm){
+		"halo":              func(c *mpi.Comm) { Halo(c, HaloConfig{Steps: 6, Ghost: 2}) },
+		"halo-slow":         func(c *mpi.Comm) { Halo(c, HaloConfig{Steps: 6, Ghost: 2, Inject: InjectSlowRank}) },
+		"worksteal":         func(c *mpi.Comm) { WorkSteal(c, WorkStealConfig{Tasks: 12, TaskCost: 1e-3}) },
+		"worksteal-nosteal": func(c *mpi.Comm) { WorkSteal(c, WorkStealConfig{Tasks: 12, TaskCost: 1e-3, Inject: InjectImbalance}) },
+		"amr":               func(c *mpi.Comm) { AMR(c, AMRConfig{Cells: 64, Phases: 4}) },
+		"amr-static":        func(c *mpi.Comm) { AMR(c, AMRConfig{Cells: 64, Phases: 4, Inject: InjectImbalance}) },
+	}
+	for name, body := range bodies {
+		name, body := name, body
+		t.Run(name, func(t *testing.T) {
+			if _, err := conformance.DiffEngineBodies(4, body); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestNewAppsPerturbedDeterministic: under a seeded perturbation profile
+// each app is still a pure function of its inputs — same profile, same
+// report; and the numerical results are unchanged by the perturbation.
+func TestNewAppsPerturbedDeterministic(t *testing.T) {
+	model := perturb.NewModel(perturb.Level(11, 3))
+	runOnce := func() (string, float64) {
+		var sum float64
+		tr, err := mpi.Run(mpi.Options{Procs: 4, Perturb: model}, func(c *mpi.Comm) {
+			h := Halo(c, HaloConfig{Steps: 6, Ghost: 2})
+			a := AMR(c, AMRConfig{Cells: 64, Phases: 4})
+			if c.Rank() == 0 {
+				sum = h.Checksum + a.Checksum
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return analyze(tr).Render(), sum
+	}
+	rep1, sum1 := runOnce()
+	rep2, sum2 := runOnce()
+	if rep1 != rep2 {
+		t.Error("perturbed app run is not deterministic")
+	}
+	if sum1 != sum2 {
+		t.Errorf("perturbed checksums differ: %v vs %v", sum1, sum2)
+	}
+	want := AMRExpectedChecksum(64, 4)
+	clean := haloChecksum(t, 4, HaloConfig{Steps: 6, Ghost: 2})
+	if math.Abs(sum1-(clean+want)) > 1e-9 {
+		t.Errorf("perturbation altered numerical results: %v vs %v", sum1, clean+want)
+	}
+}
+
+// FuzzHaloDecomposition: for any small shape, the deep-halo solver must
+// match the single-process checksum and never panic — the ghost-width
+// machinery is exactly equivalent to plain iteration.
+func FuzzHaloDecomposition(f *testing.F) {
+	f.Add(uint8(4), uint8(2), uint8(12), false)
+	f.Add(uint8(2), uint8(3), uint8(6), true)
+	f.Fuzz(func(t *testing.T, procs, ghost, steps uint8, slow bool) {
+		p := 1 + int(procs)%6
+		g := 1 + int(ghost)%4
+		// Steps divisible by g so every ghost width runs the same
+		// global iteration count as the reference.
+		s := g * (1 + int(steps)%4)
+		cfg := HaloConfig{Cells: 64, Steps: s, Ghost: g}
+		if slow {
+			cfg.Inject = InjectSlowRank
+		}
+		ref := HaloConfig{Cells: 64, Steps: s, Ghost: 1}
+		var got, want float64
+		tr, err := mpi.Run(mpi.Options{Procs: p}, func(c *mpi.Comm) {
+			got = Halo(c, cfg).Checksum
+		})
+		if err != nil || tr == nil {
+			t.Fatalf("run failed: %v", err)
+		}
+		if _, err := mpi.Run(mpi.Options{Procs: 1}, func(c *mpi.Comm) {
+			want = Halo(c, ref).Checksum
+		}); err != nil {
+			t.Fatalf("reference run failed: %v", err)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("procs=%d ghost=%d steps=%d: checksum %v, want %v", p, g, s, got, want)
+		}
+	})
+}
+
+// FuzzWorkStealTotal: for any task count, cost skew, and steal setting,
+// the farm must process every task exactly once and produce the
+// verified total on all ranks.
+func FuzzWorkStealTotal(f *testing.F) {
+	f.Add(uint8(18), uint8(8), true)
+	f.Add(uint8(9), uint8(2), false)
+	f.Fuzz(func(t *testing.T, tasks, heavy uint8, noSteal bool) {
+		n := 4 + int(tasks)%28
+		cfg := WorkStealConfig{Tasks: n, TaskCost: 5e-4,
+			HeavyFactor: float64(1 + heavy%12)}
+		if noSteal {
+			cfg.Inject = InjectImbalance
+		}
+		want := MasterWorkerExpectedTotal(n)
+		done := make([]int, 4)
+		if _, err := mpi.Run(mpi.Options{Procs: 4}, func(c *mpi.Comm) {
+			r := WorkSteal(c, cfg)
+			if r.Total != want {
+				t.Errorf("rank %d: total %d, want %d", c.Rank(), r.Total, want)
+			}
+			done[c.WorldRank()] = r.TasksDone
+		}); err != nil {
+			t.Fatalf("run failed: %v", err)
+		}
+		sum := 0
+		for _, d := range done {
+			sum += d
+		}
+		if sum != n {
+			t.Fatalf("processed %d of %d tasks", sum, n)
+		}
+	})
+}

@@ -1,0 +1,222 @@
+package apps
+
+import (
+	"math"
+
+	"repro/internal/mpi"
+)
+
+// HaloConfig configures the communication-avoiding 1-D stencil solver
+// with a parameterized ghost-cell (halo) width.
+//
+// Performance behaviour: with halo width g each rank exchanges g cells
+// per neighbour every g iterations and in return recomputes up to g-1
+// ghost cells per sub-step — the classic deep-halo tradeoff: message
+// count drops by a factor of g while the modeled computation grows by
+// the redundant ghost work.  The numerical result is independent of
+// both the decomposition and g.  Under InjectImbalance (skewed cell
+// partition) or InjectSlowRank the overloaded rank delays its halo
+// sends and the per-superstep residual allreduce: a tool must report
+// late_sender at "halo_exchange" and wait_at_nxn at the residual, both
+// inside the "halo_superstep" call path.
+type HaloConfig struct {
+	// Cells sizes the global 1-D domain (default 256).
+	Cells int
+	// Ghost is the halo width g ≥ 1 (default 2).
+	Ghost int
+	// Steps is the smoothing step count, rounded up to a multiple of
+	// Ghost (default 12).
+	Steps int
+	// CellCost is the modeled time to update one cell (default 1µs).
+	CellCost float64
+	// Inject selects a seeded pathology.
+	Inject Injection
+	// SkewFactor scales the injected slowdown (default 3).
+	SkewFactor float64
+}
+
+func (cfg HaloConfig) withDefaults() HaloConfig {
+	if cfg.Cells <= 0 {
+		cfg.Cells = 256
+	}
+	if cfg.Ghost <= 0 {
+		cfg.Ghost = 2
+	}
+	if cfg.Steps <= 0 {
+		cfg.Steps = 12
+	}
+	if cfg.CellCost <= 0 {
+		cfg.CellCost = 1e-6
+	}
+	if cfg.SkewFactor <= 0 {
+		cfg.SkewFactor = 3
+	}
+	return cfg
+}
+
+// HaloResult reports the solve outcome.
+type HaloResult struct {
+	Checksum   float64
+	Residual   float64
+	Cells      int // local cells of this rank
+	Supersteps int
+}
+
+// cellPartition returns each rank's cell count under the configuration.
+func (cfg HaloConfig) cellPartition(size int) []int {
+	cells := make([]int, size)
+	base := cfg.Cells / size
+	rem := cfg.Cells % size
+	for i := range cells {
+		cells[i] = base
+		if i < rem {
+			cells[i]++
+		}
+	}
+	if cfg.Inject == InjectImbalance && size > 1 {
+		want := int(float64(base) * cfg.SkewFactor)
+		for i := 1; i < size && cells[0] < want; i++ {
+			give := cells[i] - 1
+			if cells[0]+give > want {
+				give = want - cells[0]
+			}
+			cells[i] -= give
+			cells[0] += give
+		}
+	}
+	return cells
+}
+
+// Halo runs the deep-halo stencil solver on communicator c and returns
+// this rank's result.  Every rank must call it with the same
+// configuration.
+func Halo(c *mpi.Comm, cfg HaloConfig) HaloResult {
+	cfg = cfg.withDefaults()
+	c.Begin("halo")
+	defer c.End()
+
+	size, rank := c.Size(), c.Rank()
+	g := cfg.Ghost
+	supersteps := (cfg.Steps + g - 1) / g
+
+	cells := cfg.cellPartition(size)
+	n := cells[rank]
+	first := 0
+	for i := 0; i < rank; i++ {
+		first += cells[i]
+	}
+
+	// Local domain with g ghost cells each side; local index i holds the
+	// global cell first-g+i.  Global boundary cells 0 and Cells-1 are
+	// fixed (hot edges), so the update is identical however the domain
+	// is cut.
+	cur := make([]float64, n+2*g)
+	next := make([]float64, n+2*g)
+	globalOf := func(i int) int { return first - g + i }
+	for i := range cur {
+		if gl := globalOf(i); gl >= 0 && gl < cfg.Cells {
+			cur[i] = math.Sin(float64(gl*13)) * 0.01
+			if gl == 0 || gl == cfg.Cells-1 {
+				cur[i] = 1.0
+			}
+		}
+	}
+
+	left, right := rank-1, rank+1
+	out := mpi.AllocBuf(mpi.TypeDouble, g)
+	in := mpi.AllocBuf(mpi.TypeDouble, g)
+	resS := mpi.AllocBuf(mpi.TypeDouble, 1)
+	resR := mpi.AllocBuf(mpi.TypeDouble, 1)
+
+	cellCost := cfg.CellCost
+	if cfg.Inject == InjectSlowRank && rank == 0 {
+		cellCost *= cfg.SkewFactor
+	}
+
+	var residual float64
+	for ss := 0; ss < supersteps; ss++ {
+		c.Begin("halo_superstep")
+
+		// Deep-halo exchange: g edge cells per neighbour, every g steps.
+		c.Begin("halo_exchange")
+		if left >= 0 {
+			copyCells(out, cur[g:2*g])
+			c.Sendrecv(out, left, 30, in, left, 31)
+			copyCellsBack(cur[:g], in)
+		}
+		if right < size {
+			copyCells(out, cur[n:n+g])
+			c.Sendrecv(out, right, 31, in, right, 30)
+			copyCellsBack(cur[n+g:], in)
+		}
+		c.End()
+
+		// g sub-steps on the snapshot: the correctly updatable window
+		// shrinks by one cell per side per sub-step, so the last step
+		// still covers exactly the owned cells.  The ghost updates are
+		// the redundant computation the wide halo buys.
+		local := 0.0
+		for s := 0; s < g; s++ {
+			lo, hi := 1+s, n+2*g-1-s
+			if rank == 0 {
+				lo = g + 1 // global cell 0 is a fixed boundary
+			}
+			if rank == size-1 {
+				hi = n + g - 1 // global cell Cells-1 likewise
+			}
+			for i := lo; i < hi; i++ {
+				v := 0.25*cur[i-1] + 0.5*cur[i] + 0.25*cur[i+1]
+				next[i] = v
+				if s == g-1 && i >= g && i < n+g {
+					d := v - cur[i]
+					local += d * d
+				}
+			}
+			next[lo-1], next[hi] = cur[lo-1], cur[hi]
+			c.Work(float64(hi-lo) * cellCost)
+			cur, next = next, cur
+		}
+
+		// Global residual of the superstep.
+		resS.SetFloat64(0, local)
+		c.Allreduce(resS, resR, mpi.OpSum)
+		residual = math.Sqrt(resR.Float64(0))
+		c.End()
+	}
+
+	var sum float64
+	for i := g; i < n+g; i++ {
+		sum += cur[i]
+	}
+	resS.SetFloat64(0, sum)
+	c.Allreduce(resS, resR, mpi.OpSum)
+	return HaloResult{Checksum: resR.Float64(0), Residual: residual, Cells: n, Supersteps: supersteps}
+}
+
+func copyCells(dst *mpi.Buf, cells []float64) {
+	for j, v := range cells {
+		dst.SetFloat64(j, v)
+	}
+}
+
+func copyCellsBack(cells []float64, src *mpi.Buf) {
+	for j := range cells {
+		cells[j] = src.Float64(j)
+	}
+}
+
+// HaloScenarioASL restates the Halo slow-rank pathology as an ASL
+// scenario: the overloaded neighbour's halo sends arrive late on every
+// exchange, which is exactly a delayed-send pattern with a closed-form
+// late-sender wait (see doc/ASL.md).
+const HaloScenarioASL = `
+scenario halo_slow_neighbor {
+    help "deep-halo exchange with one overloaded rank delaying its sends";
+    param base  float = 0.002 in [0.001, 0.004];
+    param extra float = 0.01  in [0.005, 0.02];
+    param r     int   = 4     in [1, 8];
+    inject delayed_send(base, extra, r);
+    detects "late_sender";
+    severity floor(ranks() / 2) * extra * r;
+}
+`

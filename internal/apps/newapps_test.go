@@ -1,0 +1,221 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/analyzer"
+	"repro/internal/mpi"
+	"repro/internal/trace"
+)
+
+// ---- Halo: deep-halo stencil with parameterized ghost width ----
+
+func haloChecksum(t *testing.T, procs int, cfg HaloConfig) float64 {
+	t.Helper()
+	var sum float64
+	run(t, procs, func(c *mpi.Comm) {
+		r := Halo(c, cfg)
+		if c.Rank() == 0 {
+			sum = r.Checksum
+		}
+	})
+	return sum
+}
+
+func TestHaloChecksumIndependentOfGhostWidthAndDecomposition(t *testing.T) {
+	// 12 steps divide evenly by every tested ghost width, so each run
+	// executes the same global iteration count.
+	base := haloChecksum(t, 1, HaloConfig{Steps: 12, Ghost: 1})
+	for _, procs := range []int{2, 4} {
+		for _, g := range []int{1, 2, 3} {
+			got := haloChecksum(t, procs, HaloConfig{Steps: 12, Ghost: g})
+			if math.Abs(got-base) > 1e-9 {
+				t.Errorf("procs=%d ghost=%d: checksum %v, want %v", procs, g, got, base)
+			}
+		}
+	}
+}
+
+func TestHaloWiderGhostSendsFewerMessages(t *testing.T) {
+	msgs := func(g int) int {
+		tr := run(t, 4, func(c *mpi.Comm) {
+			Halo(c, HaloConfig{Steps: 12, Ghost: g})
+		})
+		n := 0
+		for _, ev := range tr.Events {
+			if ev.Kind == trace.KindSend {
+				n++
+			}
+		}
+		return n
+	}
+	m1, m3 := msgs(1), msgs(3)
+	if m3*2 >= m1 {
+		t.Errorf("ghost=3 sends %d messages vs %d at ghost=1; want a ~3x drop", m3, m1)
+	}
+}
+
+func TestHaloTunedAnalyzesClean(t *testing.T) {
+	tr := run(t, 4, func(c *mpi.Comm) {
+		Halo(c, HaloConfig{Steps: 12, Ghost: 2, CellCost: 5e-6})
+	})
+	rep := analyze(tr)
+	if top := rep.Top(); top != nil {
+		t.Errorf("tuned Halo flagged: %s (%.2f%%)\n%s",
+			top.Property, top.Severity*100, rep.Render())
+	}
+}
+
+func TestHaloInjectedDetectedAndLocalized(t *testing.T) {
+	for _, inject := range []Injection{InjectImbalance, InjectSlowRank} {
+		tr := run(t, 4, func(c *mpi.Comm) {
+			Halo(c, HaloConfig{Steps: 12, Ghost: 2, CellCost: 5e-6, Inject: inject})
+		})
+		rep := analyze(tr)
+		top := rep.Top()
+		if top == nil {
+			t.Fatalf("%v: injected pathology not detected", inject)
+		}
+		if top.Property != analyzer.PropWaitAtNxN && top.Property != analyzer.PropLateSender {
+			t.Errorf("%v: top = %s, want NxN wait or late sender", inject, top.Property)
+		}
+		if p := top.TopPath(); !contains(p, "halo_superstep") {
+			t.Errorf("%v: top path %q not in halo_superstep", inject, p)
+		}
+	}
+}
+
+// ---- WorkSteal: work-stealing task farm ----
+
+func TestWorkStealComputesCorrectTotal(t *testing.T) {
+	const tasks = 24
+	totals := make([]int64, 4)
+	done := make([]int, 4)
+	run(t, 4, func(c *mpi.Comm) {
+		r := WorkSteal(c, WorkStealConfig{Tasks: tasks, TaskCost: 1e-3})
+		totals[c.WorldRank()] = r.Total
+		done[c.WorldRank()] = r.TasksDone
+	})
+	want := MasterWorkerExpectedTotal(tasks)
+	for rank, got := range totals {
+		if got != want {
+			t.Errorf("rank %d total = %d, want %d", rank, got, want)
+		}
+	}
+	sum := 0
+	for _, d := range done {
+		sum += d
+	}
+	if sum != tasks || done[0] != 0 {
+		t.Errorf("processed %d tasks (master %d), want %d (master 0)", sum, done[0], tasks)
+	}
+}
+
+func TestWorkStealStealsRebalanceTheHeavyBlock(t *testing.T) {
+	// With stealing on, part of worker 1's heavy block must run
+	// elsewhere; with stealing off, nothing moves.
+	var steals, stolen int
+	run(t, 4, func(c *mpi.Comm) {
+		r := WorkSteal(c, WorkStealConfig{Tasks: 18, TaskCost: 1e-3, HeavyFactor: 8})
+		if c.Rank() == 0 {
+			steals = r.Steals
+		}
+		if c.Rank() > 1 {
+			stolen += r.Stolen
+		}
+	})
+	if steals == 0 || stolen == 0 {
+		t.Errorf("no stealing happened: coordinator %d, workers %d", steals, stolen)
+	}
+	run(t, 4, func(c *mpi.Comm) {
+		r := WorkSteal(c, WorkStealConfig{Tasks: 18, TaskCost: 1e-3, HeavyFactor: 8,
+			Inject: InjectImbalance})
+		if r.Steals != 0 || r.Stolen != 0 {
+			t.Errorf("rank %d stole with stealing disabled: %+v", c.Rank(), r)
+		}
+	})
+}
+
+func TestWorkStealDisabledStealingDetectedAtBarrier(t *testing.T) {
+	barrierWait := func(inject Injection) float64 {
+		tr := run(t, 4, func(c *mpi.Comm) {
+			WorkSteal(c, WorkStealConfig{Tasks: 18, TaskCost: 2e-3, HeavyFactor: 10,
+				Inject: inject})
+		})
+		rep := analyze(tr)
+		w := rep.Wait(analyzer.PropWaitAtBarrier)
+		if inject == InjectImbalance {
+			r := rep.Get(analyzer.PropWaitAtBarrier)
+			if r == nil || r.Severity < rep.Threshold {
+				t.Fatalf("stalled farm not detected\n%s", rep.Render())
+			}
+			if p := r.TopPath(); !contains(p, "workstealing") {
+				t.Errorf("barrier wait path %q not under workstealing", p)
+			}
+		}
+		return w
+	}
+	tuned := barrierWait(InjectNone)
+	stalled := barrierWait(InjectImbalance)
+	if stalled < 3*tuned {
+		t.Errorf("stealing does not reduce the barrier wait: tuned %v, stalled %v", tuned, stalled)
+	}
+}
+
+// ---- AMR: adaptive-imbalance phases ----
+
+func TestAMRChecksumMatchesSerialAcrossDecompositions(t *testing.T) {
+	want := AMRExpectedChecksum(128, 8)
+	for _, procs := range []int{1, 3, 4} {
+		for _, inject := range []Injection{InjectNone, InjectImbalance} {
+			var got float64
+			run(t, procs, func(c *mpi.Comm) {
+				r := AMR(c, AMRConfig{Cells: 128, Phases: 8, Inject: inject})
+				if c.Rank() == 0 {
+					got = r.Checksum
+				}
+			})
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("procs=%d inject=%v: checksum %v, want %v", procs, inject, got, want)
+			}
+		}
+	}
+}
+
+func TestAMRRebalanceKeepsPhasesBalanced(t *testing.T) {
+	nxnWait := func(inject Injection) float64 {
+		tr := run(t, 4, func(c *mpi.Comm) {
+			AMR(c, AMRConfig{Cells: 128, Phases: 8, CellCost: 1e-5, Inject: inject})
+		})
+		rep := analyze(tr)
+		if inject == InjectImbalance {
+			r := rep.Get(analyzer.PropWaitAtNxN)
+			if r == nil || r.Severity < rep.Threshold {
+				t.Fatalf("unbalanced refinement not detected\n%s", rep.Render())
+			}
+			if p := r.TopPath(); !contains(p, "amr_phase") {
+				t.Errorf("NxN wait path %q not in amr_phase", p)
+			}
+		}
+		return rep.Wait(analyzer.PropWaitAtNxN)
+	}
+	balanced := nxnWait(InjectNone)
+	skewed := nxnWait(InjectImbalance)
+	if skewed < 3*balanced {
+		t.Errorf("rebalance does not reduce the collective wait: balanced %v, skewed %v",
+			balanced, skewed)
+	}
+}
+
+func TestAMRRefinementReachesMaxLevel(t *testing.T) {
+	run(t, 2, func(c *mpi.Comm) {
+		r := AMR(c, AMRConfig{Cells: 128, Phases: 8})
+		if c.Rank() == 0 && r.MaxLevel != 2 {
+			t.Errorf("MaxLevel = %d, want 2", r.MaxLevel)
+		}
+		if c.Rank() == 0 && r.Rebalances != 7 {
+			t.Errorf("Rebalances = %d, want 7", r.Rebalances)
+		}
+	})
+}

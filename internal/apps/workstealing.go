@@ -1,0 +1,192 @@
+package apps
+
+import (
+	"repro/internal/mpi"
+	"repro/internal/work"
+)
+
+// WorkStealConfig configures the work-stealing task farm.
+//
+// Performance behaviour: unlike the demand-driven MasterWorker farm,
+// tasks are pre-partitioned into per-worker queues (locality: a worker
+// prefers its own block).  Rank 0 coordinates: it hands each requesting
+// worker the next task of that worker's own queue, and once a queue
+// runs dry it steals from the tail of the currently richest queue.  With
+// stealing on, a heavy-tailed block (one worker's queue holds the big
+// tasks) self-balances and the farm analyzes clean.  InjectImbalance
+// disables stealing: workers that drain their cheap queues early stop
+// and wait at the final barrier while the loaded worker grinds alone —
+// wait_at_mpi_barrier, located in the "workstealing" call path.
+type WorkStealConfig struct {
+	// Tasks is the total task count (default 8×workers).
+	Tasks int
+	// TaskCost is the nominal per-task duration (default 5ms).
+	TaskCost float64
+	// HeavyFactor scales the tasks of worker 1's block (default 6): the
+	// heavy tail that stealing must redistribute.
+	HeavyFactor float64
+	// Inject selects a seeded pathology; InjectImbalance disables
+	// stealing so the heavy block stays put.
+	Inject Injection
+	// Seed randomizes task durations deterministically.
+	Seed uint64
+}
+
+func (cfg WorkStealConfig) withDefaults(workers int) WorkStealConfig {
+	if cfg.Tasks <= 0 {
+		cfg.Tasks = 8 * workers
+	}
+	if cfg.TaskCost <= 0 {
+		cfg.TaskCost = 5e-3
+	}
+	if cfg.HeavyFactor <= 0 {
+		cfg.HeavyFactor = 6
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+	return cfg
+}
+
+// WorkStealResult reports the farm outcome.
+type WorkStealResult struct {
+	// TasksDone is the number of tasks this rank processed.
+	TasksDone int
+	// Stolen is how many of them came from another worker's queue.
+	Stolen int
+	// Steals is the coordinator's total steal count (0 elsewhere).
+	Steals int
+	// Total is the verified sum Σ id² (identical on all ranks).
+	Total int64
+}
+
+// Coordinator protocol tags.
+const (
+	tagWSReq  = 40
+	tagWSTask = 41
+	tagWSStop = 42
+)
+
+// WorkSteal runs the work-stealing farm on communicator c (requires
+// ≥ 2 ranks).  Every rank must call it with the same configuration.
+func WorkSteal(c *mpi.Comm, cfg WorkStealConfig) WorkStealResult {
+	workers := c.Size() - 1
+	if workers < 1 {
+		panic("apps: WorkSteal needs at least 2 ranks")
+	}
+	cfg = cfg.withDefaults(workers)
+	c.Begin("workstealing")
+	defer c.End()
+
+	// Task durations and the static block partition, identical on all
+	// ranks: worker w owns the contiguous block of queue[w].
+	durations := make([]float64, cfg.Tasks)
+	rng := work.NewRNG(cfg.Seed)
+	for i := range durations {
+		durations[i] = cfg.TaskCost * (0.5 + rng.Float64())
+	}
+	queues := make([][]int, workers+1)
+	for i := 0; i < cfg.Tasks; i++ {
+		w := 1 + i*workers/cfg.Tasks
+		queues[w] = append(queues[w], i)
+	}
+	for _, id := range queues[1] {
+		durations[id] *= cfg.HeavyFactor
+	}
+	stealing := cfg.Inject != InjectImbalance
+
+	req := mpi.AllocBuf(mpi.TypeInt, 2)
+	task := mpi.AllocBuf(mpi.TypeInt, 2)
+	res := WorkStealResult{}
+
+	if c.Rank() == 0 {
+		// Coordinator: serve requests until every queue is empty and
+		// every worker has been stopped.
+		heads := make([]int, workers+1) // consumed prefix per queue
+		var total int64
+		stopped := 0
+		for stopped < workers {
+			st := c.Recv(req, mpi.AnySource, tagWSReq)
+			if id := req.Int64(0); id >= 0 {
+				total += req.Int64(1)
+			}
+			w := st.Source
+			if heads[w] < len(queues[w]) {
+				// Own queue first: pop the front.
+				task.SetInt64(0, int64(queues[w][heads[w]]))
+				task.SetInt64(1, 0)
+				heads[w]++
+				c.Send(task, w, tagWSTask)
+				continue
+			}
+			if stealing {
+				// Steal from the tail of the richest queue.
+				victim, best := 0, 0
+				for v := 1; v <= workers; v++ {
+					if remaining := len(queues[v]) - heads[v]; remaining > best {
+						victim, best = v, remaining
+					}
+				}
+				if victim != 0 {
+					last := len(queues[victim]) - 1
+					task.SetInt64(0, int64(queues[victim][last]))
+					task.SetInt64(1, 1)
+					queues[victim] = queues[victim][:last]
+					res.Steals++
+					c.Send(task, w, tagWSTask)
+					continue
+				}
+			}
+			c.Send(task, w, tagWSStop)
+			stopped++
+		}
+		res.Total = total
+	} else {
+		req.SetInt64(0, -1)
+		for {
+			c.Send(req, 0, tagWSReq)
+			st := c.Recv(task, 0, mpi.AnyTag)
+			if st.Tag == tagWSStop {
+				break
+			}
+			id := int(task.Int64(0))
+			c.Begin("task")
+			c.Work(durations[id])
+			c.End()
+			res.TasksDone++
+			if task.Int64(1) != 0 {
+				res.Stolen++
+			}
+			req.SetInt64(0, int64(id))
+			req.SetInt64(1, int64(id)*int64(id))
+		}
+	}
+
+	// Completion barrier: with stealing off, the early-finished workers
+	// idle here while the loaded worker drains its heavy block.
+	c.Barrier()
+
+	// Broadcast the verified total so every rank can cross-check.
+	tot := mpi.AllocBuf(mpi.TypeInt, 1)
+	if c.Rank() == 0 {
+		tot.SetInt64(0, res.Total)
+	}
+	c.Bcast(tot, 0)
+	res.Total = tot.Int64(0)
+	return res
+}
+
+// WorkStealScenarioASL restates the stealing-disabled pathology as an
+// ASL scenario: per-worker compute times are drawn from a two-block
+// distribution and every round joins a barrier, so the imbalance of the
+// distribution is exactly the barrier wait (see doc/ASL.md).
+const WorkStealScenarioASL = `
+scenario stealing_disabled {
+    help "heavy-tailed task blocks with work stealing switched off";
+    param load distr = block2(0.004, 0.02);
+    param r    int   = 3 in [1, 6];
+    inject skewed_barrier(load, r);
+    detects "wait_at_mpi_barrier";
+    severity r * imbalance(load);
+}
+`

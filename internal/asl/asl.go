@@ -49,6 +49,15 @@ import (
 	"repro/internal/trace"
 )
 
+// MetricFuncs lists the metric functions available in property
+// expressions, in the order documented in doc/ASL.md.  The first five
+// take one string argument; the rest take none.
+var MetricFuncs = []string{
+	"wait", "severity", "instances", "region_time", "region_count",
+	"total_time", "duration", "locations",
+	"msg_count", "msg_bytes", "msg_avg_bytes", "msg_rate",
+}
+
 // Metrics exposes the measurable quantities expressions may reference.
 type Metrics struct {
 	rep *analyzer.Report
@@ -147,6 +156,13 @@ func (m *Metrics) call(name string, args []value) (value, error) {
 	}
 }
 
+// lookup rejects bare identifiers: property expressions reference metrics
+// through calls only.  (Identifiers never parse in property context, so
+// this is defense in depth for the evalEnv contract.)
+func (m *Metrics) lookup(name string) (value, error) {
+	return value{}, fmt.Errorf("asl: unknown identifier %q", name)
+}
+
 // value is a runtime value: a number, boolean, or string literal.
 type value struct {
 	f     float64
@@ -175,6 +191,7 @@ type Property struct {
 	Name      string
 	condition node
 	severity  node
+	nameTok   token
 }
 
 // Finding is the evaluation result of one property.

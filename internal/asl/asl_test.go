@@ -315,6 +315,30 @@ func TestMessageStatFunctions(t *testing.T) {
 	}
 }
 
+func TestMetricFuncsAllEvaluate(t *testing.T) {
+	// Every name exported in MetricFuncs must be callable; the list is
+	// what doc/ASL.md is drift-checked against.
+	rep := lateSenderReport(t)
+	m := FromReport(rep)
+	takesString := map[string]bool{
+		"wait": true, "severity": true, "instances": true,
+		"region_time": true, "region_count": true,
+	}
+	for _, name := range MetricFuncs {
+		arg := "()"
+		if takesString[name] {
+			arg = `("late_sender")`
+		}
+		props, err := Parse("property p { condition " + name + arg + " >= 0; }")
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := props[0].Eval(m); err != nil {
+			t.Errorf("%s does not evaluate: %v", name, err)
+		}
+	}
+}
+
 func TestGrindstoneDiagnosisInASL(t *testing.T) {
 	// The small-message flood diagnosis, written as an ASL property.
 	tr, err := mpi.Run(mpi.Options{Procs: 4}, func(c *mpi.Comm) {

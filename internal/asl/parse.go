@@ -22,19 +22,22 @@ const (
 type token struct {
 	kind tokKind
 	text string
-	pos  int // byte offset for error messages
-	line int
+	pos  int // byte offset
+	line int // 1-based source line
+	col  int // 1-based column within the line
 }
 
 // punctuation tokens, longest first so ">=" wins over ">".
 var puncts = []string{
 	"&&", "||", "<=", ">=", "==", "!=",
-	"{", "}", "(", ")", ";", ",", "+", "-", "*", "/", "<", ">", "!",
+	"{", "}", "(", ")", "[", "]", ";", ",", "=", "+", "-", "*", "/", "<", ">", "!",
 }
 
 func lex(src string) ([]token, error) {
 	var toks []token
 	line := 1
+	lineStart := 0
+	col := func(off int) int { return off - lineStart + 1 }
 	i := 0
 	for i < len(src) {
 		c := src[i]
@@ -42,6 +45,7 @@ func lex(src string) ([]token, error) {
 		case c == '\n':
 			line++
 			i++
+			lineStart = i
 		case c == ' ' || c == '\t' || c == '\r':
 			i++
 		case c == '#' || (c == '/' && i+1 < len(src) && src[i+1] == '/'):
@@ -53,14 +57,14 @@ func lex(src string) ([]token, error) {
 			j := i + 1
 			for j < len(src) && src[j] != '"' {
 				if src[j] == '\n' {
-					return nil, fmt.Errorf("asl: line %d: unterminated string", line)
+					return nil, fmt.Errorf("asl: line %d:%d: unterminated string", line, col(i))
 				}
 				j++
 			}
 			if j >= len(src) {
-				return nil, fmt.Errorf("asl: line %d: unterminated string", line)
+				return nil, fmt.Errorf("asl: line %d:%d: unterminated string", line, col(i))
 			}
-			toks = append(toks, token{tokString, src[i+1 : j], i, line})
+			toks = append(toks, token{tokString, src[i+1 : j], i, line, col(i)})
 			i = j + 1
 		case unicode.IsDigit(rune(c)) || (c == '.' && i+1 < len(src) && unicode.IsDigit(rune(src[i+1]))):
 			j := i
@@ -69,63 +73,96 @@ func lex(src string) ([]token, error) {
 				((src[j] == '+' || src[j] == '-') && j > i && (src[j-1] == 'e' || src[j-1] == 'E'))) {
 				j++
 			}
-			toks = append(toks, token{tokNumber, src[i:j], i, line})
+			toks = append(toks, token{tokNumber, src[i:j], i, line, col(i)})
 			i = j
 		case unicode.IsLetter(rune(c)) || c == '_':
 			j := i
 			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
 				j++
 			}
-			toks = append(toks, token{tokIdent, src[i:j], i, line})
+			toks = append(toks, token{tokIdent, src[i:j], i, line, col(i)})
 			i = j
 		default:
 			matched := false
 			for _, p := range puncts {
 				if strings.HasPrefix(src[i:], p) {
-					toks = append(toks, token{tokPunct, p, i, line})
+					toks = append(toks, token{tokPunct, p, i, line, col(i)})
 					i += len(p)
 					matched = true
 					break
 				}
 			}
 			if !matched {
-				return nil, fmt.Errorf("asl: line %d: unexpected character %q", line, c)
+				return nil, fmt.Errorf("asl: line %d:%d: unexpected character %q", line, col(i), c)
 			}
 		}
 	}
-	toks = append(toks, token{tokEOF, "", len(src), line})
+	toks = append(toks, token{tokEOF, "", len(src), line, col(len(src))})
 	return toks, nil
+}
+
+// errAt builds a diagnostic anchored at the offending token's exact
+// position (line:column), never at the start of the enclosing statement.
+func errAt(t token, format string, args ...interface{}) error {
+	return fmt.Errorf("asl: line %d:%d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+}
+
+// tokDesc renders a token for diagnostics; the EOF sentinel reads as "end
+// of input" instead of an empty quoted string.
+func tokDesc(t token) string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
 }
 
 // AST ----------------------------------------------------------------------
 
+// evalEnv is an expression-evaluation environment: metric functions over an
+// analyzer report (Metrics) or scenario parameters plus closed-form helpers
+// (paramEnv, see scenario.go).
+type evalEnv interface {
+	call(name string, args []value) (value, error)
+	lookup(name string) (value, error)
+}
+
 type node interface {
-	eval(m *Metrics) (value, error)
+	eval(e evalEnv) (value, error)
 }
 
 type numLit float64
 
-func (n numLit) eval(*Metrics) (value, error) { return num(float64(n)), nil }
+func (n numLit) eval(evalEnv) (value, error) { return num(float64(n)), nil }
 
 type strLit string
 
-func (s strLit) eval(*Metrics) (value, error) { return strV(string(s)), nil }
+func (s strLit) eval(evalEnv) (value, error) { return strV(string(s)), nil }
+
+// ident references a scenario parameter by name.  Inside property bodies a
+// bare identifier is a parse error (metric access is always a call), so
+// ident nodes only ever appear in scenario expressions.
+type ident struct {
+	name string
+	tok  token
+}
+
+func (id *ident) eval(e evalEnv) (value, error) { return e.lookup(id.name) }
 
 type call struct {
 	name string
 	args []node
 }
 
-func (c *call) eval(m *Metrics) (value, error) {
+func (c *call) eval(e evalEnv) (value, error) {
 	args := make([]value, len(c.args))
 	for i, a := range c.args {
-		v, err := a.eval(m)
+		v, err := a.eval(e)
 		if err != nil {
 			return value{}, err
 		}
 		args[i] = v
 	}
-	return m.call(c.name, args)
+	return e.call(c.name, args)
 }
 
 type unary struct {
@@ -133,8 +170,8 @@ type unary struct {
 	x  node
 }
 
-func (u *unary) eval(m *Metrics) (value, error) {
-	v, err := u.x.eval(m)
+func (u *unary) eval(e evalEnv) (value, error) {
+	v, err := u.x.eval(e)
 	if err != nil {
 		return value{}, err
 	}
@@ -159,8 +196,8 @@ type binary struct {
 	l, r node
 }
 
-func (b *binary) eval(m *Metrics) (value, error) {
-	lv, err := b.l.eval(m)
+func (b *binary) eval(e evalEnv) (value, error) {
+	lv, err := b.l.eval(e)
 	if err != nil {
 		return value{}, err
 	}
@@ -175,7 +212,7 @@ func (b *binary) eval(m *Metrics) (value, error) {
 		if b.op == "||" && lv.b {
 			return boolV(true), nil
 		}
-		rv, err := b.r.eval(m)
+		rv, err := b.r.eval(e)
 		if err != nil {
 			return value{}, err
 		}
@@ -184,7 +221,7 @@ func (b *binary) eval(m *Metrics) (value, error) {
 		}
 		return boolV(rv.b), nil
 	}
-	rv, err := b.r.eval(m)
+	rv, err := b.r.eval(e)
 	if err != nil {
 		return value{}, err
 	}
@@ -225,7 +262,12 @@ func (b *binary) eval(m *Metrics) (value, error) {
 
 type parser struct {
 	toks []token
+	src  string
 	i    int
+	// identOK permits bare identifiers in expressions (scenario parameter
+	// references).  Inside property bodies it stays false: every metric is
+	// a function call there, and a bare identifier is a parse error.
+	identOK bool
 }
 
 func (p *parser) cur() token  { return p.toks[p.i] }
@@ -234,7 +276,7 @@ func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
 func (p *parser) expectPunct(s string) error {
 	t := p.next()
 	if t.kind != tokPunct || t.text != s {
-		return fmt.Errorf("asl: line %d: expected %q, got %q", t.line, s, t.text)
+		return errAt(t, "expected %q, got %s", s, tokDesc(t))
 	}
 	return nil
 }
@@ -242,35 +284,72 @@ func (p *parser) expectPunct(s string) error {
 func (p *parser) expectIdent(s string) error {
 	t := p.next()
 	if t.kind != tokIdent || t.text != s {
-		return fmt.Errorf("asl: line %d: expected %q, got %q", t.line, s, t.text)
+		return errAt(t, "expected %q, got %s", s, tokDesc(t))
 	}
 	return nil
 }
 
-// Parse parses a sequence of property definitions.
+// File is the parse result of one ASL source: property definitions
+// (evaluated over analyzer reports) and scenario definitions (compiled into
+// registrable property functions, see scenario.go).
+type File struct {
+	Props     []*Property
+	Scenarios []*Scenario
+}
+
+// Parse parses a sequence of property definitions, skipping any scenario
+// definitions after validating them — the catalog-evaluation entry point.
 func Parse(src string) ([]*Property, error) {
+	f, err := ParseFile(src)
+	if err != nil {
+		return nil, err
+	}
+	return f.Props, nil
+}
+
+// ParseFile parses properties and scenarios.  Scenarios are fully
+// validated and compiled (File.Scenarios carry ready core.Spec values), so
+// a nil error means every definition in src is usable.
+func ParseFile(src string) (*File, error) {
 	toks, err := lex(src)
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{toks: toks}
-	var props []*Property
-	seen := map[string]bool{}
+	p := &parser{toks: toks, src: src}
+	f := &File{}
+	seen := map[string]token{}
 	for p.cur().kind != tokEOF {
-		prop, err := p.property()
-		if err != nil {
-			return nil, err
+		var name string
+		var nameTok token
+		switch t := p.cur(); {
+		case t.kind == tokIdent && t.text == "scenario":
+			sc, err := p.scenario()
+			if err != nil {
+				return nil, err
+			}
+			if err := sc.compile(); err != nil {
+				return nil, err
+			}
+			f.Scenarios = append(f.Scenarios, sc)
+			name, nameTok = sc.Name, sc.nameTok
+		default:
+			prop, err := p.property()
+			if err != nil {
+				return nil, err
+			}
+			f.Props = append(f.Props, prop)
+			name, nameTok = prop.Name, prop.nameTok
 		}
-		if seen[prop.Name] {
-			return nil, fmt.Errorf("asl: duplicate property %q", prop.Name)
+		if prev, dup := seen[name]; dup {
+			return nil, errAt(nameTok, "duplicate property %q (first defined at line %d:%d)",
+				name, prev.line, prev.col)
 		}
-		seen[prop.Name] = true
-		props = append(props, prop)
+		seen[name] = nameTok
 	}
-	if len(props) == 0 {
+	if len(f.Props) == 0 && len(f.Scenarios) == 0 {
 		return nil, fmt.Errorf("asl: no property definitions found")
 	}
-	return props, nil
+	return f, nil
 }
 
 func (p *parser) property() (*Property, error) {
@@ -279,12 +358,12 @@ func (p *parser) property() (*Property, error) {
 	}
 	nameTok := p.next()
 	if nameTok.kind != tokIdent {
-		return nil, fmt.Errorf("asl: line %d: expected property name, got %q", nameTok.line, nameTok.text)
+		return nil, errAt(nameTok, "expected property name, got %s", tokDesc(nameTok))
 	}
 	if err := p.expectPunct("{"); err != nil {
 		return nil, err
 	}
-	prop := &Property{Name: nameTok.text}
+	prop := &Property{Name: nameTok.text, nameTok: nameTok}
 	for {
 		t := p.cur()
 		if t.kind == tokPunct && t.text == "}" {
@@ -292,7 +371,7 @@ func (p *parser) property() (*Property, error) {
 			break
 		}
 		if t.kind != tokIdent {
-			return nil, fmt.Errorf("asl: line %d: expected clause, got %q", t.line, t.text)
+			return nil, errAt(t, "expected clause, got %s", tokDesc(t))
 		}
 		switch t.text {
 		case "condition":
@@ -302,7 +381,7 @@ func (p *parser) property() (*Property, error) {
 				return nil, err
 			}
 			if prop.condition != nil {
-				return nil, fmt.Errorf("asl: property %s: duplicate condition", prop.Name)
+				return nil, errAt(t, "property %s: duplicate condition", prop.Name)
 			}
 			prop.condition = n
 		case "severity":
@@ -312,18 +391,18 @@ func (p *parser) property() (*Property, error) {
 				return nil, err
 			}
 			if prop.severity != nil {
-				return nil, fmt.Errorf("asl: property %s: duplicate severity", prop.Name)
+				return nil, errAt(t, "property %s: duplicate severity", prop.Name)
 			}
 			prop.severity = n
 		default:
-			return nil, fmt.Errorf("asl: line %d: unknown clause %q", t.line, t.text)
+			return nil, errAt(t, "unknown clause %q", t.text)
 		}
 		if err := p.expectPunct(";"); err != nil {
 			return nil, err
 		}
 	}
 	if prop.condition == nil {
-		return nil, fmt.Errorf("asl: property %s: missing condition", prop.Name)
+		return nil, errAt(nameTok, "property %s: missing condition", prop.Name)
 	}
 	if prop.severity == nil {
 		// Default, per ASL convention: the severity accompanies the
@@ -439,7 +518,7 @@ func (p *parser) primary() (node, error) {
 	case tokNumber:
 		f, err := strconv.ParseFloat(t.text, 64)
 		if err != nil {
-			return nil, fmt.Errorf("asl: line %d: bad number %q", t.line, t.text)
+			return nil, errAt(t, "bad number %q", t.text)
 		}
 		return numLit(f), nil
 	case tokString:
@@ -467,7 +546,10 @@ func (p *parser) primary() (node, error) {
 			}
 			return &call{name: t.text, args: args}, nil
 		}
-		return nil, fmt.Errorf("asl: line %d: bare identifier %q (did you mean %s(...)?)", t.line, t.text, t.text)
+		if p.identOK {
+			return &ident{name: t.text, tok: t}, nil
+		}
+		return nil, errAt(t, "bare identifier %q (did you mean %s(...)?)", t.text, t.text)
 	case tokPunct:
 		if t.text == "(" {
 			n, err := p.expr()
@@ -479,6 +561,8 @@ func (p *parser) primary() (node, error) {
 			}
 			return n, nil
 		}
+	case tokEOF:
+		return nil, errAt(t, "unexpected end of input")
 	}
-	return nil, fmt.Errorf("asl: line %d: unexpected token %q", t.line, t.text)
+	return nil, errAt(t, "unexpected token %q", t.text)
 }

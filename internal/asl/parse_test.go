@@ -68,6 +68,96 @@ func TestParseErrorPaths(t *testing.T) {
 	}
 }
 
+// TestScenarioParseErrorPaths extends the error-path table to every
+// construct of the scenario form: declarations, parameters, ranges,
+// distribution literals, inject statements, and the compile-time
+// consistency checks between clauses.
+func TestScenarioParseErrorPaths(t *testing.T) {
+	// body wraps clauses into an otherwise-complete scenario so each
+	// case isolates exactly one defect.
+	body := func(clauses string) string {
+		return "scenario s {\n" + clauses + "\n}"
+	}
+	complete := `
+    param extra float = 0.02;
+    param r int = 2;
+    inject delayed_send(0.004, extra, r);
+    severity floor(ranks() / 2) * extra * r;`
+	tests := []struct {
+		name    string
+		src     string
+		wantErr string
+	}{
+		{"truncated after keyword", `scenario`, "expected scenario name"},
+		{"numeric scenario name", `scenario 7 { }`, "expected scenario name"},
+		{"missing open brace", `scenario s inject`, `expected "{"`},
+		{"unclosed body", `scenario s { help "x";`, "expected clause"},
+		{"unknown clause", body(`condition 1 > 0;` + complete), `unknown clause "condition"`},
+		{"help not a string", body(`help 5;` + complete), "help expects a string"},
+		{"detects not a string", body(complete + "\ndetects late_sender;"), "detects expects a string"},
+		{"duplicate detects", body(complete + "\ndetects \"late_sender\"; detects \"late_sender\";"), "duplicate detects"},
+		{"localize not a string", body(complete + "\nlocalize 3;"), "localize expects a string"},
+		{"duplicate localize", body(complete + "\nlocalize \"a\"; localize \"b\";"), "duplicate localize"},
+		{"duplicate severity", body(complete + "\nseverity 1;"), "duplicate severity"},
+		{"missing param name", body(`param = 1;` + complete), "expected parameter name"},
+		{"missing param kind", body(`param x = 1;` + complete), "expected parameter kind"},
+		{"unknown param kind", body(`param x double = 1;` + complete), "unknown parameter kind"},
+		{"duplicate param", body(`param extra float = 1; param extra float = 2;` + complete), `duplicate parameter "extra"`},
+		{"int param float default", body(`param n int = 1.5; inject delayed_send(0.004, 0.02, n); severity 1;`), "default must be an integer"},
+		{"range on rank param", body(`param root rank = 0 in [0, 3];` + complete), "parameters take no range"},
+		{"range on distr param", body(`param d distr = block2(1, 2) in [1, 2];` + complete), "parameters take no range"},
+		{"inverted range", body(`param x float = 2 in [3, 1];` + complete), "is inverted"},
+		{"range missing bracket", body(`param x float = 2 in 1, 3];` + complete), `expected "["`},
+		{"range bad number", body(`param x float = 2 in [lo, 3];` + complete), "expected number"},
+		{"missing default", body(`param x float;` + complete), `expected "="`},
+		{"unknown distribution", body(`param d distr = gaussian(1, 2);` + complete), "unknown distribution"},
+		{"too many distr values", body(`param d distr = block2(1, 2, 3, 4, 5);` + complete), "at most 4 descriptor values"},
+		{"missing inject", body(`param x float = 1;
+    severity x;`), "missing inject"},
+		{"missing severity", body(`inject delayed_send(0.004, 0.02, 2);`), "missing severity"},
+		{"unknown primitive", body(`inject sleep(1); severity 1;`), `unknown primitive "sleep"`},
+		{"wrong arity", body(`inject delayed_send(0.004); severity 1;`), "takes 3 arguments, got 1"},
+		{"distr slot not ident", body(`inject skewed_barrier(block2(1, 2), 2); severity 1;`), "must name a distr parameter"},
+		{"distr slot wrong kind", body(`param w float = 1; inject skewed_barrier(w, 2); severity 1;`), "is not a distr parameter"},
+		{"detects nothing injected", body(`param lo float = 0.001; param hi float = 0.002;
+    inject ramp_send(64, 256, 2);
+    severity 1;`), "no primitive injects a detectable property"},
+		{"detects mismatch", body(complete + "\ndetects \"wait_at_nxn\";"), "no primitive injects it"},
+		{"unknown param in severity", body(`inject delayed_send(0.004, 0.02, 2); severity missing * 2;`), `unknown parameter "missing"`},
+		{"unknown param in inject", body(`inject delayed_send(0.004, wrong, 2); severity 1;`), `unknown parameter "wrong"`},
+		{"valid scenario accepted", body(`param x float = 1;` + complete + "\nlocalize \"l\";"), ""},
+		{"duplicate scenario", `scenario s { inject delayed_send(0.004, 0.02, 2); severity 1; }
+scenario s { inject delayed_send(0.004, 0.02, 2); severity 1; }`, "duplicate property"},
+		{"scenario collides with property", `property s { condition 1 > 0; }
+scenario s { inject delayed_send(0.004, 0.02, 2); severity 1; }`, "duplicate property"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var err error
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("ParseFile(%q) panicked: %v", tt.src, r)
+					}
+				}()
+				_, err = ParseFile(tt.src)
+			}()
+			if tt.wantErr == "" {
+				if err != nil {
+					t.Fatalf("valid input rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("ParseFile(%q) accepted malformed input", tt.src)
+			}
+			if !strings.Contains(err.Error(), tt.wantErr) {
+				t.Fatalf("ParseFile(%q) error %q does not contain %q", tt.src, err, tt.wantErr)
+			}
+		})
+	}
+}
+
 // TestParseErrorLineNumbers pins the line information in diagnostics.
 func TestParseErrorLineNumbers(t *testing.T) {
 	src := "property p {\n  condition 1 @ 2;\n}\n"
@@ -78,6 +168,77 @@ func TestParseErrorLineNumbers(t *testing.T) {
 	if !strings.Contains(err.Error(), "line 2") {
 		t.Fatalf("error %q does not name line 2", err)
 	}
+}
+
+// TestParseErrorExactPositions asserts that diagnostics point at the
+// offending token — line AND column — not at the start of the enclosing
+// statement.  The multi-line condition cases pin the historical bug
+// where a bad token inside a continued expression was reported at the
+// statement's first line.
+func TestParseErrorExactPositions(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		pos  string // "line L:C" of the offending token
+	}{
+		{"bad char on later line",
+			"property p {\n  condition 1 @ 2;\n}\n", "line 2:15"},
+		{"multi-line expression, error on continuation line",
+			"property p {\n  condition severity(\"x\") +\n    bogus_token;\n}\n", "line 3:5"},
+		{"multi-line expression, dangling operator",
+			"property p {\n  condition 1 +\n    2 +\n    ;\n}\n", "line 4:5"},
+		{"unknown clause names the clause token",
+			"property p {\n  condition 1 > 0;\n  bogus 1;\n}\n", "line 3:3"},
+		{"duplicate condition names the second one",
+			"property p {\n  condition 1 > 0;\n  condition 2 > 1;\n}\n", "line 3:3"},
+		{"missing condition names the property token",
+			"\nproperty p { severity 1; }\n", "line 2:1"},
+		{"scenario bad default position",
+			"scenario s {\n  param x float =\n    oops;\n}\n", "line 3:5"},
+		{"scenario unknown primitive position",
+			"scenario s {\n  inject sleep(1);\n  severity 1;\n}\n", "line 2:10"},
+		{"eof renders as end of input",
+			"property p { condition 1 > 0;", "end of input"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := ParseFile(tt.src)
+			if err == nil {
+				t.Fatalf("ParseFile(%q) accepted malformed input", tt.src)
+			}
+			if !strings.Contains(err.Error(), tt.pos) {
+				t.Fatalf("error %q does not carry position %q", err, tt.pos)
+			}
+		})
+	}
+}
+
+// FuzzParse is the native-fuzzing harness for the whole language:
+// arbitrary input must either parse or produce an error — never panic —
+// and accepted scenarios must carry a well-formed compiled spec.
+func FuzzParse(f *testing.F) {
+	f.Add(`property p { condition wait("late_sender") > 0; severity 1; }`)
+	f.Add("scenario s {\n  param extra float = 0.02 in [0.01, 0.04];\n" +
+		"  param r int = 2;\n  param w distr = block2(0.004, 0.02);\n" +
+		"  inject delayed_send(0.004, extra, r);\n  inject skewed_barrier(w, r);\n" +
+		"  detects \"late_sender\";\n  localize \"hot\";\n" +
+		"  severity floor(ranks() / 2) * extra * r;\n}")
+	f.Add(`scenario s { inject ramp_send(64, 4096, 2); severity 0; }`)
+	f.Add("property p {\n# comment\n condition 1 @")
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := ParseFile(src)
+		if err != nil {
+			return
+		}
+		for _, sc := range file.Scenarios {
+			spec := sc.Spec()
+			if spec == nil || spec.Name != sc.Name {
+				t.Fatalf("accepted scenario %q has no compiled spec", sc.Name)
+			}
+			// The compiled closed form must be total over small shapes.
+			spec.ExpectedWait(2, 1, spec.Defaults())
+		}
+	})
 }
 
 // TestParseRecoversValidAfterComments ensures the error-path lexer fixes

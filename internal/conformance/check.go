@@ -486,6 +486,13 @@ func checkNegative(cs Case, rep *analyzer.Report, floor float64) []Violation {
 		for _, c := range companions[cp.Name] {
 			allowed[c] = true
 		}
+		// Dynamically registered properties (ASL scenarios) carry their
+		// companion allowances on the spec itself.
+		if spec, ok := core.Get(cp.Name); ok {
+			for _, c := range spec.Companions {
+				allowed[c] = true
+			}
+		}
 	}
 	var vs []Violation
 	for _, prop := range rep.Properties() {

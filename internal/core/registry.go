@@ -174,6 +174,16 @@ type Spec struct {
 	// in virtual time, or a negative value if no closed form exists.
 	// procs and threads describe the environment.
 	ExpectedWait func(procs, threads int, a Args) float64
+	// Companions lists analyzer properties the function legitimately
+	// co-produces besides its expected detection; the conformance
+	// oracle's negative axis must not flag them.  (ASL scenarios mixing
+	// primitives record their secondary detections here.)
+	Companions []string
+	// ASL holds the scenario source text when the spec was compiled from
+	// an ASL scenario declaration (empty for built-ins).  The program
+	// generator embeds it so emitted programs can re-register the
+	// scenario before running it.
+	ASL string
 }
 
 // Defaults builds the argument set holding every parameter's default.
@@ -216,6 +226,16 @@ func mustRegister(s *Spec) {
 	if err := Register(s); err != nil {
 		panic(err)
 	}
+}
+
+// Unregister removes a spec from the registry (a no-op for unknown
+// names).  It exists for dynamically registered properties — ASL
+// scenarios — and for test hygiene; the built-in registrations are never
+// removed by the shipped tools.
+func Unregister(name string) {
+	regMu.Lock()
+	delete(registry, name)
+	regMu.Unlock()
 }
 
 // Get returns the spec registered under name.

@@ -9,8 +9,83 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/asl"
 	"repro/internal/core"
 )
+
+// genScenario is an ASL scenario used to exercise the generator's
+// source-embedding path (the {{if .ASL}} template branch).
+const genScenario = `
+scenario gen_probe_scenario {
+    help "generator embedding probe";
+    param extra float = 0.02 in [0.01, 0.04];
+    param r     int   = 2    in [1, 4];
+    inject delayed_send(0.004, extra, r);
+    severity floor(ranks() / 2) * extra * r;
+}
+`
+
+// registerGenScenario registers genScenario for one test and returns its
+// spec; the registration is removed on cleanup.
+func registerGenScenario(t *testing.T) *core.Spec {
+	t.Helper()
+	names, err := asl.RegisterSource(genScenario)
+	if err != nil {
+		t.Fatalf("RegisterSource: %v", err)
+	}
+	t.Cleanup(func() { asl.Unregister(names...) })
+	spec, ok := core.Get(names[0])
+	if !ok {
+		t.Fatalf("scenario %s not in registry", names[0])
+	}
+	return spec
+}
+
+// TestGenerateEmbedsASLSource: a program generated for an ASL scenario
+// carries the scenario text and re-registers it before running, so it is
+// self-contained — the scenario is not a built-in of the ats module it
+// links against.
+func TestGenerateEmbedsASLSource(t *testing.T) {
+	spec := registerGenScenario(t)
+	src, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(src)
+	for _, want := range []string{
+		"const aslSource = ",
+		"scenario gen_probe_scenario",
+		"ats.RegisterASL(aslSource)",
+		`ats.RunProperty("gen_probe_scenario"`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("generated program missing %q:\n%s", want, text)
+		}
+	}
+	// Parameter flags derive from the compiled spec like any built-in.
+	for _, want := range []string{`flag.Float64("extra"`, `flag.Int("r"`} {
+		if !strings.Contains(text, want) {
+			t.Errorf("generated program missing %q", want)
+		}
+	}
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "x.go", src, 0); err != nil {
+		t.Fatalf("generated scenario program does not parse: %v\n%s", err, src)
+	}
+}
+
+// TestGenerateBuiltinsOmitASLBlock: built-in property programs must not
+// grow the re-registration preamble.
+func TestGenerateBuiltinsOmitASLBlock(t *testing.T) {
+	spec, _ := core.Get("late_sender")
+	src, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(src), "aslSource") {
+		t.Errorf("built-in program carries ASL preamble:\n%s", src)
+	}
+}
 
 func TestGenerateAllPropertiesParse(t *testing.T) {
 	for _, spec := range core.All() {

@@ -54,9 +54,11 @@ func TestGeneratedProgramsVet(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// One program per parameter shape: floats+rank int, distribution, and
-	// a pure-OpenMP property.
-	for _, name := range []string{"late_broadcast", "imbalance_at_mpi_barrier", "serialization_at_omp_critical"} {
+	// One program per parameter shape: floats+rank int, distribution, a
+	// pure-OpenMP property, and an ASL scenario (the source-embedding
+	// template branch type-checks against the real ats.RegisterASL).
+	registerGenScenario(t)
+	for _, name := range []string{"late_broadcast", "imbalance_at_mpi_barrier", "serialization_at_omp_critical", "gen_probe_scenario"} {
 		spec, ok := core.Get(name)
 		if !ok {
 			t.Fatalf("unknown property %q", name)
